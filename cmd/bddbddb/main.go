@@ -1,0 +1,165 @@
+// Command bddbddb evaluates a Datalog program over BDD relations, in
+// the spirit of the paper's tool of the same name.
+//
+// Usage:
+//
+//	bddbddb [-order C_I_V] [-print rel1,rel2] [-facts dir] program.dl
+//
+// Input relations are loaded from <facts>/<relation>.tuples, one tuple
+// per line as whitespace-separated integers (lines starting with # are
+// comments). Missing files leave the relation empty. After solving,
+// the sizes of all output relations are printed; -print additionally
+// dumps the named relations' tuples.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"bddbddb/internal/datalog"
+)
+
+func main() {
+	orderFlag := flag.String("order", "", "variable order: logical domain names separated by '_'")
+	printFlag := flag.String("print", "", "comma-separated output relations to dump")
+	factsDir := flag.String("facts", ".", "directory holding <relation>.tuples input files")
+	nodes := flag.Int("nodes", 0, "initial BDD node table size")
+	cache := flag.Int("cache", 0, "BDD operation cache size")
+	ruleStats := flag.Bool("rulestats", false, "print per-rule applications, time, and derived tuples")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: bddbddb [flags] program.dl")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *orderFlag, *printFlag, *factsDir, *nodes, *cache, *ruleStats); err != nil {
+		fmt.Fprintln(os.Stderr, "bddbddb:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path, order, printRels, factsDir string, nodes, cache int, ruleStats bool) error {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	prog, err := datalog.Parse(string(src))
+	if err != nil {
+		return err
+	}
+	opts := datalog.Options{NodeSize: nodes, CacheSize: cache, CountRuleTuples: ruleStats}
+	if order != "" {
+		opts.Order = strings.Split(order, "_")
+	}
+	// Element names from map files referenced by the program.
+	opts.ElemNames = map[string][]string{}
+	for _, d := range prog.Domains {
+		if d.MapFile == "" {
+			continue
+		}
+		names, err := readLines(filepath.Join(factsDir, d.MapFile))
+		if err == nil {
+			opts.ElemNames[d.Name] = names
+		}
+	}
+	s, err := datalog.NewSolver(prog, opts)
+	if err != nil {
+		return err
+	}
+	for _, rd := range prog.Relations {
+		if rd.Kind != datalog.RelInput {
+			continue
+		}
+		if err := loadTuples(s, factsDir, rd.Name); err != nil {
+			return err
+		}
+	}
+	if err := s.Solve(); err != nil {
+		return err
+	}
+	st := s.Stats()
+	fmt.Printf("solved in %v: %d rule applications, %d iterations, peak %d live BDD nodes\n",
+		st.SolveTime, st.RuleApplications, st.Iterations, st.PeakLiveNodes)
+	if ruleStats {
+		for _, rs := range st.Rules {
+			fmt.Printf("rule %-60s apps=%-6d time=%-12v tuples=%d\n",
+				rs.Rule, rs.Applications, rs.Time.Round(time.Microsecond), rs.DeltaTuples)
+		}
+	}
+	toPrint := map[string]bool{}
+	for _, n := range strings.Split(printRels, ",") {
+		if n != "" {
+			toPrint[n] = true
+		}
+	}
+	for _, rd := range prog.Relations {
+		if rd.Kind != datalog.RelOutput {
+			continue
+		}
+		r := s.Relation(rd.Name)
+		fmt.Printf("%s: %s tuples\n", rd.Name, r.Size())
+		if toPrint[rd.Name] {
+			r.Iterate(func(vals []uint64) bool {
+				parts := make([]string, len(vals))
+				for i, v := range vals {
+					parts[i] = strconv.FormatUint(v, 10)
+				}
+				fmt.Printf("  (%s)\n", strings.Join(parts, ", "))
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+func loadTuples(s *datalog.Solver, dir, name string) error {
+	f, err := os.Open(filepath.Join(dir, name+".tuples"))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	defer f.Close()
+	rel := s.Relation(name)
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		vals := make([]uint64, len(fields))
+		for i, fstr := range fields {
+			v, err := strconv.ParseUint(fstr, 10, 64)
+			if err != nil {
+				return fmt.Errorf("%s.tuples:%d: bad value %q", name, line, fstr)
+			}
+			vals[i] = v
+		}
+		rel.AddTuple(vals...)
+	}
+	return sc.Err()
+}
+
+func readLines(path string) ([]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []string
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		out = append(out, sc.Text())
+	}
+	return out, sc.Err()
+}

@@ -1,0 +1,131 @@
+// Command experiments regenerates the paper's evaluation tables.
+//
+// Usage:
+//
+//	experiments -figure 3            # Figure 3 on all 21 benchmarks
+//	experiments -figure 4 -benches freetts,jetty
+//	experiments -figure all -small   # every figure on the small subset
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"bddbddb/internal/analysis"
+	"bddbddb/internal/experiments"
+	"bddbddb/internal/order"
+)
+
+func main() {
+	figure := flag.String("figure", "all", "which figure to regenerate: 3|4|5|6|all")
+	benches := flag.String("benches", "", "comma-separated benchmark names (default: all for figure 3, the small subset otherwise)")
+	small := flag.Bool("small", false, "restrict every figure to the small subset")
+	search := flag.String("ordersearch", "", "run the Section 2.4.2 empirical variable-order search for Algorithm 5 on this benchmark")
+	trials := flag.Int("trials", 12, "order-search trial budget")
+	flag.Parse()
+
+	if *search != "" {
+		if err := runOrderSearch(*search, *trials); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	names := experiments.AllNames()
+	defaultSubset := func() []string {
+		if *small {
+			return experiments.SmallNames()
+		}
+		return experiments.AllNames()
+	}
+	if *benches != "" {
+		names = strings.Split(*benches, ",")
+	}
+	s := experiments.NewSuite()
+	run := func(fig string) error {
+		switch fig {
+		case "3":
+			rows, err := s.Figure3(pick(*benches, names, experiments.AllNames()))
+			if err != nil {
+				return err
+			}
+			fmt.Println("Figure 3: benchmark vital statistics (measured | paper)")
+			experiments.WriteFigure3(os.Stdout, rows)
+		case "4":
+			rows, err := s.Figure4(pick(*benches, names, defaultSubset()))
+			if err != nil {
+				return err
+			}
+			fmt.Println("Figure 4: analysis times and peak live BDD memory")
+			experiments.WriteFigure4(os.Stdout, rows)
+		case "5":
+			rows, err := s.Figure5(pick(*benches, names, defaultSubset()))
+			if err != nil {
+				return err
+			}
+			fmt.Println("Figure 5: escape analysis results")
+			experiments.WriteFigure5(os.Stdout, rows)
+		case "6":
+			rows, err := s.Figure6(pick(*benches, names, defaultSubset()))
+			if err != nil {
+				return err
+			}
+			fmt.Println("Figure 6: type refinement precision (multi-typed % / refinable %)")
+			experiments.WriteFigure6(os.Stdout, rows)
+		default:
+			return fmt.Errorf("unknown figure %q", fig)
+		}
+		fmt.Println()
+		return nil
+	}
+	figs := []string{*figure}
+	if *figure == "all" {
+		figs = []string{"3", "4", "5", "6"}
+	}
+	for _, fig := range figs {
+		if err := run(fig); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// pick returns explicit names when given, otherwise the default set.
+func pick(explicit string, explicitNames, def []string) []string {
+	if explicit != "" {
+		return explicitNames
+	}
+	return def
+}
+
+// runOrderSearch hill-climbs over logical-domain orders for the
+// context-sensitive pointer analysis on one benchmark, printing each
+// trial — the reproduction of bddbddb's automatic order exploration.
+func runOrderSearch(bench string, trials int) error {
+	s := experiments.NewSuite()
+	p, err := s.Load(bench)
+	if err != nil {
+		return err
+	}
+	initial := []string{"N", "F", "I", "M", "Z", "V", "C", "T", "H"}
+	res, err := order.Search(initial, func(ord []string) order.Cost {
+		start := time.Now()
+		r, err := analysis.RunContextSensitive(p.Facts, p.Graph, analysis.Config{Order: ord})
+		if err != nil {
+			return order.Cost{Err: err}
+		}
+		c := order.Cost{Time: time.Since(start), Nodes: r.Stats().PeakLiveNodes}
+		fmt.Printf("  %-40s %10v  %9d peak nodes\n", strings.Join(ord, "_"), c.Time.Round(time.Millisecond), c.Nodes)
+		return c
+	}, order.Options{MaxTrials: trials, Seed: 1})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("best: %s (%v, %d peak nodes) after %d trials\n",
+		strings.Join(res.Best, "_"), res.BestCost.Time.Round(time.Millisecond), res.BestCost.Nodes, res.Trials)
+	return nil
+}

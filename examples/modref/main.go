@@ -1,0 +1,73 @@
+// Modref reproduces Section 5.4: the context-sensitive mod-ref
+// analysis answers "which fields of which objects may this method
+// (transitively) modify or reference, in each calling context?" — the
+// query behind dependence analysis and safe code motion.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bddbddb/internal/analysis"
+	"bddbddb/internal/extract"
+	"bddbddb/internal/program"
+)
+
+const src = `
+entry Main.main
+
+class Account {
+    field balance
+}
+
+class Ledger {
+    field log
+    method record(a: Account) {
+        e = new Account
+        this.log = e
+        x = a.balance
+    }
+}
+
+class Main {
+    static method main(args) {
+        l = new Ledger
+        acct = new Account
+        l.record(acct)
+        Main::audit(l)
+    }
+    static method audit(l: Ledger) {
+        snapshot = l.log
+    }
+}
+`
+
+func main() {
+	prog := program.MustParse(src)
+	facts, err := extract.Extract(prog, extract.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := analysis.RunContextSensitive(facts, nil, analysis.Config{
+		ExtraSrc: analysis.ModRefQuerySrc,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	show := func(rel, verb string) {
+		fmt.Printf("%s — method (context) %s object.field:\n", rel, verb)
+		res.Solver.Relation(rel).Iterate(func(vals []uint64) bool {
+			fmt.Printf("  %-14s (ctx %d) %s %s.%s\n",
+				facts.Methods[vals[1]], vals[0], verb,
+				facts.Heaps[vals[2]], facts.Fields[vals[3]])
+			return true
+		})
+		fmt.Println()
+	}
+	show("mod", "modifies")
+	show("ref", "reads")
+
+	fmt.Println("note how Main.main inherits everything its callees touch,")
+	fmt.Println("while Main.audit only reads — per calling context.")
+}

@@ -1,0 +1,86 @@
+// Typerefine reproduces Section 5.3: comparing how many variables the
+// context-insensitive and context-sensitive analyses report as
+// multi-typed, and whose declared types can be refined to something
+// more precise. Library code declared against general types is the
+// classic target: the application only ever stores one concrete type.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bddbddb/internal/analysis"
+	"bddbddb/internal/extract"
+	"bddbddb/internal/program"
+)
+
+const src = `
+entry Main.main
+
+class Shape {
+}
+class Circle extends Shape {
+}
+class Square extends Shape {
+}
+
+class Holder {
+    field item
+    method put(v: Shape) returns r: Shape {
+        this.item = v
+        r = v
+        return r
+    }
+}
+
+class Main {
+    static method main(args) {
+        var h1: Holder
+        var h2: Holder
+        h1 = new Holder
+        h2 = new Holder
+        c = new Circle
+        s = new Square
+        rc = h1.put(c)
+        rs = h2.put(s)
+    }
+}
+`
+
+func run(label string, f func() (*analysis.Result, error)) analysis.RefinementMetrics {
+	r, err := f()
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := analysis.RefinementResults(r)
+	fmt.Printf("%-28s multi-typed %5.1f%%   refinable %5.1f%%   (of %d typed vars)\n",
+		label, m.MultiPct, m.RefinePct, m.TypedVars)
+	return m
+}
+
+func main() {
+	prog := program.MustParse(src)
+	facts, err := extract.Extract(prog, extract.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("type refinement across analysis variants (Figure 6 columns):")
+	run("context-insensitive", func() (*analysis.Result, error) {
+		return analysis.RunContextInsensitive(facts, true, analysis.Config{
+			ExtraSrc: analysis.TypeRefinementQuerySrc(analysis.RefineCIPointer)})
+	})
+	run("projected context-sensitive", func() (*analysis.Result, error) {
+		return analysis.RunContextSensitive(facts, nil, analysis.Config{
+			ExtraSrc: analysis.TypeRefinementQuerySrc(analysis.RefineProjectedCSPointer)})
+	})
+	mcs := run("full context-sensitive", func() (*analysis.Result, error) {
+		return analysis.RunContextSensitive(facts, nil, analysis.Config{
+			ExtraSrc: analysis.TypeRefinementQuerySrc(analysis.RefineCSPointer)})
+	})
+
+	if mcs.MultiType == 0 {
+		fmt.Println("\nfull context sensitivity proves every variable mono-typed here:")
+		fmt.Println("Holder.put's parameter holds a Circle in one calling context and a")
+		fmt.Println("Square in the other — never both at once.")
+	}
+}

@@ -1,0 +1,3 @@
+module bddbddb
+
+go 1.22

@@ -1,0 +1,274 @@
+package analysis
+
+import (
+	"fmt"
+	"testing"
+
+	"bddbddb/internal/extract"
+	"bddbddb/internal/synth"
+)
+
+// TestRandomProgramsMatchReference is the heavyweight consistency
+// check: randomized synthetic programs of varied shapes are pushed
+// through the BDD pipeline and the map-based reference implementation,
+// which must agree exactly on vP, hP and IE.
+func TestRandomProgramsMatchReference(t *testing.T) {
+	shapes := []synth.Params{
+		{Seed: 101, Classes: 6, Interfaces: 1, Layers: 3, Width: 2, Fanout: 2,
+			VirtualFrac: 0.5, OverrideFrac: 0.5, RecursionFrac: 0.2},
+		{Seed: 202, Classes: 10, Interfaces: 3, Layers: 5, Width: 3, Fanout: 2,
+			VirtualFrac: 0.8, OverrideFrac: 0.8, RecursionFrac: 0.4, Threads: 2, SyncsPerThread: 1},
+		{Seed: 303, Classes: 4, Interfaces: 0, Layers: 6, Width: 2, Fanout: 3,
+			VirtualFrac: 0.0, OverrideFrac: 0.0, RecursionFrac: 1.0},
+		{Seed: 404, Classes: 15, Interfaces: 4, Layers: 4, Width: 4, Fanout: 2,
+			VirtualFrac: 1.0, OverrideFrac: 1.0, RecursionFrac: 0.0, Threads: 1, SyncsPerThread: 2},
+		{Seed: 505, Classes: 8, Interfaces: 2, Layers: 2, Width: 5, Fanout: 4,
+			VirtualFrac: 0.3, OverrideFrac: 0.2, RecursionFrac: 0.1},
+	}
+	for i, p := range shapes {
+		p.Name = fmt.Sprintf("diff%d", i)
+		t.Run(p.Name, func(t *testing.T) {
+			prog := synth.Generate(p)
+			f, err := extract.Extract(prog, extract.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := RunOnTheFly(f, Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref := ReferenceOnTheFly(f, true)
+
+			// vP must match exactly.
+			got := r.PointsToPairs()
+			want := ref.VPSet()
+			for k := range want {
+				if !got[k] {
+					t.Fatalf("vP missing (%s, %s)", f.Vars[k[0]], f.Heaps[k[1]])
+				}
+			}
+			for k := range got {
+				if !want[k] {
+					t.Fatalf("vP extra (%s, %s)", f.Vars[k[0]], f.Heaps[k[1]])
+				}
+			}
+			// hP must match exactly.
+			gotHP := make(map[[3]uint64]bool)
+			r.Solver.Relation("hP").Iterate(func(vals []uint64) bool {
+				gotHP[[3]uint64{vals[0], vals[1], vals[2]}] = true
+				return true
+			})
+			nWant := 0
+			for k, hs := range ref.HP {
+				for h2 := range hs {
+					nWant++
+					if !gotHP[[3]uint64{k[0], k[1], h2}] {
+						t.Fatalf("hP missing (%d,%d,%d)", k[0], k[1], h2)
+					}
+				}
+			}
+			if len(gotHP) != nWant {
+				t.Fatalf("hP has %d tuples, reference %d", len(gotHP), nWant)
+			}
+			// IE must match exactly.
+			gotIE := make(map[[2]uint64]bool)
+			r.Solver.Relation("IE").Iterate(func(vals []uint64) bool {
+				gotIE[[2]uint64{vals[0], vals[1]}] = true
+				return true
+			})
+			nWant = 0
+			for i2, ms := range ref.IE {
+				for m := range ms {
+					nWant++
+					if !gotIE[[2]uint64{i2, m}] {
+						t.Fatalf("IE missing (%s, %s)", f.Invokes[i2], f.Methods[m])
+					}
+				}
+			}
+			if len(gotIE) != nWant {
+				t.Fatalf("IE has %d tuples, reference %d", len(gotIE), nWant)
+			}
+		})
+	}
+}
+
+// TestCSProjectionSubsetAcrossShapes: projecting the context-sensitive
+// result must always be a (possibly equal) subset of the context-
+// insensitive result computed over the same discovered call graph.
+func TestCSProjectionSubsetAcrossShapes(t *testing.T) {
+	for _, seed := range []int64{11, 22, 33} {
+		p := synth.Params{
+			Name: fmt.Sprintf("csdiff%d", seed), Seed: seed,
+			Classes: 8, Interfaces: 2, Layers: 4, Width: 3, Fanout: 2,
+			VirtualFrac: 0.4, OverrideFrac: 0.4, RecursionFrac: 0.2,
+		}
+		prog := synth.Generate(p)
+		f, err := extract.Extract(prog, extract.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := DiscoverCallGraph(f, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ci, err := RunContextInsensitive(f, true, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs, err := RunContextSensitive(f, g, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ciPairs := ci.PointsToPairs()
+		for k := range cs.PointsToPairs() {
+			if !ciPairs[k] {
+				t.Fatalf("seed %d: CS derived (%s,%s) that CHA-based CI lacks",
+					seed, f.Vars[k[0]], f.Heaps[k[1]])
+			}
+		}
+	}
+}
+
+// TestThreadEscapeConservative: every object the context-insensitive
+// analysis can prove unreachable from any other thread's variables must
+// not be reported escaped, and sync classification must be consistent
+// with the escape sets.
+func TestThreadEscapeConsistency(t *testing.T) {
+	for _, seed := range []int64{7, 77} {
+		p := synth.Params{
+			Name: fmt.Sprintf("esc%d", seed), Seed: seed,
+			Classes: 8, Interfaces: 2, Layers: 3, Width: 3, Fanout: 2,
+			VirtualFrac: 0.3, OverrideFrac: 0.3, Threads: 2, SyncsPerThread: 2,
+		}
+		prog := synth.Generate(p)
+		f, err := extract.Extract(prog, extract.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := RunThreadEscape(f, nil, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// captured ∧ escaped must be empty per (context, heap).
+		escaped := make(map[[2]uint64]bool)
+		r.Solver.Relation("escaped").Iterate(func(vals []uint64) bool {
+			escaped[[2]uint64{vals[0], vals[1]}] = true
+			return true
+		})
+		r.Solver.Relation("captured").Iterate(func(vals []uint64) bool {
+			if escaped[[2]uint64{vals[0], vals[1]}] {
+				t.Fatalf("seed %d: (c=%d,h=%d) both captured and escaped", seed, vals[0], vals[1])
+			}
+			return true
+		})
+		// Every needed sync refers to a variable that can reach an
+		// escaped object.
+		r.Solver.Relation("neededSyncs").Iterate(func(vals []uint64) bool {
+			found := false
+			r.Solver.Relation("vPT").Iterate(func(vp []uint64) bool {
+				if vp[1] == vals[1] && escaped[[2]uint64{vp[2], vp[3]}] {
+					found = true
+					return false
+				}
+				return true
+			})
+			if !found {
+				t.Fatalf("seed %d: neededSyncs(%d,%d) without escaped target", seed, vals[0], vals[1])
+			}
+			return true
+		})
+	}
+}
+
+// TestAlgorithm5EqualsAlgorithm2WhenOneContext: with the context domain
+// capped so hard that every method lands in the merged context, the
+// context-sensitive result projected must equal the context-insensitive
+// result over the same call graph — the cloning machinery degenerates
+// to Algorithm 2.
+func TestAlgorithm5EqualsAlgorithm2WhenOneContext(t *testing.T) {
+	p := synth.Params{Name: "onectx", Seed: 5, Classes: 6, Interfaces: 1,
+		Layers: 3, Width: 2, Fanout: 2, VirtualFrac: 0.3, OverrideFrac: 0.3}
+	prog := synth.Generate(p)
+	f, err := extract.Extract(prog, extract.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := DiscoverCallGraph(f, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := RunContextSensitive(f, g, Config{ContextLimit: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci, err := RunContextInsensitive(f, true, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CHA graph ⊇ discovered graph, so CI(CHA) ⊇ CS-projected. With one
+	// context the CS result equals CI over the discovered graph, which
+	// is itself a subset of CI over CHA.
+	ciPairs := ci.PointsToPairs()
+	for k := range cs.PointsToPairs() {
+		if !ciPairs[k] {
+			t.Fatalf("merged-context CS exceeded CI: %v", k)
+		}
+	}
+}
+
+// TestOnTheFlyContextSensitive exercises the Section 4.2 variant: the
+// context-sensitively discovered graph must be at least as precise as
+// Algorithm 5 over the full CHA graph, and its live edge set must be a
+// subset of the conservative edges.
+func TestOnTheFlyContextSensitive(t *testing.T) {
+	p := synth.Params{
+		Name: "otfcs", Seed: 9, Classes: 8, Interfaces: 2,
+		Layers: 4, Width: 3, Fanout: 2, VirtualFrac: 0.6, OverrideFrac: 0.6,
+	}
+	prog := synth.Generate(p)
+	f, err := extract.Extract(prog, extract.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	otf, err := RunContextSensitiveOnTheFly(f, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chaCS, err := RunContextSensitive(f, CHACallGraph(f), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	otfPairs := otf.PointsToPairs()
+	chaPairs := chaCS.PointsToPairs()
+	for k := range otfPairs {
+		if !chaPairs[k] {
+			t.Fatalf("on-the-fly variant derived pair %v missing from CHA-graph Algorithm 5", k)
+		}
+	}
+	// Live edges are a subset of the conservative ones and cover the
+	// statically bound sites.
+	iecd := otf.Solver.Relation("IECd")
+	iec := otf.Solver.Relation("IEC")
+	if iecd.Size().Cmp(iec.Size()) > 0 {
+		t.Fatalf("IECd (%s) larger than IEC (%s)", iecd.Size(), iec.Size())
+	}
+	diff := iecd.Minus("extra", iec)
+	if !diff.IsEmpty() {
+		t.Fatal("IECd contains edges outside the conservative graph")
+	}
+	if iecd.IsEmpty() {
+		t.Fatal("no live edges discovered")
+	}
+	// Consistency with the CI-discovered graph: every pair the
+	// discovered-graph Algorithm 5 derives must appear here too (the
+	// on-the-fly variant only prunes spurious flow).
+	disc, err := RunContextSensitive(f, nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range disc.PointsToPairs() {
+		if !otfPairs[k] {
+			t.Fatalf("on-the-fly variant lost pair %v that the discovered-graph run has", k)
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package analysis
+
+import (
+	"sort"
+
+	"bddbddb/internal/callgraph"
+	"bddbddb/internal/extract"
+	"bddbddb/internal/program"
+	"bddbddb/internal/rel"
+)
+
+// CHACallGraph builds the precomputed call graph Algorithms 1, 2 and 5
+// assume: statically bound sites from IE0, plus class-hierarchy targets
+// for every named virtual site (Dean-Grove-Chambers CHA).
+func CHACallGraph(f *extract.Facts) *callgraph.Graph {
+	g := &callgraph.Graph{NumMethods: len(f.Methods)}
+	g.Entries = entryMethods(f)
+	for _, t := range f.IE0 {
+		g.Edges = append(g.Edges, callgraph.Edge{
+			Invoke: int(t[0]), Caller: f.InvokeMethod[t[0]], Callee: int(t[1]),
+		})
+	}
+	// Receiver variable per invoke site.
+	recv := receiverVars(f)
+	declType := declaredTypes(f)
+	for _, mi := range f.MI {
+		name := f.Names[mi[2]]
+		if mi[2] == extract.NoNameIdx {
+			continue // statically bound, already in IE0
+		}
+		i := mi[1]
+		v, ok := recv[i]
+		if !ok {
+			continue
+		}
+		declared := program.ObjectClass
+		if t, ok := declType[v]; ok {
+			declared = f.Types[t]
+		}
+		for _, target := range f.Hierarchy.VirtualTargets(declared, name) {
+			if ti := f.MethodIndex(target.QName()); ti >= 0 {
+				g.Edges = append(g.Edges, callgraph.Edge{
+					Invoke: int(i), Caller: f.InvokeMethod[i], Callee: ti,
+				})
+			}
+		}
+	}
+	sortEdges(g)
+	return g
+}
+
+// GraphFromIE converts a solved IE relation (Algorithm 3 output) into a
+// call graph.
+func GraphFromIE(f *extract.Facts, ie *rel.Relation) *callgraph.Graph {
+	g := &callgraph.Graph{NumMethods: len(f.Methods)}
+	g.Entries = entryMethods(f)
+	ie.Iterate(func(vals []uint64) bool {
+		g.Edges = append(g.Edges, callgraph.Edge{
+			Invoke: int(vals[0]), Caller: f.InvokeMethod[vals[0]], Callee: int(vals[1]),
+		})
+		return true
+	})
+	sortEdges(g)
+	return g
+}
+
+func sortEdges(g *callgraph.Graph) {
+	sort.Slice(g.Edges, func(i, j int) bool {
+		a, b := g.Edges[i], g.Edges[j]
+		if a.Invoke != b.Invoke {
+			return a.Invoke < b.Invoke
+		}
+		return a.Callee < b.Callee
+	})
+}
+
+func entryMethods(f *extract.Facts) []int {
+	seen := make(map[int]bool)
+	var out []int
+	for _, m := range f.EntryMethods {
+		if !seen[m] {
+			seen[m] = true
+			out = append(out, m)
+		}
+	}
+	// Thread run methods are entry points (Section 6.1).
+	for _, m := range f.ThreadRuns {
+		if !seen[m] {
+			seen[m] = true
+			out = append(out, m)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+func receiverVars(f *extract.Facts) map[uint64]uint64 {
+	recv := make(map[uint64]uint64)
+	for _, a := range f.Actual {
+		if a[1] == 0 {
+			recv[a[0]] = a[2]
+		}
+	}
+	return recv
+}
+
+func declaredTypes(f *extract.Facts) map[uint64]uint64 {
+	dt := make(map[uint64]uint64)
+	for _, t := range f.VT {
+		if _, ok := dt[t[0]]; !ok {
+			dt[t[0]] = t[1]
+		}
+	}
+	return dt
+}
+
+// AssignEdges derives the context-insensitive assign relation of a
+// precomputed call graph: formal/actual parameter bindings plus return
+// bindings. excludeSpawns drops thread start edges (Algorithm 7 seeds
+// run() receivers through vP0T instead).
+func AssignEdges(f *extract.Facts, g *callgraph.Graph, excludeSpawns bool) []extract.Tuple {
+	spawn := make(map[int]bool)
+	if excludeSpawns {
+		for _, i := range f.StartSites {
+			spawn[i] = true
+		}
+	}
+	// Index formals by (method, z) and actuals/returns by invoke.
+	formals := make(map[[2]uint64]uint64)
+	for _, t := range f.Formal {
+		formals[[2]uint64{t[0], t[1]}] = t[2]
+	}
+	actuals := make(map[uint64][][2]uint64) // invoke -> (z, var)
+	for _, t := range f.Actual {
+		actuals[t[0]] = append(actuals[t[0]], [2]uint64{t[1], t[2]})
+	}
+	mrets := make(map[uint64]uint64)
+	for _, t := range f.Mret {
+		mrets[t[0]] = t[1]
+	}
+	irets := make(map[uint64]uint64)
+	for _, t := range f.Iret {
+		irets[t[0]] = t[1]
+	}
+	var out []extract.Tuple
+	for _, e := range g.Edges {
+		if spawn[e.Invoke] {
+			continue
+		}
+		i, m := uint64(e.Invoke), uint64(e.Callee)
+		for _, za := range actuals[i] {
+			if fv, ok := formals[[2]uint64{m, za[0]}]; ok {
+				out = append(out, extract.Tuple{fv, za[1]})
+			}
+		}
+		if rv, ok := irets[i]; ok {
+			if mv, ok := mrets[m]; ok {
+				out = append(out, extract.Tuple{rv, mv})
+			}
+		}
+	}
+	// Local moves kept by the frontend (empty when collapsed).
+	out = append(out, f.Assign...)
+	return out
+}

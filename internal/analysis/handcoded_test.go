@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"testing"
+
+	"bddbddb/internal/extract"
+	"bddbddb/internal/synth"
+)
+
+// TestHandCodedMatchesEngine: the hand-written BDD pipeline and the
+// bddbddb-generated plan must produce identical vP and hP relations.
+func TestHandCodedMatchesEngine(t *testing.T) {
+	for _, src := range []string{polySrc, dispatchSrc, threadSrc} {
+		f := facts(t, src)
+		hc, err := RunHandCoded(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := RunContextInsensitive(f, true, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		engPairs := eng.PointsToPairs()
+		hcPairs := make(map[[2]uint64]bool)
+		hc.VP.Iterate(func(vals []uint64) bool {
+			hcPairs[[2]uint64{vals[0], vals[1]}] = true
+			return true
+		})
+		for k := range engPairs {
+			if !hcPairs[k] {
+				t.Fatalf("hand-coded missing vP(%s, %s)", f.Vars[k[0]], f.Heaps[k[1]])
+			}
+		}
+		for k := range hcPairs {
+			if !engPairs[k] {
+				t.Fatalf("hand-coded extra vP(%s, %s)", f.Vars[k[0]], f.Heaps[k[1]])
+			}
+		}
+		if hc.HP.Size().Cmp(eng.Relation("hP").Size()) != 0 {
+			t.Fatalf("hP sizes differ: %s vs %s", hc.HP.Size(), eng.Relation("hP").Size())
+		}
+	}
+}
+
+func TestHandCodedOnSynthetic(t *testing.T) {
+	prog := synth.Generate(synth.Quick)
+	f, err := extract.Extract(prog, extract.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hc, err := RunHandCoded(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := RunContextInsensitive(f, true, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hc.VP.Size().Cmp(eng.Relation("vP").Size()) != 0 {
+		t.Fatalf("vP sizes differ: %s vs %s", hc.VP.Size(), eng.Relation("vP").Size())
+	}
+}
+
+// TestTypeAnalysisCISupersetOfPointerTypes: 0-CFA type sets must cover
+// every type the pointer analysis can prove.
+func TestTypeAnalysisCI(t *testing.T) {
+	f := facts(t, polySrc)
+	ty, err := RunTypeAnalysisCI(f, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := RunContextInsensitive(f, true, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	heapTypes := make(map[uint64]uint64)
+	for _, ht := range f.HT {
+		heapTypes[ht[0]] = ht[1]
+	}
+	vta := make(map[[2]uint64]bool)
+	ty.Solver.Relation("vTA").Iterate(func(vals []uint64) bool {
+		vta[[2]uint64{vals[0], vals[1]}] = true
+		return true
+	})
+	for k := range pt.PointsToPairs() {
+		want := [2]uint64{k[0], heapTypes[k[1]]}
+		if !vta[want] {
+			t.Fatalf("vTA missing (%s, %s)", f.Vars[k[0]], f.Types[want[1]])
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package analysis
+
+import "fmt"
+
+// This file builds the Section 5 query fragments. Each returns Datalog
+// source to pass as Config.ExtraSrc on top of the algorithm named in
+// its comment; results are read back from the solver's output
+// relations.
+
+// MemoryLeakQuerySrc is Section 5.1: who points to the leaked
+// allocation site, and which stores (and contexts) created those
+// references. Append to Algorithm 5. heapName is the H element name of
+// the suspect site, e.g. "a.java:57".
+func MemoryLeakQuerySrc(heapName string) string {
+	return fmt.Sprintf(`
+.relation whoPointsTo (h : H, f : F) output
+.relation whoDunnit (c : C, v1 : V, f : F, v2 : V) output
+
+whoPointsTo(h, f) :- hP(h, f, %q).
+whoDunnit(c, v1, f, v2) :- store(v1, f, v2), vPC(c, v2, %q).
+`, heapName, heapName)
+}
+
+// SecurityQuerySrc is Section 5.2: find invocations of a key-accepting
+// method whose argument came (through any number of copies and heap
+// hops) from a String. Append to Algorithm 5. stringClass is the
+// fully qualified String class name; initMethod is the M element name
+// of the sensitive sink, e.g. "PBEKeySpec.init".
+func SecurityQuerySrc(stringClass, initMethod string) string {
+	return fmt.Sprintf(`
+.relation cha (type : T, name : N, target : M) input
+.relation fromString (h : H) output
+.relation vuln (c : C, i : I) output
+
+fromString(h) :- cha(%q, n, m), Mret(m, v), vPC(c, v, h).
+vuln(c, i) :- IEC(c, i, cm, %q), actual(i, 1, v), vPC(c, v, h), fromString(h).
+`, stringClass, initMethod)
+}
+
+// TypeRefinementVariant selects the exact-type source for Figure 6.
+type TypeRefinementVariant int
+
+const (
+	// RefineCIPointer reads vP (Algorithms 1/2).
+	RefineCIPointer TypeRefinementVariant = iota
+	// RefineProjectedCSPointer projects vPC's context away (Algorithm 5).
+	RefineProjectedCSPointer
+	// RefineProjectedCSType projects vTC's context away (Algorithm 6).
+	RefineProjectedCSType
+	// RefineCSPointer keeps contexts: a variable is multi-typed only if
+	// one of its clones is (Algorithm 5).
+	RefineCSPointer
+	// RefineCSType keeps contexts over vTC (Algorithm 6).
+	RefineCSType
+)
+
+// TypeRefinementQuerySrc is Section 5.3 / Figure 6: variables whose
+// declared types can be refined, and variables that may point to
+// multiple types. Append to the algorithm matching the variant.
+func TypeRefinementQuerySrc(variant TypeRefinementVariant) string {
+	decl := ".relation varExactTypes (v : V, t : T)\n"
+	switch variant {
+	case RefineCIPointer:
+		return decl + `varExactTypes(v, t) :- vP(v, h), hT(h, t).` + TypeRefinementSrc
+	case RefineProjectedCSPointer:
+		return decl + `varExactTypes(v, t) :- vPC(c, v, h), hT(h, t).` + TypeRefinementSrc
+	case RefineProjectedCSType:
+		return decl + `varExactTypes(v, t) :- vTC(c, v, t).` + TypeRefinementSrc
+	case RefineCSPointer:
+		return contextualRefinement(`varExactTypesC(c, v, t) :- vPC(c, v, h), hT(h, t).`)
+	case RefineCSType:
+		return contextualRefinement(`varExactTypesC(c, v, t) :- vTC(c, v, t).`)
+	default:
+		panic(fmt.Sprintf("analysis: unknown refinement variant %d", variant))
+	}
+}
+
+// contextualRefinement is the fully context-sensitive variant: exact
+// types are kept per clone, a variable is multi-typed if some clone is,
+// and refinable if some clone admits a strictly more precise type.
+func contextualRefinement(exactRule string) string {
+	return `
+.relation eqT (a : T, b : T) input
+.relation varExactTypesC (c : C, v : V, t : T)
+.relation notVarTypeC (c : C, v : V, t : T)
+.relation varSuperTypesC (c : C, v : V, t : T)
+.relation refinable (v : V, t : T) output
+.relation multiType (v : V) output
+.relation typedVar (v : V) output
+
+` + exactRule + `
+notVarTypeC(c, v, t) :- varExactTypesC(c, v, tv), !aT(t, tv).
+varSuperTypesC(c, v, t) :- !notVarTypeC(c, v, t).
+refinable(v, tc) :- vT(v, td), varSuperTypesC(c, v, tc), varExactTypesC(c, v, t), aT(td, tc), !eqT(td, tc).
+multiType(v) :- varExactTypesC(c, v, t1), varExactTypesC(c, v, t2), !eqT(t1, t2).
+typedVar(v) :- varExactTypesC(c, v, t).
+`
+}

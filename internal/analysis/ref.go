@@ -1,0 +1,221 @@
+package analysis
+
+import "bddbddb/internal/extract"
+
+// RefResult is the output of the reference (map-based) implementation
+// of Algorithm 3 — an independent oracle for differential testing.
+type RefResult struct {
+	VP map[uint64]map[uint64]bool    // variable -> heap objects
+	HP map[[2]uint64]map[uint64]bool // (heap, field) -> heap objects
+	IE map[uint64]map[uint64]bool    // invoke -> methods
+}
+
+// VPSet flattens VP into pair form.
+func (r *RefResult) VPSet() map[[2]uint64]bool {
+	out := make(map[[2]uint64]bool)
+	for v, hs := range r.VP {
+		for h := range hs {
+			out[[2]uint64{v, h}] = true
+		}
+	}
+	return out
+}
+
+// ReferenceWithCallGraph runs the reference fixpoint with a fixed call
+// graph (Algorithms 1/2): assign edges come from the graph and no
+// dispatch discovery happens.
+func ReferenceWithCallGraph(f *extract.Facts, assignTuples []extract.Tuple, typeFilter bool) *RefResult {
+	// Reuse the on-the-fly engine with discovery disabled: empty mI and
+	// IE0, assigns pre-seeded.
+	stripped := *f
+	stripped.MI = nil
+	stripped.IE0 = nil
+	stripped.Assign = assignTuples
+	return ReferenceOnTheFly(&stripped, typeFilter)
+}
+
+// ReferenceOnTheFly runs a straightforward worklist-free fixpoint of
+// the paper's rules (1)-(12) plus return handling, entirely with Go
+// maps. typeFilter toggles Algorithm 2's vPfilter. It is deliberately
+// naive — quadratic loops over explicit tuples — because its only job
+// is to be obviously correct on test-sized programs.
+func ReferenceOnTheFly(f *extract.Facts, typeFilter bool) *RefResult {
+	res := &RefResult{
+		VP: make(map[uint64]map[uint64]bool),
+		HP: make(map[[2]uint64]map[uint64]bool),
+		IE: make(map[uint64]map[uint64]bool),
+	}
+	// Precomputed lookups.
+	assignable := make(map[[2]uint64]bool) // (super, sub)
+	for _, t := range f.AT {
+		assignable[[2]uint64{t[0], t[1]}] = true
+	}
+	declType := declaredTypes(f)
+	heapTypes := make(map[uint64]uint64)
+	for _, t := range f.HT {
+		heapTypes[t[0]] = t[1]
+	}
+	filterOK := func(v, h uint64) bool {
+		if !typeFilter {
+			return true
+		}
+		tv, ok1 := declType[v]
+		th, ok2 := heapTypes[h]
+		if !ok1 || !ok2 {
+			return false
+		}
+		return assignable[[2]uint64{tv, th}]
+	}
+	addVP := func(v, h uint64) bool {
+		if res.VP[v] == nil {
+			res.VP[v] = make(map[uint64]bool)
+		}
+		if res.VP[v][h] {
+			return false
+		}
+		res.VP[v][h] = true
+		return true
+	}
+	addHP := func(h1, fld, h2 uint64) bool {
+		k := [2]uint64{h1, fld}
+		if res.HP[k] == nil {
+			res.HP[k] = make(map[uint64]bool)
+		}
+		if res.HP[k][h2] {
+			return false
+		}
+		res.HP[k][h2] = true
+		return true
+	}
+	addIE := func(i, m uint64) bool {
+		if res.IE[i] == nil {
+			res.IE[i] = make(map[uint64]bool)
+		}
+		if res.IE[i][m] {
+			return false
+		}
+		res.IE[i][m] = true
+		return true
+	}
+
+	// Rule (1)/(6): initial points-to (no filter on vP0, per the paper).
+	for _, t := range f.VP0 {
+		addVP(t[0], t[1])
+	}
+	// Rule (10): statically bound edges.
+	for _, t := range f.IE0 {
+		addIE(t[0], t[1])
+	}
+
+	chaMap := make(map[[2]uint64][]uint64) // (type, name) -> methods
+	for _, t := range f.Cha {
+		k := [2]uint64{t[0], t[1]}
+		chaMap[k] = append(chaMap[k], t[2])
+	}
+	formals := make(map[[2]uint64]uint64)
+	for _, t := range f.Formal {
+		formals[[2]uint64{t[0], t[1]}] = t[2]
+	}
+	mrets := make(map[uint64]uint64)
+	for _, t := range f.Mret {
+		mrets[t[0]] = t[1]
+	}
+	irets := make(map[uint64]uint64)
+	for _, t := range f.Iret {
+		irets[t[0]] = t[1]
+	}
+
+	// assign edges grow as IE grows; keep an explicit set.
+	assigns := make(map[[2]uint64]bool)
+	for _, t := range f.Assign {
+		assigns[[2]uint64{t[0], t[1]}] = true
+	}
+
+	for changed := true; changed; {
+		changed = false
+		// Rule (2)/(7).
+		for a := range assigns {
+			for h := range res.VP[a[1]] {
+				if filterOK(a[0], h) && addVP(a[0], h) {
+					changed = true
+				}
+			}
+		}
+		// Rule (3)/(8).
+		for _, st := range f.Store {
+			for h1 := range res.VP[st[0]] {
+				for h2 := range res.VP[st[2]] {
+					if addHP(h1, st[1], h2) {
+						changed = true
+					}
+				}
+			}
+		}
+		// Rule (4)/(9).
+		for _, ld := range f.Load {
+			for h1 := range res.VP[ld[0]] {
+				for h2 := range res.HP[[2]uint64{h1, ld[1]}] {
+					if filterOK(ld[2], h2) && addVP(ld[2], h2) {
+						changed = true
+					}
+				}
+			}
+		}
+		// Rule (11): virtual dispatch.
+		for _, mi := range f.MI {
+			if mi[2] == extract.NoNameIdx {
+				continue
+			}
+			i := mi[1]
+			var recv uint64
+			okRecv := false
+			for _, a := range f.Actual {
+				if a[0] == i && a[1] == 0 {
+					recv, okRecv = a[2], true
+					break
+				}
+			}
+			if !okRecv {
+				continue
+			}
+			for h := range res.VP[recv] {
+				t, ok := heapTypes[h]
+				if !ok {
+					continue
+				}
+				for _, m := range chaMap[[2]uint64{t, mi[2]}] {
+					if addIE(i, m) {
+						changed = true
+					}
+				}
+			}
+		}
+		// Rule (12) + returns: invocation edges to assigns.
+		for i, ms := range res.IE {
+			for m := range ms {
+				for _, a := range f.Actual {
+					if a[0] != i {
+						continue
+					}
+					if fv, ok := formals[[2]uint64{m, a[1]}]; ok {
+						k := [2]uint64{fv, a[2]}
+						if !assigns[k] {
+							assigns[k] = true
+							changed = true
+						}
+					}
+				}
+				if rv, ok := irets[i]; ok {
+					if mv, ok := mrets[m]; ok {
+						k := [2]uint64{rv, mv}
+						if !assigns[k] {
+							assigns[k] = true
+							changed = true
+						}
+					}
+				}
+			}
+		}
+	}
+	return res
+}

@@ -1,0 +1,297 @@
+package analysis
+
+import (
+	"fmt"
+
+	"bddbddb/internal/callgraph"
+	"bddbddb/internal/datalog"
+	"bddbddb/internal/extract"
+)
+
+// Config tunes an analysis run.
+type Config struct {
+	// Order overrides the BDD variable order (logical domain names,
+	// topmost first). Defaults to the paper-informed order with the
+	// context domain on top.
+	Order []string
+	// NodeSize / CacheSize size the BDD manager (0 = defaults).
+	NodeSize, CacheSize int
+	// ContextLimit caps the context domain size; contexts beyond it are
+	// merged into one, as the paper does beyond 2^63. 0 means 2^62.
+	ContextLimit uint64
+	// ExtraSrc appends query fragments (Section 5) to the program.
+	ExtraSrc string
+	// NoIncrementalization disables semi-naive evaluation (ablation).
+	NoIncrementalization bool
+}
+
+func (c Config) contextLimit() uint64 {
+	if c.ContextLimit == 0 {
+		return 1 << 62
+	}
+	return c.ContextLimit
+}
+
+func (c Config) order(def []string) []string {
+	if c.Order != nil {
+		return c.Order
+	}
+	return def
+}
+
+// ciOrder, csOrder and ctOrder are the default variable orders,
+// found the way Section 2.4.2 prescribes — empirically (internal/order
+// automates the search; see BenchmarkAblationVarOrder). The decisive
+// property mirrors the ordering bddbddb shipped for this analysis: the
+// variable instances (V0xV1) sit directly above the interleaved context
+// instances, with the heap domains at the very bottom. Putting the
+// context domain on top instead looks natural but is catastrophically
+// slower (>1000x on the larger benchmarks).
+var (
+	ciOrder = []string{"N", "F", "I", "M", "Z", "V", "T", "H"}
+	csOrder = []string{"N", "F", "I", "M", "Z", "V", "C", "T", "H"}
+	ctOrder = []string{"N", "F", "I", "M", "Z", "V", "CT", "T", "H"}
+)
+
+// Result bundles a finished analysis.
+type Result struct {
+	Solver    *datalog.Solver
+	Facts     *extract.Facts
+	Graph     *callgraph.Graph     // the call graph used (nil for Algorithm 3)
+	Numbering *callgraph.Numbering // context numbering (context-sensitive runs)
+
+	threadContexts *ThreadContexts
+}
+
+// ThreadContextScheme returns the thread-context assignment of a
+// RunThreadEscape result (nil otherwise).
+func (r *Result) ThreadContextScheme() *ThreadContexts { return r.threadContexts }
+
+// Stats returns the solver statistics.
+func (r *Result) Stats() datalog.SolverStats { return r.Solver.Stats() }
+
+// baseOptions builds solver options with domain sizes and element names
+// from the facts.
+func baseOptions(f *extract.Facts, cfg Config, order []string) datalog.Options {
+	sz := func(n int) uint64 {
+		if n < 1 {
+			return 1
+		}
+		return uint64(n)
+	}
+	return datalog.Options{
+		Order:     cfg.order(order),
+		NodeSize:  cfg.NodeSize,
+		CacheSize: cfg.CacheSize,
+		DomainSizes: map[string]uint64{
+			"V": sz(len(f.Vars)),
+			"H": sz(len(f.Heaps)),
+			"F": sz(len(f.Fields)),
+			"T": sz(len(f.Types)),
+			"I": sz(len(f.Invokes)),
+			"N": sz(len(f.Names)),
+			"M": sz(len(f.Methods)),
+			"Z": f.ZSize,
+		},
+		ElemNames: map[string][]string{
+			"V": f.Vars,
+			"H": f.Heaps,
+			"F": f.Fields,
+			"T": f.Types,
+			"I": f.Invokes,
+			"N": f.Names,
+			"M": f.Methods,
+		},
+		NoIncrementalization: cfg.NoIncrementalization,
+	}
+}
+
+// fill loads tuples into a declared relation.
+func fill(s *datalog.Solver, name string, tuples []extract.Tuple) {
+	r := s.Relation(name)
+	for _, t := range tuples {
+		r.AddTuple(t...)
+	}
+}
+
+// fillCommon loads every standard extracted relation the program
+// declares (query fragments may pull in cha, mI, mV, syncs, ...).
+func fillCommon(s *datalog.Solver, f *extract.Facts) {
+	std := map[string][]extract.Tuple{
+		"vP0":    f.VP0,
+		"store":  f.Store,
+		"load":   f.Load,
+		"vT":     f.VT,
+		"hT":     f.HT,
+		"aT":     f.AT,
+		"cha":    f.Cha,
+		"actual": f.Actual,
+		"formal": f.Formal,
+		"IE0":    f.IE0,
+		"mI":     f.MI,
+		"Mret":   f.Mret,
+		"Iret":   f.Iret,
+		"mV":     f.MV,
+		"syncs":  f.Syncs,
+	}
+	for name, tuples := range std {
+		if s.HasRelation(name) {
+			fill(s, name, tuples)
+		}
+	}
+	// Equality diagonals used by negated inequality tests.
+	if s.HasRelation("eqT") {
+		r := s.Relation("eqT")
+		for t := uint64(0); t < uint64(len(f.Types)); t++ {
+			r.AddTuple(t, t)
+		}
+	}
+}
+
+// RunContextInsensitive runs Algorithm 1 (typeFilter=false) or
+// Algorithm 2 (typeFilter=true) over the CHA-precomputed call graph.
+func RunContextInsensitive(f *extract.Facts, typeFilter bool, cfg Config) (*Result, error) {
+	src := Algorithm1Src
+	if typeFilter {
+		src = Algorithm2Src
+	}
+	prog, err := datalog.Parse(src + cfg.ExtraSrc)
+	if err != nil {
+		return nil, err
+	}
+	s, err := datalog.NewSolver(prog, baseOptions(f, cfg, ciOrder))
+	if err != nil {
+		return nil, err
+	}
+	g := CHACallGraph(f)
+	fillCommon(s, f)
+	fill(s, "assign", AssignEdges(f, g, false))
+	if err := s.Solve(); err != nil {
+		return nil, err
+	}
+	return &Result{Solver: s, Facts: f, Graph: g}, nil
+}
+
+// RunOnTheFly runs Algorithm 3: context-insensitive points-to with call
+// graph discovery.
+func RunOnTheFly(f *extract.Facts, cfg Config) (*Result, error) {
+	prog, err := datalog.Parse(Algorithm3Src + cfg.ExtraSrc)
+	if err != nil {
+		return nil, err
+	}
+	s, err := datalog.NewSolver(prog, baseOptions(f, cfg, ciOrder))
+	if err != nil {
+		return nil, err
+	}
+	fillCommon(s, f)
+	fill(s, "assign0", f.Assign)
+	if err := s.Solve(); err != nil {
+		return nil, err
+	}
+	return &Result{Solver: s, Facts: f}, nil
+}
+
+// DiscoverCallGraph runs Algorithm 3 and converts its IE output into a
+// call graph — the "pre-computed call graph created, for example, by
+// using a context-insensitive points-to analysis" that Algorithm 5
+// assumes.
+func DiscoverCallGraph(f *extract.Facts, cfg Config) (*callgraph.Graph, error) {
+	// Note: cfg.Order is not forwarded — it describes the context-
+	// sensitive program's domains, and Algorithm 3 has no C domain.
+	r, err := RunOnTheFly(f, Config{NodeSize: cfg.NodeSize, CacheSize: cfg.CacheSize})
+	if err != nil {
+		return nil, err
+	}
+	return GraphFromIE(f, r.Solver.Relation("IE")), nil
+}
+
+// runCloned runs a context-sensitive program (Algorithm 5 or 6) over
+// the cloned call graph: Algorithm 4 numbering materialized into IEC
+// and hC, then the context-insensitive rules over the expanded graph.
+func runCloned(f *extract.Facts, g *callgraph.Graph, cfg Config, src string) (*Result, error) {
+	n, err := callgraph.Number(g)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := datalog.Parse(src + cfg.ExtraSrc)
+	if err != nil {
+		return nil, err
+	}
+	opts := baseOptions(f, cfg, csOrder)
+	opts.DomainSizes["C"] = n.ContextDomainSize(cfg.contextLimit())
+	s, err := datalog.NewSolver(prog, opts)
+	if err != nil {
+		return nil, err
+	}
+	iecDecl := s.Relation("IEC").Attrs()
+	iec, err := n.MaterializeIEC(s.Universe(), "IEC", iecDecl[0], iecDecl[1], iecDecl[2], iecDecl[3])
+	if err != nil {
+		return nil, err
+	}
+	s.ReplaceRelation("IEC", iec)
+	hcDecl := s.Relation("hC").Attrs()
+	allocMethod := make([]int, len(f.AllocMethod))
+	copy(allocMethod, f.AllocMethod)
+	hc := n.MaterializeHC(s.Universe(), "hC", hcDecl[0], hcDecl[1], allocMethod)
+	s.ReplaceRelation("hC", hc)
+	fillCommon(s, f)
+	if err := s.Solve(); err != nil {
+		return nil, err
+	}
+	return &Result{Solver: s, Facts: f, Graph: g, Numbering: n}, nil
+}
+
+// RunContextSensitive runs Algorithm 5. When g is nil the call graph is
+// discovered first with Algorithm 3.
+func RunContextSensitive(f *extract.Facts, g *callgraph.Graph, cfg Config) (*Result, error) {
+	if g == nil {
+		var err error
+		g, err = DiscoverCallGraph(f, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: call graph discovery: %w", err)
+		}
+	}
+	return runCloned(f, g, cfg, Algorithm5Src)
+}
+
+// RunContextSensitiveOnTheFly runs the Section 4.2 variant: Algorithm 4
+// numbers a conservative CHA call graph, and the context-sensitive
+// solve discovers which of its invocation edges are actually live
+// (relation IECd) while computing vPC.
+func RunContextSensitiveOnTheFly(f *extract.Facts, cfg Config) (*Result, error) {
+	return runCloned(f, CHACallGraph(f), cfg, Algorithm5OTFSrc)
+}
+
+// RunTypeAnalysisCI runs the context-insensitive (0-CFA-like) type
+// analysis of Section 5.5 over the CHA call graph — the base analysis
+// that Algorithm 6 makes context-sensitive by cloning.
+func RunTypeAnalysisCI(f *extract.Facts, cfg Config) (*Result, error) {
+	prog, err := datalog.Parse(TypeAnalysisCISrc + cfg.ExtraSrc)
+	if err != nil {
+		return nil, err
+	}
+	s, err := datalog.NewSolver(prog, baseOptions(f, cfg, ciOrder))
+	if err != nil {
+		return nil, err
+	}
+	g := CHACallGraph(f)
+	fillCommon(s, f)
+	fill(s, "assign", AssignEdges(f, g, false))
+	if err := s.Solve(); err != nil {
+		return nil, err
+	}
+	return &Result{Solver: s, Facts: f, Graph: g}, nil
+}
+
+// RunTypeAnalysis runs Algorithm 6, the context-sensitive type
+// analysis. When g is nil the call graph is discovered first.
+func RunTypeAnalysis(f *extract.Facts, g *callgraph.Graph, cfg Config) (*Result, error) {
+	if g == nil {
+		var err error
+		g, err = DiscoverCallGraph(f, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: call graph discovery: %w", err)
+		}
+	}
+	return runCloned(f, g, cfg, Algorithm6Src)
+}

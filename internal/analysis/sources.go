@@ -1,0 +1,269 @@
+// Package analysis implements the paper's algorithms and queries on
+// top of the bddbddb engine:
+//
+//   - Algorithm 1/2: context-insensitive points-to, without/with type
+//     filtering, over a precomputed (CHA) call graph.
+//   - Algorithm 3: context-insensitive points-to with on-the-fly call
+//     graph discovery.
+//   - Algorithms 4/5: call-path context numbering and context-sensitive
+//     points-to over the cloned call graph.
+//   - Algorithm 6: context-sensitive type analysis.
+//   - Algorithm 7: thread-sensitive points-to and escape analysis.
+//   - The Section 5 queries: memory-leak debugging, JCE vulnerability,
+//     type refinement, and context-sensitive mod-ref.
+//
+// The Datalog below is the paper's, modulo three documented deltas:
+// return values are handled by explicit Iret/Mret rules (the paper says
+// they are "handled analogously"), allocation-site contexts come from an
+// explicit hC(context, heap) relation instead of the untyped "H ⊆ I"
+// overlap in rules (14)/(20), and inequality tests are expressed with
+// negated equality input relations (eqT/eqCT diagonals).
+package analysis
+
+// commonDomains declares the domains shared by every program. Sizes are
+// placeholders; the runner overrides all of them from the extracted
+// facts.
+const commonDomains = `
+.domain V 2 variable.map
+.domain H 2 heap.map
+.domain F 2 field.map
+.domain T 2 type.map
+.domain I 2 invoke.map
+.domain N 2 name.map
+.domain M 2 method.map
+.domain Z 2
+`
+
+// commonInputs declares the extracted input relations of Algorithms 1-3.
+const commonInputs = `
+.relation vP0 (variable : V, heap : H) input
+.relation store (base : V, field : F, source : V) input
+.relation load (base : V, field : F, dest : V) input
+.relation vT (variable : V, type : T) input
+.relation hT (heap : H, type : T) input
+.relation aT (supertype : T, subtype : T) input
+.relation actual (invoke : I, param : Z, var : V) input
+.relation formal (method : M, param : Z, var : V) input
+.relation Mret (method : M, var : V) input
+.relation Iret (invoke : I, var : V) input
+`
+
+// Algorithm1Src is context-insensitive points-to with a precomputed
+// call graph and no type filtering (the paper's Algorithm 1; assign is
+// an input derived from the call graph).
+const Algorithm1Src = commonDomains + commonInputs + `
+.relation assign (dest : V, source : V) input
+.relation vP (variable : V, heap : H) output
+.relation hP (base : H, field : F, target : H) output
+
+vP(v, h)      :- vP0(v, h).                                     # (1)
+vP(v1, h)     :- assign(v1, v2), vP(v2, h).                     # (2)
+hP(h1, f, h2) :- store(v1, f, v2), vP(v1, h1), vP(v2, h2).      # (3)
+vP(v2, h2)    :- load(v1, f, v2), vP(v1, h1), hP(h1, f, h2).    # (4)
+`
+
+// Algorithm2Src adds the type filter (the paper's Algorithm 2).
+const Algorithm2Src = commonDomains + commonInputs + `
+.relation assign (dest : V, source : V) input
+.relation vPfilter (variable : V, heap : H)
+.relation vP (variable : V, heap : H) output
+.relation hP (base : H, field : F, target : H) output
+
+vPfilter(v, h) :- vT(v, tv), hT(h, th), aT(tv, th).             # (5)
+vP(v, h)       :- vP0(v, h).                                    # (6)
+vP(v1, h)      :- assign(v1, v2), vP(v2, h), vPfilter(v1, h).   # (7)
+hP(h1, f, h2)  :- store(v1, f, v2), vP(v1, h1), vP(v2, h2).     # (8)
+vP(v2, h2)     :- load(v1, f, v2), vP(v1, h1), hP(h1, f, h2), vPfilter(v2, h2). # (9)
+`
+
+// Algorithm3Src discovers the call graph on the fly (the paper's
+// Algorithm 3): assign becomes a computed relation driven by the
+// invocation edges IE, which in turn grow from points-to results.
+const Algorithm3Src = commonDomains + commonInputs + `
+.relation cha (type : T, name : N, target : M) input
+.relation IE0 (invoke : I, target : M) input
+.relation mI (method : M, invoke : I, name : N) input
+.relation assign0 (dest : V, source : V) input
+.relation vPfilter (variable : V, heap : H)
+.relation assign (dest : V, source : V)
+.relation IE (invoke : I, target : M) output
+.relation vP (variable : V, heap : H) output
+.relation hP (base : H, field : F, target : H) output
+
+vPfilter(v, h) :- vT(v, tv), hT(h, th), aT(tv, th).
+vP(v, h)       :- vP0(v, h).
+vP(v1, h)      :- assign(v1, v2), vP(v2, h), vPfilter(v1, h).
+hP(h1, f, h2)  :- store(v1, f, v2), vP(v1, h1), vP(v2, h2).
+vP(v2, h2)     :- load(v1, f, v2), vP(v1, h1), hP(h1, f, h2), vPfilter(v2, h2).
+IE(i, m)       :- IE0(i, m).                                    # (10)
+IE(i, m2)      :- mI(m1, i, n), actual(i, 0, v), vP(v, h), hT(h, t), cha(t, n, m2). # (11)
+assign(v1, v2) :- assign0(v1, v2).
+assign(v1, v2) :- IE(i, m), formal(m, z, v1), actual(i, z, v2). # (12)
+assign(v1, v2) :- IE(i, m), Iret(i, v1), Mret(m, v2).           # returns
+`
+
+// contextDomain declares the call-path context domain (sized by
+// Algorithm 4's output at run time).
+const contextDomain = `
+.domain C 2
+`
+
+// Algorithm5Src is context-sensitive points-to over the cloned call
+// graph (the paper's Algorithm 5). IEC comes from Algorithm 4; hC gives
+// each allocation site its method's context range.
+const Algorithm5Src = commonDomains + contextDomain + commonInputs + `
+.relation IEC (caller : C, invoke : I, callee : C, tgt : M) input
+.relation hC (context : C, heap : H) input
+.relation vPfilter (variable : V, heap : H)
+.relation assignC (destc : C, dest : V, srcc : C, src : V)
+.relation vPC (context : C, variable : V, heap : H) output
+.relation hP (base : H, field : F, target : H) output
+
+vPfilter(v, h)            :- vT(v, tv), hT(h, th), aT(tv, th).  # (13)
+vPC(c, v, h)              :- vP0(v, h), hC(c, h).               # (14)
+vPC(c1, v1, h)            :- assignC(c1, v1, c2, v2), vPC(c2, v2, h), vPfilter(v1, h). # (15)
+hP(h1, f, h2)             :- store(v1, f, v2), vPC(c, v1, h1), vPC(c, v2, h2).         # (16)
+vPC(c, v2, h2)            :- load(v1, f, v2), vPC(c, v1, h1), hP(h1, f, h2), vPfilter(v2, h2). # (17)
+assignC(c1, v1, c2, v2)   :- IEC(c2, i, c1, m), formal(m, z, v1), actual(i, z, v2).    # (18)
+assignC(c1, v1, c2, v2)   :- IEC(c1, i, c2, m), Iret(i, v1), Mret(m, v2).              # returns
+`
+
+// Algorithm5OTFSrc is the Section 4.2 variant that discovers the call
+// graph on the fly *context-sensitively*: contexts are numbered over a
+// conservative (CHA) call graph, but an invocation edge's parameter
+// bindings activate only when the context-sensitive points-to results
+// warrant the dispatch ("delaying the generation of the invocation
+// edges only if warranted by the points-to results"). The paper labels
+// this of primarily academic interest — the call graph rarely improves
+// over the context-insensitive one — and ships it anyway; so do we.
+const Algorithm5OTFSrc = commonDomains + contextDomain + commonInputs + `
+.relation cha (type : T, name : N, target : M) input
+.relation IE0 (invoke : I, target : M) input
+.relation mI (method : M, invoke : I, name : N) input
+.relation IEC (caller : C, invoke : I, callee : C, tgt : M) input
+.relation hC (context : C, heap : H) input
+.relation vPfilter (variable : V, heap : H)
+.relation IECd (caller : C, invoke : I, callee : C, tgt : M) output
+.relation assignC (destc : C, dest : V, srcc : C, src : V)
+.relation vPC (context : C, variable : V, heap : H) output
+.relation hP (base : H, field : F, target : H) output
+
+vPfilter(v, h)          :- vT(v, tv), hT(h, th), aT(tv, th).
+vPC(c, v, h)            :- vP0(v, h), hC(c, h).
+vPC(c1, v1, h)          :- assignC(c1, v1, c2, v2), vPC(c2, v2, h), vPfilter(v1, h).
+hP(h1, f, h2)           :- store(v1, f, v2), vPC(c, v1, h1), vPC(c, v2, h2).
+vPC(c, v2, h2)          :- load(v1, f, v2), vPC(c, v1, h1), hP(h1, f, h2), vPfilter(v2, h2).
+
+# Edges activate statically (IE0) or when the receiver's context-
+# sensitive points-to set dispatches to the target.
+IECd(c, i, cm, m)       :- IEC(c, i, cm, m), IE0(i, m).
+IECd(c, i, cm, m2)      :- IEC(c, i, cm, m2), mI(m1, i, n), actual(i, 0, v), vPC(c, v, h), hT(h, t), cha(t, n, m2).
+
+assignC(c1, v1, c2, v2) :- IECd(c2, i, c1, m), formal(m, z, v1), actual(i, z, v2).
+assignC(c1, v1, c2, v2) :- IECd(c1, i, c2, m), Iret(i, v1), Mret(m, v2).
+`
+
+// Algorithm6Src is the context-sensitive type analysis (the paper's
+// Algorithm 6): like Algorithm 5 but tracking types, not objects.
+const Algorithm6Src = commonDomains + contextDomain + commonInputs + `
+.relation IEC (caller : C, invoke : I, callee : C, tgt : M) input
+.relation hC (context : C, heap : H) input
+.relation vTfilter (variable : V, type : T)
+.relation assignC (destc : C, dest : V, srcc : C, src : V)
+.relation vTC (context : C, variable : V, type : T) output
+.relation fT (field : F, target : T) output
+
+vTfilter(v, t)          :- vT(v, tv), aT(tv, t).                # (19)
+vTC(c, v, t)            :- vP0(v, h), hC(c, h), hT(h, t).       # (20)
+vTC(c1, v1, t)          :- assignC(c1, v1, c2, v2), vTC(c2, v2, t), vTfilter(v1, t). # (21)
+fT(f, t)                :- store(_, f, v2), vTC(_, v2, t).      # (22)
+vTC(c, v, t)            :- load(_, f, v), fT(f, t), vTfilter(v, t). # (23)
+assignC(c1, v1, c2, v2) :- IEC(c2, i, c1, m), formal(m, z, v1), actual(i, z, v2). # (24)
+assignC(c1, v1, c2, v2) :- IEC(c1, i, c2, m), Iret(i, v1), Mret(m, v2).           # returns
+`
+
+// TypeAnalysisCISrc is the context-insensitive base of Algorithm 6 —
+// "the basic type analysis is similar to 0-CFA" (Section 5.5): type
+// sets propagated through assignments, loads and stores, with no
+// contexts. assign is an input from a precomputed call graph.
+const TypeAnalysisCISrc = commonDomains + commonInputs + `
+.relation assign (dest : V, source : V) input
+.relation vTfilter (variable : V, type : T)
+.relation vTA (variable : V, type : T) output
+.relation fT (field : F, target : T) output
+
+vTfilter(v, t) :- vT(v, tv), aT(tv, t).
+vTA(v, t)      :- vP0(v, h), hT(h, t).
+vTA(v1, t)     :- assign(v1, v2), vTA(v2, t), vTfilter(v1, t).
+fT(f, t)       :- store(_, f, v2), vTA(v2, t).
+vTA(v, t)      :- load(_, f, v), fT(f, t), vTfilter(v, t).
+`
+
+// threadDomain declares the thread-context domain of Algorithm 7.
+const threadDomain = `
+.domain CT 2
+`
+
+// Algorithm7Src is the thread-sensitive points-to analysis (the
+// paper's Algorithm 7) plus the escape queries of Section 5.6. assign
+// is the context-insensitive assign relation of the precomputed call
+// graph with thread-spawn bindings removed; vP0T seeds thread objects
+// and the global; HT gives each thread context its reachable
+// allocation sites.
+const Algorithm7Src = commonDomains + threadDomain + commonInputs + `
+.relation assign (dest : V, source : V) input
+.relation HT (c : CT, heap : H) input
+.relation vP0T (cv : CT, variable : V, ch : CT, heap : H) input
+.relation eqCT (a : CT, b : CT) input
+.relation syncs (v : V) input
+.relation vPfilter (variable : V, heap : H)
+.relation vPT (cv : CT, variable : V, ch : CT, heap : H) output
+.relation hPT (cb : CT, base : H, field : F, ct : CT, target : H) output
+.relation escaped (c : CT, heap : H) output
+.relation captured (c : CT, heap : H) output
+.relation neededSyncs (c : CT, v : V) output
+
+vPfilter(v, h)             :- vT(v, tv), hT(h, th), aT(tv, th). # (25)
+vPT(c1, v, c2, h)          :- vP0T(c1, v, c2, h).               # (26)
+vPT(c, v, c, h)            :- vP0(v, h), HT(c, h).              # (27)
+vPT(c2, v1, ch, h)         :- assign(v1, v2), vPT(c2, v2, ch, h), vPfilter(v1, h). # (28)
+hPT(c1, h1, f, c2, h2)     :- store(v1, f, v2), vPT(c, v1, c1, h1), vPT(c, v2, c2, h2). # (29)
+vPT(c, v2, c2, h2)         :- load(v1, f, v2), vPT(c, v1, c1, h1), hPT(c1, h1, f, c2, h2), vPfilter(v2, h2). # (30)
+
+escaped(c, h)              :- vPT(cv, v, c, h), !eqCT(cv, c).
+captured(c, h)             :- vPT(c, v, c, h), !escaped(c, h).
+neededSyncs(c, v)          :- syncs(v), vPT(c, v, ch, h), escaped(ch, h).
+`
+
+// ModRefQuerySrc is the Section 5.4 context-sensitive mod-ref analysis,
+// appended to Algorithm 5's program.
+const ModRefQuerySrc = `
+.relation mI (method : M, invoke : I, name : N) input
+.relation mV (method : M, var : V) input
+.relation mVC (c1 : C, m : M, c2 : C, v : V)
+.relation mod (c : C, m : M, h : H, f : F) output
+.relation ref (c : C, m : M, h : H, f : F) output
+
+mVC(c, m, c, v)        :- mV(m, v).
+mVC(c1, m1, c3, v3)    :- mI(m1, i, n), IEC(c1, i, c2, m2), mVC(c2, m2, c3, v3).
+mod(c, m, h, f)        :- mVC(c, m, cv, v), store(v, f, w), vPC(cv, v, h).
+ref(c, m, h, f)        :- mVC(c, m, cv, v), load(v, f, w), vPC(cv, v, h).
+`
+
+// TypeRefinementSrc computes the Section 5.3 / Figure 6 metrics over an
+// exact-type relation that the variant-specific prefix defines:
+// varExactTypes(v, t). It needs the eqT diagonal to express td != tc.
+const TypeRefinementSrc = `
+.relation eqT (a : T, b : T) input
+.relation notVarType (v : V, t : T)
+.relation varSuperTypes (v : V, t : T) output
+.relation refinable (v : V, t : T) output
+.relation multiType (v : V) output
+.relation typedVar (v : V) output
+
+notVarType(v, t)      :- varExactTypes(v, tv), !aT(t, tv).
+varSuperTypes(v, t)   :- !notVarType(v, t).
+typedVar(v)           :- varExactTypes(v, t).
+refinable(v, tc)      :- vT(v, td), varSuperTypes(v, tc), aT(td, tc), !eqT(td, tc), typedVar(v).
+multiType(v)          :- varExactTypes(v, t1), varExactTypes(v, t2), !eqT(t1, t2).
+`

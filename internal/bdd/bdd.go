@@ -1,0 +1,416 @@
+// Package bdd implements reduced ordered binary decision diagrams (ROBDDs)
+// in the style of the BuDDy package that backs the paper's JavaBDD library.
+//
+// A Manager owns an arena of nodes that are hash-consed (two structurally
+// equal nodes are the same index), a set of operation caches, and a
+// reference-counting garbage collector. Node is an index into the arena;
+// the terminals False and True are indices 0 and 1.
+//
+// Reference discipline: every Node returned by an exported operation is
+// referenced on behalf of the caller and must be released with Deref (or
+// kept forever). Operations never garbage-collect mid-run; when the arena
+// is exhausted it grows. Garbage is reclaimed by explicit GC calls, which
+// the higher layers issue between solver iterations.
+package bdd
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// Node is a handle to a BDD node: an index into its Manager's arena.
+type Node int32
+
+// Terminal nodes. They are valid in every Manager.
+const (
+	False Node = 0
+	True  Node = 1
+)
+
+// terminalLevel orders terminals below every variable.
+const terminalLevel int32 = int32(1)<<30 - 1
+
+// node is one arena slot. A free slot has low == -1 and its next field
+// links the free list. The hash field of slot i holds the head of the
+// bucket chain for bucket i (BuDDy's trick of storing the hash table
+// inside the node array so table size tracks arena size).
+type node struct {
+	level int32
+	low   Node
+	high  Node
+	hash  int32 // head of chain for bucket == this slot index
+	next  int32 // next node in this node's bucket chain, or free-list link
+	ref   int32 // external reference count
+}
+
+const freeMark Node = -1
+
+// Stats reports cumulative Manager activity, used by the benchmark
+// harness to reproduce the paper's Figure 4 memory column (peak live
+// BDD nodes).
+type Stats struct {
+	Produced  int64 // nodes ever allocated from the free list
+	GCs       int64 // garbage collections run
+	PeakLive  int   // maximum live nodes observed at a GC or measurement
+	TableSize int   // current arena size in nodes
+	CacheHits int64
+	CacheMiss int64
+}
+
+// Manager owns a universe of BDD nodes over a fixed set of variables.
+type Manager struct {
+	nodes    []node
+	freeList int32
+	freeNum  int
+
+	nvars int32
+
+	applyCache cache3
+	notCache   cache1
+	quantCache cache3
+	appexCache cache4
+	replCache  cache2
+	countCache map[Node]*big.Int
+
+	domains []*Domain
+	varSets map[string]Node // interned varsets by key, kept referenced
+
+	stats Stats
+
+	// minFreeAfterGC: if a GC leaves fewer free slots than this fraction
+	// of the table (in percent), the next allocation failure grows the
+	// table instead of thrashing.
+	minFreePct int
+}
+
+// New creates a Manager with the given initial arena size (number of
+// nodes) and operation-cache size (entries per cache). Both are rounded
+// up to powers of two; tiny values are raised to workable minimums.
+func New(nodeSize, cacheSize int) *Manager {
+	nodeSize = ceilPow2(max(nodeSize, 1<<10))
+	cacheSize = ceilPow2(max(cacheSize, 1<<8))
+	m := &Manager{
+		minFreePct: 20,
+		varSets:    make(map[string]Node),
+	}
+	m.applyCache.init(cacheSize)
+	m.notCache.init(cacheSize)
+	m.quantCache.init(cacheSize)
+	m.appexCache.init(cacheSize)
+	m.replCache.init(cacheSize)
+	m.initTable(nodeSize)
+	return m
+}
+
+func ceilPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+func (m *Manager) initTable(n int) {
+	m.nodes = make([]node, n)
+	for i := range m.nodes {
+		m.nodes[i].hash = -1
+	}
+	// Terminals.
+	m.nodes[0] = node{level: terminalLevel, low: 0, high: 0, hash: m.nodes[0].hash, next: -1, ref: 1}
+	m.nodes[1] = node{level: terminalLevel, low: 1, high: 1, hash: m.nodes[1].hash, next: -1, ref: 1}
+	// Free list over the rest.
+	m.freeList = -1
+	m.freeNum = 0
+	for i := n - 1; i >= 2; i-- {
+		m.nodes[i].low = freeMark
+		m.nodes[i].next = m.freeList
+		m.freeList = int32(i)
+		m.freeNum++
+	}
+	m.stats.TableSize = n
+}
+
+// AddVars appends n fresh variables and returns the level of the first.
+// Variables are identified by their level: 0 is the topmost.
+func (m *Manager) AddVars(n int) int32 {
+	if n < 0 {
+		panic("bdd: AddVars with negative count")
+	}
+	first := m.nvars
+	m.nvars += int32(n)
+	return first
+}
+
+// NumVars returns the number of declared variables.
+func (m *Manager) NumVars() int { return int(m.nvars) }
+
+// Stats returns a snapshot of cumulative manager statistics.
+func (m *Manager) Stats() Stats {
+	s := m.stats
+	if live := m.LiveNodes(); live > s.PeakLive {
+		s.PeakLive = live
+	}
+	return s
+}
+
+// LiveNodes counts nodes currently allocated (not on the free list),
+// including the two terminals.
+func (m *Manager) LiveNodes() int { return len(m.nodes) - m.freeNum }
+
+// notePeak records the current live-node count into PeakLive.
+func (m *Manager) notePeak() {
+	if live := m.LiveNodes(); live > m.stats.PeakLive {
+		m.stats.PeakLive = live
+	}
+}
+
+func (m *Manager) level(n Node) int32 { return m.nodes[n].level }
+
+// Low returns the low (variable=0) child of n. n must not be a terminal.
+func (m *Manager) Low(n Node) Node { return m.nodes[n].low }
+
+// High returns the high (variable=1) child of n. n must not be a terminal.
+func (m *Manager) High(n Node) Node { return m.nodes[n].high }
+
+// Level returns the variable level of node n, or a value >= NumVars()
+// for terminals.
+func (m *Manager) Level(n Node) int32 { return m.nodes[n].level }
+
+// IsTerminal reports whether n is False or True.
+func (m *Manager) IsTerminal(n Node) bool { return n <= 1 }
+
+// Ref increments n's external reference count and returns n.
+func (m *Manager) Ref(n Node) Node {
+	m.nodes[n].ref++
+	return n
+}
+
+// Deref decrements n's external reference count. The node (and any
+// children reachable only through it) becomes collectible when the
+// count reaches zero.
+func (m *Manager) Deref(n Node) {
+	if m.nodes[n].ref <= 0 {
+		panic(fmt.Sprintf("bdd: Deref of unreferenced node %d", n))
+	}
+	m.nodes[n].ref--
+}
+
+func bucketHash(level int32, low, high Node) uint64 {
+	h := uint64(level)*0x9e3779b97f4a7c15 ^ uint64(low)*0xbf58476d1ce4e5b9 ^ uint64(high)*0x94d049bb133111eb
+	h ^= h >> 29
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 32
+	return h
+}
+
+// makeNode returns the canonical node (level, low, high), applying the
+// ROBDD reduction rules. It is the only node allocator.
+func (m *Manager) makeNode(level int32, low, high Node) Node {
+	if low == high {
+		return low
+	}
+	if level >= m.nvars || level < 0 {
+		panic(fmt.Sprintf("bdd: makeNode level %d out of range [0,%d)", level, m.nvars))
+	}
+	if m.nodes[low].level <= level || m.nodes[high].level <= level {
+		panic("bdd: makeNode children above parent level (order violation)")
+	}
+	b := int32(bucketHash(level, low, high) & uint64(len(m.nodes)-1))
+	for i := m.nodes[b].hash; i != -1; i = m.nodes[i].next {
+		nd := &m.nodes[i]
+		if nd.level == level && nd.low == low && nd.high == high {
+			return Node(i)
+		}
+	}
+	if m.freeList == -1 {
+		m.grow()
+		// grow rehashes; recompute the bucket.
+		b = int32(bucketHash(level, low, high) & uint64(len(m.nodes)-1))
+	}
+	i := m.freeList
+	m.freeList = m.nodes[i].next
+	m.freeNum--
+	m.stats.Produced++
+	m.nodes[i] = node{level: level, low: low, high: high, hash: m.nodes[i].hash, next: m.nodes[b].hash, ref: 0}
+	m.nodes[b].hash = i
+	return Node(i)
+}
+
+// grow doubles the arena and rehashes every live node. Node indices are
+// stable across growth, so operation caches stay valid.
+func (m *Manager) grow() {
+	old := len(m.nodes)
+	nn := make([]node, old*2)
+	copy(nn, m.nodes)
+	m.nodes = nn
+	for i := range m.nodes {
+		m.nodes[i].hash = -1
+	}
+	// Free list over the new half plus any previously free slots.
+	m.freeList = -1
+	m.freeNum = 0
+	for i := len(m.nodes) - 1; i >= 2; i-- {
+		if i >= old || m.nodes[i].low == freeMark {
+			m.nodes[i].low = freeMark
+			m.nodes[i].next = m.freeList
+			m.freeList = int32(i)
+			m.freeNum++
+			continue
+		}
+	}
+	// Rehash live nodes.
+	for i := 2; i < old; i++ {
+		nd := &m.nodes[i]
+		if nd.low == freeMark {
+			continue
+		}
+		b := int32(bucketHash(nd.level, nd.low, nd.high) & uint64(len(m.nodes)-1))
+		nd.next = m.nodes[b].hash
+		m.nodes[b].hash = int32(i)
+	}
+	m.stats.TableSize = len(m.nodes)
+}
+
+// GC reclaims all nodes not reachable from externally referenced nodes,
+// clears the operation caches, and returns the number of live nodes that
+// survived. Callers must not hold unreferenced Nodes across a GC.
+func (m *Manager) GC() int {
+	m.notePeak()
+	m.stats.GCs++
+	// Mark phase: from every externally referenced node.
+	marked := make([]bool, len(m.nodes))
+	var mark func(n Node)
+	mark = func(n Node) {
+		if marked[n] {
+			return
+		}
+		marked[n] = true
+		if n > 1 {
+			mark(m.nodes[n].low)
+			mark(m.nodes[n].high)
+		}
+	}
+	for i := range m.nodes {
+		if m.nodes[i].low != freeMark && m.nodes[i].ref > 0 {
+			mark(Node(i))
+		}
+	}
+	// Sweep: rebuild hash chains and the free list.
+	for i := range m.nodes {
+		m.nodes[i].hash = -1
+	}
+	m.freeList = -1
+	m.freeNum = 0
+	live := 0
+	for i := len(m.nodes) - 1; i >= 2; i-- {
+		if !marked[i] {
+			m.nodes[i].low = freeMark
+			m.nodes[i].next = m.freeList
+			m.freeList = int32(i)
+			m.freeNum++
+			continue
+		}
+		live++
+	}
+	for i := 2; i < len(m.nodes); i++ {
+		if !marked[i] {
+			continue
+		}
+		nd := &m.nodes[i]
+		b := int32(bucketHash(nd.level, nd.low, nd.high) & uint64(len(m.nodes)-1))
+		nd.next = m.nodes[b].hash
+		m.nodes[b].hash = int32(i)
+	}
+	m.clearCaches()
+	return live + 2
+}
+
+func (m *Manager) clearCaches() {
+	m.applyCache.clear()
+	m.notCache.clear()
+	m.quantCache.clear()
+	m.appexCache.clear()
+	m.replCache.clear()
+	m.countCache = nil
+}
+
+// Var returns the BDD for the single variable at the given level
+// (the function that is true iff that variable is 1).
+func (m *Manager) Var(level int32) Node {
+	return m.Ref(m.makeNode(level, False, True))
+}
+
+// NVar returns the BDD for the negation of the variable at level.
+func (m *Manager) NVar(level int32) Node {
+	return m.Ref(m.makeNode(level, True, False))
+}
+
+// Eval evaluates the function rooted at n under the given assignment,
+// indexed by level. Levels beyond len(assignment) must not occur in n's
+// support. This is the brute-force oracle used by the test suite.
+func (m *Manager) Eval(n Node, assignment []bool) bool {
+	for n > 1 {
+		lv := m.nodes[n].level
+		if int(lv) >= len(assignment) {
+			panic("bdd: Eval assignment too short for node support")
+		}
+		if assignment[lv] {
+			n = m.nodes[n].high
+		} else {
+			n = m.nodes[n].low
+		}
+	}
+	return n == True
+}
+
+// NodeCount returns the number of distinct nodes in the DAG rooted at n,
+// excluding terminals.
+func (m *Manager) NodeCount(n Node) int {
+	seen := make(map[Node]bool)
+	var walk func(Node)
+	count := 0
+	walk = func(x Node) {
+		if x <= 1 || seen[x] {
+			return
+		}
+		seen[x] = true
+		count++
+		walk(m.nodes[x].low)
+		walk(m.nodes[x].high)
+	}
+	walk(n)
+	return count
+}
+
+// Support returns the sorted list of variable levels the function
+// rooted at n depends on.
+func (m *Manager) Support(n Node) []int32 {
+	seen := make(map[Node]bool)
+	levels := make(map[int32]bool)
+	var walk func(Node)
+	walk = func(x Node) {
+		if x <= 1 || seen[x] {
+			return
+		}
+		seen[x] = true
+		levels[m.nodes[x].level] = true
+		walk(m.nodes[x].low)
+		walk(m.nodes[x].high)
+	}
+	walk(n)
+	out := make([]int32, 0, len(levels))
+	for lv := range levels {
+		out = append(out, lv)
+	}
+	sortInt32(out)
+	return out
+}
+
+func sortInt32(s []int32) {
+	// Insertion sort is fine for the small level lists we handle here.
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j-1] > s[j]; j-- {
+			s[j-1], s[j] = s[j], s[j-1]
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package bdd
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// benchSetup builds a manager and a batch of random 14-variable
+// functions to operate on.
+func benchSetup(b *testing.B, nvars, nfuncs int) (*Manager, []Node) {
+	b.Helper()
+	m := New(1<<18, 1<<14)
+	m.AddVars(int(int32(nvars)))
+	rng := rand.New(rand.NewSource(7))
+	funcs := make([]Node, nfuncs)
+	for i := range funcs {
+		// Random conjunction/disjunction mix of literals.
+		f := m.Ref(True)
+		for j := 0; j < nvars/2; j++ {
+			v := int32(rng.Intn(nvars))
+			var lit Node
+			if rng.Intn(2) == 0 {
+				lit = m.Var(v)
+			} else {
+				lit = m.NVar(v)
+			}
+			var next Node
+			if rng.Intn(2) == 0 {
+				next = m.And(f, lit)
+			} else {
+				next = m.Or(f, lit)
+			}
+			m.Deref(f)
+			m.Deref(lit)
+			f = next
+		}
+		funcs[i] = f
+	}
+	return m, funcs
+}
+
+func BenchmarkApplyAnd(b *testing.B) {
+	m, fs := benchSetup(b, 20, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x := m.And(fs[i%len(fs)], fs[(i+1)%len(fs)])
+		m.Deref(x)
+	}
+}
+
+func BenchmarkApplyOr(b *testing.B) {
+	m, fs := benchSetup(b, 20, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x := m.Or(fs[i%len(fs)], fs[(i+1)%len(fs)])
+		m.Deref(x)
+	}
+}
+
+func BenchmarkAndExist(b *testing.B) {
+	m, fs := benchSetup(b, 20, 64)
+	vs := m.MakeSet([]int32{2, 5, 8, 11, 14})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x := m.AndExist(fs[i%len(fs)], fs[(i+1)%len(fs)], vs)
+		m.Deref(x)
+	}
+}
+
+func BenchmarkReplace(b *testing.B) {
+	m, fs := benchSetup(b, 20, 64)
+	p := m.NewPair()
+	for v := int32(0); v < 10; v++ {
+		p.Set(v, v+10)
+	}
+	// Functions over the lower half only, so the rename moves them up.
+	lower := make([]Node, len(fs))
+	vsUp := m.MakeSet([]int32{10, 11, 12, 13, 14, 15, 16, 17, 18, 19})
+	for i, f := range fs {
+		lower[i] = m.Exist(f, vsUp)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x := m.Replace(lower[i%len(lower)], p)
+		m.Deref(x)
+	}
+}
+
+func BenchmarkSatCount(b *testing.B) {
+	m, fs := benchSetup(b, 20, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.SatCount(fs[i%len(fs)])
+	}
+}
+
+func BenchmarkGC(b *testing.B) {
+	m, fs := benchSetup(b, 20, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Churn garbage, then collect.
+		x := m.Xor(fs[i%len(fs)], fs[(i+3)%len(fs)])
+		m.Deref(x)
+		m.GC()
+	}
+}
+
+func BenchmarkRangeConstruction(b *testing.B) {
+	for _, bits := range []int{16, 32, 48} {
+		b.Run(fmt.Sprintf("bits=%d", bits), func(b *testing.B) {
+			m := New(1<<16, 1<<12)
+			d := m.DeclareDomain("D", 1<<uint(bits))
+			if err := m.FinalizeOrder(""); err != nil {
+				b.Fatal(err)
+			}
+			lo := uint64(1)<<uint(bits-2) - 3
+			hi := uint64(1)<<uint(bits-1) + 5
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r := d.Range(lo, hi)
+				m.Deref(r)
+			}
+		})
+	}
+}
+
+func BenchmarkAddConstConstruction(b *testing.B) {
+	m := New(1<<16, 1<<12)
+	s := m.DeclareDomain("S", 1<<40)
+	d := m.DeclareDomain("D", 1<<40)
+	if err := m.FinalizeOrder("SxD"); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := m.AddConst(s, d, 12345, 1, 1<<39)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m.Deref(r)
+	}
+}

@@ -1,0 +1,168 @@
+package bdd
+
+// Direct-mapped operation caches in the BuDDy style: each cache is a
+// power-of-two array of entries; a lookup hashes the operands to a slot
+// and verifies the stored operands. Caches are cleared on GC (node
+// indices may be reused) but survive arena growth (indices are stable).
+
+const cacheEmpty Node = -1
+
+type entry1 struct {
+	a   Node
+	res Node
+}
+
+type cache1 struct {
+	tab  []entry1
+	mask uint64
+}
+
+func (c *cache1) init(n int) {
+	c.tab = make([]entry1, n)
+	c.mask = uint64(n - 1)
+	c.clear()
+}
+
+func (c *cache1) clear() {
+	for i := range c.tab {
+		c.tab[i].a = cacheEmpty
+	}
+}
+
+func mix(xs ...uint64) uint64 {
+	h := uint64(0x9e3779b97f4a7c15)
+	for _, x := range xs {
+		h ^= x
+		h *= 0xff51afd7ed558ccd
+		h ^= h >> 33
+	}
+	return h
+}
+
+func (c *cache1) lookup(m *Manager, a Node) (Node, bool) {
+	e := &c.tab[mix(uint64(a))&c.mask]
+	if e.a == a {
+		m.stats.CacheHits++
+		return e.res, true
+	}
+	m.stats.CacheMiss++
+	return 0, false
+}
+
+func (c *cache1) insert(a, res Node) {
+	e := &c.tab[mix(uint64(a))&c.mask]
+	e.a, e.res = a, res
+}
+
+type entry2 struct {
+	a, b Node
+	res  Node
+}
+
+type cache2 struct {
+	tab  []entry2
+	mask uint64
+}
+
+func (c *cache2) init(n int) {
+	c.tab = make([]entry2, n)
+	c.mask = uint64(n - 1)
+	c.clear()
+}
+
+func (c *cache2) clear() {
+	for i := range c.tab {
+		c.tab[i].a = cacheEmpty
+	}
+}
+
+func (c *cache2) lookup(m *Manager, a, b Node) (Node, bool) {
+	e := &c.tab[mix(uint64(a), uint64(b))&c.mask]
+	if e.a == a && e.b == b {
+		m.stats.CacheHits++
+		return e.res, true
+	}
+	m.stats.CacheMiss++
+	return 0, false
+}
+
+func (c *cache2) insert(a, b, res Node) {
+	e := &c.tab[mix(uint64(a), uint64(b))&c.mask]
+	e.a, e.b, e.res = a, b, res
+}
+
+type entry3 struct {
+	a, b Node
+	op   int32
+	res  Node
+}
+
+type cache3 struct {
+	tab  []entry3
+	mask uint64
+}
+
+func (c *cache3) init(n int) {
+	c.tab = make([]entry3, n)
+	c.mask = uint64(n - 1)
+	c.clear()
+}
+
+func (c *cache3) clear() {
+	for i := range c.tab {
+		c.tab[i].a = cacheEmpty
+	}
+}
+
+func (c *cache3) lookup(m *Manager, a, b Node, op int32) (Node, bool) {
+	e := &c.tab[mix(uint64(a), uint64(b), uint64(op))&c.mask]
+	if e.a == a && e.b == b && e.op == op {
+		m.stats.CacheHits++
+		return e.res, true
+	}
+	m.stats.CacheMiss++
+	return 0, false
+}
+
+func (c *cache3) insert(a, b Node, op int32, res Node) {
+	e := &c.tab[mix(uint64(a), uint64(b), uint64(op))&c.mask]
+	e.a, e.b, e.op, e.res = a, b, op, res
+}
+
+type entry4 struct {
+	a, b, v Node
+	op      int32
+	res     Node
+}
+
+type cache4 struct {
+	tab  []entry4
+	mask uint64
+}
+
+func (c *cache4) init(n int) {
+	c.tab = make([]entry4, n)
+	c.mask = uint64(n - 1)
+	c.clear()
+}
+
+func (c *cache4) clear() {
+	for i := range c.tab {
+		c.tab[i].a = cacheEmpty
+	}
+}
+
+func (c *cache4) lookup(m *Manager, a, b, v Node, op int32) (Node, bool) {
+	e := &c.tab[mix(uint64(a), uint64(b), uint64(v), uint64(op))&c.mask]
+	if e.a == a && e.b == b && e.v == v && e.op == op {
+		m.stats.CacheHits++
+		return e.res, true
+	}
+	m.stats.CacheMiss++
+	return 0, false
+}
+
+func (c *cache4) insert(a, b, v Node, op int32, res Node) {
+	e := &c.tab[mix(uint64(a), uint64(b), uint64(v), uint64(op))&c.mask]
+	e.a, e.b, e.v, e.op, e.res = a, b, v, op, res
+}

@@ -1,0 +1,365 @@
+package bdd
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func newDomains(t *testing.T, spec string, sizes map[string]uint64) (*Manager, map[string]*Domain) {
+	t.Helper()
+	m := New(1<<12, 1<<10)
+	ds := make(map[string]*Domain)
+	for name, size := range sizes {
+		ds[name] = m.DeclareDomain(name, size)
+	}
+	if err := m.FinalizeOrder(spec); err != nil {
+		t.Fatalf("FinalizeOrder(%q): %v", spec, err)
+	}
+	return m, ds
+}
+
+func TestBitsFor(t *testing.T) {
+	cases := []struct {
+		size uint64
+		want int
+	}{
+		{1, 1}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4}, {256, 8}, {257, 9},
+	}
+	for _, c := range cases {
+		if got := bitsFor(c.size); got != c.want {
+			t.Errorf("bitsFor(%d) = %d, want %d", c.size, got, c.want)
+		}
+	}
+}
+
+func TestEqRoundTrip(t *testing.T) {
+	m, ds := newDomains(t, "", map[string]uint64{"D": 37})
+	d := ds["D"]
+	for v := uint64(0); v < 37; v++ {
+		n := d.Eq(v)
+		count := d.Count(n)
+		if count.Cmp(big.NewInt(1)) != 0 {
+			t.Fatalf("Eq(%d) has %s elements", v, count)
+		}
+		// The single satisfying assignment decodes back to v.
+		vars := append([]int32(nil), d.levels...)
+		sortInt32(vars)
+		found := false
+		m.AllSat(n, vars, func(vals []bool) bool {
+			if got := d.Value(vars, vals); got != v {
+				t.Fatalf("Eq(%d) decodes to %d", v, got)
+			}
+			found = true
+			return true
+		})
+		if !found {
+			t.Fatalf("Eq(%d) empty", v)
+		}
+		m.Deref(n)
+	}
+}
+
+func TestEqDisjoint(t *testing.T) {
+	m, ds := newDomains(t, "", map[string]uint64{"D": 16})
+	d := ds["D"]
+	a := d.Eq(3)
+	b := d.Eq(12)
+	x := m.And(a, b)
+	if x != False {
+		t.Fatal("Eq(3) ∧ Eq(12) should be empty")
+	}
+	m.Deref(a)
+	m.Deref(b)
+	m.Deref(x)
+}
+
+func TestRangeMatchesNaive(t *testing.T) {
+	_, ds := newDomains(t, "", map[string]uint64{"D": 200})
+	d := ds["D"]
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 60; trial++ {
+		lo := uint64(rng.Intn(200))
+		hi := uint64(rng.Intn(200))
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		fast := d.Range(lo, hi)
+		slow := d.RangeNaive(lo, hi)
+		if fast != slow {
+			t.Fatalf("Range(%d,%d) != naive union", lo, hi)
+		}
+		d.m.Deref(fast)
+		d.m.Deref(slow)
+	}
+}
+
+func TestRangeEmptyAndFull(t *testing.T) {
+	m, ds := newDomains(t, "", map[string]uint64{"D": 64})
+	d := ds["D"]
+	if r := d.Range(5, 4); r != False {
+		t.Fatal("inverted range should be empty")
+	}
+	full := d.Range(0, 63)
+	if c := d.Count(full); c.Cmp(big.NewInt(64)) != 0 {
+		t.Fatalf("full range count %s", c)
+	}
+	m.Deref(full)
+}
+
+func TestRangeCount(t *testing.T) {
+	_, ds := newDomains(t, "", map[string]uint64{"D": 1000})
+	d := ds["D"]
+	f := func(a, b uint16) bool {
+		lo, hi := uint64(a)%1000, uint64(b)%1000
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		r := d.Range(lo, hi)
+		defer d.m.Deref(r)
+		return d.Count(r).Cmp(big.NewInt(int64(hi-lo+1))) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRangeIsLinearSize(t *testing.T) {
+	// Section 4.1: the range primitive is O(k) in the number of bits.
+	_, ds := newDomains(t, "", map[string]uint64{"D": 1 << 30})
+	d := ds["D"]
+	r := d.Range(123456, 987654321)
+	defer d.m.Deref(r)
+	if n := d.m.NodeCount(r); n > 4*d.Bits() {
+		t.Fatalf("range BDD has %d nodes for %d bits; expected O(k)", n, d.Bits())
+	}
+}
+
+func TestDomainConstraint(t *testing.T) {
+	_, ds := newDomains(t, "", map[string]uint64{"D": 10})
+	d := ds["D"]
+	c := d.DomainConstraint()
+	defer d.m.Deref(c)
+	if got := d.Count(c); got.Cmp(big.NewInt(10)) != 0 {
+		t.Fatalf("constraint admits %s values, want 10", got)
+	}
+}
+
+func TestFinalizeOrderSpecs(t *testing.T) {
+	m := New(0, 0)
+	v1 := m.DeclareDomain("V1", 256)
+	v2 := m.DeclareDomain("V2", 256)
+	h := m.DeclareDomain("H", 64)
+	if err := m.FinalizeOrder("V1xV2_H"); err != nil {
+		t.Fatal(err)
+	}
+	// Interleaved: v1 bit i and v2 bit i adjacent.
+	for i := 0; i < 8; i++ {
+		if v2.levels[i] != v1.levels[i]+1 {
+			t.Fatalf("bit %d not interleaved: V1 at %d, V2 at %d", i, v1.levels[i], v2.levels[i])
+		}
+	}
+	// H strictly below both.
+	if h.levels[0] <= v1.levels[7] {
+		t.Fatalf("H should sit below V1xV2 block")
+	}
+	if m.NumVars() != 8+8+6 {
+		t.Fatalf("NumVars = %d", m.NumVars())
+	}
+}
+
+func TestFinalizeOrderErrors(t *testing.T) {
+	m := New(0, 0)
+	m.DeclareDomain("A", 4)
+	if err := m.FinalizeOrder("A_B"); err == nil {
+		t.Fatal("unknown domain accepted")
+	}
+	m2 := New(0, 0)
+	m2.DeclareDomain("A", 4)
+	if err := m2.FinalizeOrder("AxA"); err == nil {
+		t.Fatal("duplicate domain accepted")
+	}
+}
+
+func TestFinalizeOrderAppendsUnmentioned(t *testing.T) {
+	m := New(0, 0)
+	a := m.DeclareDomain("A", 4)
+	b := m.DeclareDomain("B", 4)
+	if err := m.FinalizeOrder("B"); err != nil {
+		t.Fatal(err)
+	}
+	if !(b.levels[0] < a.levels[0]) {
+		t.Fatal("mentioned domain should come first")
+	}
+}
+
+func TestAddConstEnumerated(t *testing.T) {
+	m, ds := newDomains(t, "SxD", map[string]uint64{"S": 128, "D": 128})
+	s, d := ds["S"], ds["D"]
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 40; trial++ {
+		lo := uint64(rng.Intn(100))
+		hi := lo + uint64(rng.Intn(20))
+		c := uint64(rng.Intn(int(127 - hi)))
+		rel, err := m.AddConst(s, d, c, lo, hi)
+		if err != nil {
+			t.Fatalf("AddConst(%d,[%d,%d]): %v", c, lo, hi, err)
+		}
+		var vars []int32
+		vars = append(vars, s.levels...)
+		vars = append(vars, d.levels...)
+		sortInt32(vars)
+		got := make(map[[2]uint64]bool)
+		m.AllSat(rel, vars, func(vals []bool) bool {
+			got[[2]uint64{s.Value(vars, vals), d.Value(vars, vals)}] = true
+			return true
+		})
+		if len(got) != int(hi-lo+1) {
+			t.Fatalf("AddConst(%d,[%d,%d]) has %d tuples, want %d", c, lo, hi, len(got), hi-lo+1)
+		}
+		for x := lo; x <= hi; x++ {
+			if !got[[2]uint64{x, x + c}] {
+				t.Fatalf("missing tuple (%d,%d)", x, x+c)
+			}
+		}
+		m.Deref(rel)
+	}
+}
+
+func TestAddConstLinearSize(t *testing.T) {
+	m, ds := newDomains(t, "SxD", map[string]uint64{"S": 1 << 40, "D": 1 << 40})
+	s, d := ds["S"], ds["D"]
+	rel, err := m.AddConst(s, d, 123456789, 1, 1<<39)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Deref(rel)
+	if n := m.NodeCount(rel); n > 12*s.Bits() {
+		t.Fatalf("AddConst BDD has %d nodes for %d bits; expected O(k)", n, s.Bits())
+	}
+}
+
+func TestAddConstRequiresInterleaving(t *testing.T) {
+	m, ds := newDomains(t, "S_D", map[string]uint64{"S": 16, "D": 16})
+	if _, err := m.AddConst(ds["S"], ds["D"], 1, 0, 10); err == nil {
+		t.Fatal("non-interleaved domains accepted")
+	}
+}
+
+func TestAddConstBoundsChecked(t *testing.T) {
+	m, ds := newDomains(t, "SxD", map[string]uint64{"S": 16, "D": 16})
+	if _, err := m.AddConst(ds["S"], ds["D"], 10, 0, 10); err == nil {
+		t.Fatal("destination overflow accepted")
+	}
+	if _, err := m.AddConst(ds["S"], ds["D"], 0, 0, 16); err == nil {
+		t.Fatal("source overflow accepted")
+	}
+}
+
+func TestEqualsRelation(t *testing.T) {
+	m, ds := newDomains(t, "AxB", map[string]uint64{"A": 32, "B": 32})
+	a, b := ds["A"], ds["B"]
+	eq, err := m.Equals(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Deref(eq)
+	var vars []int32
+	vars = append(vars, a.levels...)
+	vars = append(vars, b.levels...)
+	sortInt32(vars)
+	n := 0
+	m.AllSat(eq, vars, func(vals []bool) bool {
+		if a.Value(vars, vals) != b.Value(vars, vals) {
+			t.Fatal("Equals admits unequal pair")
+		}
+		n++
+		return true
+	})
+	if n != 32 {
+		t.Fatalf("Equals has %d tuples, want 32", n)
+	}
+}
+
+func TestEqualsReversedInterleave(t *testing.T) {
+	// B placed before A in the block: exercises the dstLevel<srcLevel arm.
+	m, ds := newDomains(t, "BxA", map[string]uint64{"A": 16, "B": 16})
+	eq, err := m.Equals(ds["A"], ds["B"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Deref(eq)
+	c := m.SatCountIn(eq, supportUnion(ds["A"], ds["B"]))
+	if c.Cmp(big.NewInt(16)) != 0 {
+		t.Fatalf("Equals count %s, want 16", c)
+	}
+}
+
+func supportUnion(ds ...*Domain) []int32 {
+	var vars []int32
+	for _, d := range ds {
+		vars = append(vars, d.levels...)
+	}
+	sortInt32(vars)
+	return vars
+}
+
+func TestAddConstReversedInterleave(t *testing.T) {
+	m, ds := newDomains(t, "DxS", map[string]uint64{"S": 64, "D": 64})
+	s, d := ds["S"], ds["D"]
+	rel, err := m.AddConst(s, d, 5, 0, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Deref(rel)
+	vars := supportUnion(s, d)
+	count := 0
+	m.AllSat(rel, vars, func(vals []bool) bool {
+		x, y := s.Value(vars, vals), d.Value(vars, vals)
+		if y != x+5 || x > 50 {
+			t.Fatalf("bad tuple (%d,%d)", x, y)
+		}
+		count++
+		return true
+	})
+	if count != 51 {
+		t.Fatalf("count %d, want 51", count)
+	}
+}
+
+func TestDomainCountOnUnion(t *testing.T) {
+	m, ds := newDomains(t, "", map[string]uint64{"D": 100})
+	d := ds["D"]
+	a := d.Range(10, 20)
+	b := d.Range(15, 40)
+	u := m.Or(a, b)
+	if c := d.Count(u); c.Cmp(big.NewInt(31)) != 0 {
+		t.Fatalf("count of [10,40] = %s", c)
+	}
+	for _, n := range []Node{a, b, u} {
+		m.Deref(n)
+	}
+}
+
+func TestDeclareDomainDuplicatePanics(t *testing.T) {
+	m := New(0, 0)
+	m.DeclareDomain("A", 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate domain name accepted")
+		}
+	}()
+	m.DeclareDomain("A", 8)
+}
+
+func TestUseBeforeFinalizePanics(t *testing.T) {
+	m := New(0, 0)
+	d := m.DeclareDomain("A", 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic using domain before FinalizeOrder")
+		}
+	}()
+	d.Eq(1)
+}

@@ -1,0 +1,108 @@
+package bdd
+
+import "fmt"
+
+// Pair is a variable-renaming map for Replace, BuDDy's bdd_newpair /
+// bdd_setpair. It maps source levels to destination levels; unmapped
+// levels are unchanged.
+type Pair struct {
+	m    *Manager
+	perm map[int32]int32
+	id   Node // unique id used as a cache key
+}
+
+var pairIDCounter Node = 1 << 20
+
+// NewPair creates an empty renaming pair.
+func (m *Manager) NewPair() *Pair {
+	pairIDCounter++
+	return &Pair{m: m, perm: make(map[int32]int32), id: pairIDCounter}
+}
+
+// Set maps the variable at level from to the variable at level to.
+// Mapping a level twice or mapping two levels to one destination is an
+// error: renamings must be injective.
+func (p *Pair) Set(from, to int32) {
+	if from == to {
+		return
+	}
+	if old, ok := p.perm[from]; ok && old != to {
+		panic(fmt.Sprintf("bdd: pair maps level %d twice (%d and %d)", from, old, to))
+	}
+	for f, t := range p.perm {
+		if t == to && f != from {
+			panic(fmt.Sprintf("bdd: pair maps levels %d and %d to same destination %d", f, from, to))
+		}
+	}
+	p.perm[from] = to
+}
+
+// SetDomains maps every bit of domain from onto the corresponding bit
+// of domain to. The domains must have the same bit width.
+func (p *Pair) SetDomains(from, to *Domain) {
+	if len(from.levels) != len(to.levels) {
+		panic(fmt.Sprintf("bdd: pair over domains %s (%d bits) and %s (%d bits)",
+			from.Name, len(from.levels), to.Name, len(to.levels)))
+	}
+	for i := range from.levels {
+		p.Set(from.levels[i], to.levels[i])
+	}
+}
+
+// Len reports how many levels the pair remaps.
+func (p *Pair) Len() int { return len(p.perm) }
+
+// Replace renames variables in a according to the pair. Referenced for
+// the caller. This is BuDDy's bdd_replace: the implementation recurses
+// to the children, substitutes the mapped level, and re-inserts it at
+// its proper position in the order (correctify).
+func (m *Manager) Replace(a Node, p *Pair) Node {
+	if len(p.perm) == 0 {
+		return m.Ref(a)
+	}
+	return m.Ref(m.replace(a, p))
+}
+
+func (m *Manager) replace(a Node, p *Pair) Node {
+	if a <= 1 {
+		return a
+	}
+	if r, ok := m.replCache.lookup(m, a, p.id); ok {
+		return r
+	}
+	nd := m.nodes[a]
+	low := m.replace(nd.low, p)
+	high := m.replace(nd.high, p)
+	lv := nd.level
+	if to, ok := p.perm[lv]; ok {
+		lv = to
+	}
+	res := m.correctify(lv, low, high)
+	m.replCache.insert(a, p.id, res)
+	return res
+}
+
+// correctify builds the function "if var(level) then high else low" when
+// level may sit below the roots of low/high in the variable order.
+func (m *Manager) correctify(level int32, low, high Node) Node {
+	ll, lh := m.nodes[low].level, m.nodes[high].level
+	if level < ll && level < lh {
+		return m.makeNode(level, low, high)
+	}
+	if level == ll || level == lh {
+		panic(fmt.Sprintf("bdd: replace would collapse level %d onto itself", level))
+	}
+	if ll == lh {
+		l := m.correctify(level, m.nodes[low].low, m.nodes[high].low)
+		h := m.correctify(level, m.nodes[low].high, m.nodes[high].high)
+		return m.makeNode(ll, l, h)
+	}
+	if ll < lh {
+		l := m.correctify(level, m.nodes[low].low, high)
+		h := m.correctify(level, m.nodes[low].high, high)
+		return m.makeNode(ll, l, h)
+	}
+	l := m.correctify(level, low, m.nodes[high].low)
+	h := m.correctify(level, low, m.nodes[high].high)
+	return m.makeNode(lh, l, h)
+}

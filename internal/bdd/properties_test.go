@@ -1,0 +1,208 @@
+package bdd
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// propManager is shared across the property tests; each property builds
+// functions from a generated truth table, so state cannot leak between
+// checks (BDDs are canonical).
+func propTables(t *testing.T) (*Manager, func([]bool) Node) {
+	t.Helper()
+	const nvars = 5
+	m := New(1<<14, 1<<10)
+	m.AddVars(nvars)
+	build := func(table []bool) Node {
+		return buildFromTable(t, m, table, nvars)
+	}
+	return m, build
+}
+
+// genTbl draws a random truth table over 5 variables.
+func genTbl(r *rand.Rand) []bool {
+	out := make([]bool, 32)
+	for i := range out {
+		out[i] = r.Intn(2) == 1
+	}
+	return out
+}
+
+func TestPropertyDeMorgan(t *testing.T) {
+	m, build := propTables(t)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 80; i++ {
+		a := build(genTbl(rng))
+		b := build(genTbl(rng))
+		// ¬(a ∧ b) == ¬a ∨ ¬b
+		ab := m.And(a, b)
+		left := m.Not(ab)
+		na, nb := m.Not(a), m.Not(b)
+		right := m.Or(na, nb)
+		if left != right {
+			t.Fatal("De Morgan violated")
+		}
+		for _, n := range []Node{a, b, ab, left, na, nb, right} {
+			m.Deref(n)
+		}
+	}
+}
+
+func TestPropertyDoubleNegation(t *testing.T) {
+	m, build := propTables(t)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 80; i++ {
+		a := build(genTbl(rng))
+		na := m.Not(a)
+		nna := m.Not(na)
+		if nna != a {
+			t.Fatal("¬¬a != a")
+		}
+		for _, n := range []Node{a, na, nna} {
+			m.Deref(n)
+		}
+	}
+}
+
+func TestPropertyAbsorptionAndDistribution(t *testing.T) {
+	m, build := propTables(t)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 60; i++ {
+		a := build(genTbl(rng))
+		b := build(genTbl(rng))
+		c := build(genTbl(rng))
+		// a ∧ (a ∨ b) == a
+		ab := m.Or(a, b)
+		abs := m.And(a, ab)
+		if abs != a {
+			t.Fatal("absorption violated")
+		}
+		// a ∧ (b ∨ c) == (a∧b) ∨ (a∧c)
+		bc := m.Or(b, c)
+		l := m.And(a, bc)
+		x := m.And(a, b)
+		y := m.And(a, c)
+		r := m.Or(x, y)
+		if l != r {
+			t.Fatal("distribution violated")
+		}
+		for _, n := range []Node{a, b, c, ab, abs, bc, l, x, y, r} {
+			m.Deref(n)
+		}
+	}
+}
+
+func TestPropertyXorViaIte(t *testing.T) {
+	m, build := propTables(t)
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 60; i++ {
+		a := build(genTbl(rng))
+		b := build(genTbl(rng))
+		x1 := m.Xor(a, b)
+		nb := m.Not(b)
+		x2 := m.ITE(a, nb, b)
+		if x1 != x2 {
+			t.Fatal("xor != ite(a, ¬b, b)")
+		}
+		for _, n := range []Node{a, b, x1, nb, x2} {
+			m.Deref(n)
+		}
+	}
+}
+
+func TestPropertyExistMonotone(t *testing.T) {
+	m, build := propTables(t)
+	rng := rand.New(rand.NewSource(5))
+	vs := m.MakeSet([]int32{1, 3})
+	defer m.Deref(vs)
+	for i := 0; i < 60; i++ {
+		a := build(genTbl(rng))
+		ex := m.Exist(a, vs)
+		// a → ∃x.a must be a tautology.
+		imp := m.Imp(a, ex)
+		if imp != True {
+			t.Fatal("a does not imply ∃a")
+		}
+		// Quantifying twice changes nothing.
+		ex2 := m.Exist(ex, vs)
+		if ex2 != ex {
+			t.Fatal("∃∃a != ∃a")
+		}
+		for _, n := range []Node{a, ex, imp, ex2} {
+			m.Deref(n)
+		}
+	}
+}
+
+func TestPropertyExistDistributesOverOr(t *testing.T) {
+	m, build := propTables(t)
+	rng := rand.New(rand.NewSource(6))
+	vs := m.MakeSet([]int32{0, 2, 4})
+	defer m.Deref(vs)
+	for i := 0; i < 60; i++ {
+		a := build(genTbl(rng))
+		b := build(genTbl(rng))
+		ab := m.Or(a, b)
+		l := m.Exist(ab, vs)
+		ea := m.Exist(a, vs)
+		eb := m.Exist(b, vs)
+		r := m.Or(ea, eb)
+		if l != r {
+			t.Fatal("∃(a∨b) != ∃a ∨ ∃b")
+		}
+		for _, n := range []Node{a, b, ab, l, ea, eb, r} {
+			m.Deref(n)
+		}
+	}
+}
+
+func TestPropertySatCountAdds(t *testing.T) {
+	m, build := propTables(t)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 40; i++ {
+		a := build(genTbl(rng))
+		b := build(genTbl(rng))
+		// |a| + |b| == |a∨b| + |a∧b|
+		or := m.Or(a, b)
+		and := m.And(a, b)
+		lhs := m.SatCount(a)
+		lhs.Add(lhs, m.SatCount(b))
+		rhs := m.SatCount(or)
+		rhs.Add(rhs, m.SatCount(and))
+		if lhs.Cmp(rhs) != 0 {
+			t.Fatalf("inclusion-exclusion violated: %s vs %s", lhs, rhs)
+		}
+		for _, n := range []Node{a, b, or, and} {
+			m.Deref(n)
+		}
+	}
+}
+
+func TestPropertyReplaceRoundTrip(t *testing.T) {
+	// Renaming up and back down is the identity.
+	const nvars = 6
+	m := New(1<<14, 1<<10)
+	m.AddVars(nvars)
+	up := m.NewPair()
+	down := m.NewPair()
+	for v := int32(0); v < 3; v++ {
+		up.Set(v, v+3)
+		down.Set(v+3, v)
+	}
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 60; i++ {
+		table := make([]bool, 8)
+		for j := range table {
+			table[j] = rng.Intn(2) == 1
+		}
+		a := buildFromTable(t, m, table, 3)
+		u := m.Replace(a, up)
+		d := m.Replace(u, down)
+		if d != a {
+			t.Fatal("replace round trip broken")
+		}
+		for _, n := range []Node{a, u, d} {
+			m.Deref(n)
+		}
+	}
+}

@@ -1,0 +1,236 @@
+package bdd
+
+import "fmt"
+
+// This file implements the two arithmetic primitives Section 4.1 of the
+// paper singles out:
+//
+//   - Range: "a new primitive that creates a BDD representation of
+//     contiguous ranges of numbers in O(k) operations, where k is the
+//     number of bits in the domain" — built as the conjunction of a
+//     lower-bound and an upper-bound automaton over the domain's bits.
+//   - AddConst: "the contexts of callees can be computed simply by
+//     adding a constant to the contexts of the callers" — the relation
+//     {(x, x+c) | lo ≤ x ≤ hi} between two domains, built as a carry
+//     automaton. With the domains interleaved this BDD is linear in k.
+
+type cmpState int
+
+const (
+	cmpLT cmpState = iota
+	cmpEQ
+	cmpGT
+)
+
+// cmpBound builds the BDD for "x ≤ bound" (le=true) or "x ≥ bound"
+// (le=false) over the domain's bits. Nodes are created bottom-up
+// (deepest level first); since the domain's bits increase in both level
+// and significance together, processing by descending level visits the
+// most significant bit first. Unreferenced result; callers wrap it.
+func (d *Domain) cmpBound(bound uint64, le bool) Node {
+	m := d.m
+	// Acceptance at the point where all bits have been read: the final
+	// comparison state decides.
+	accept := func(c cmpState) Node {
+		if le {
+			if c == cmpGT {
+				return False
+			}
+			return True
+		}
+		if c == cmpLT {
+			return False
+		}
+		return True
+	}
+	cur := [3]Node{accept(cmpLT), accept(cmpEQ), accept(cmpGT)}
+	// Visit bits by descending level. Because level order == significance
+	// order within a domain (LSB on top), descending level == descending
+	// depth and ascending significance is processed last; the automaton
+	// state tracks the comparison of the less-significant suffix already
+	// folded into cur.
+	for _, bit := range levelOrderDesc(d.levels) {
+		lv := d.levels[bit]
+		bbit := (bound >> uint(bit)) & 1
+		step := func(c cmpState, b uint64) cmpState {
+			if b < bbit {
+				return cmpLT
+			}
+			if b > bbit {
+				return cmpGT
+			}
+			return c
+		}
+		var next [3]Node
+		for _, c := range []cmpState{cmpLT, cmpEQ, cmpGT} {
+			next[c] = m.makeNode(lv, cur[step(c, 0)], cur[step(c, 1)])
+		}
+		cur = next
+	}
+	return cur[cmpEQ]
+}
+
+// Range returns the BDD for lo ≤ x ≤ hi over the domain, built in O(k)
+// node operations per Section 4.1. Referenced for the caller.
+func (d *Domain) Range(lo, hi uint64) Node {
+	d.checkFinalized()
+	if lo > hi {
+		return d.m.Ref(False)
+	}
+	if hi >= d.Size {
+		panic(fmt.Sprintf("bdd: range [%d,%d] outside domain %s of size %d", lo, hi, d.Name, d.Size))
+	}
+	m := d.m
+	le := d.cmpBound(hi, true)
+	ge := d.cmpBound(lo, false)
+	return m.Ref(m.apply(le, ge, opAnd))
+}
+
+// RangeNaive returns the same set as Range by unioning per-value Eq
+// BDDs. It exists as the ablation baseline for the O(k) primitive.
+func (d *Domain) RangeNaive(lo, hi uint64) Node {
+	d.checkFinalized()
+	m := d.m
+	res := Node(False)
+	for v := lo; v <= hi; v++ {
+		eq := d.Eq(v)
+		nr := m.apply(res, eq, opOr)
+		m.Deref(eq)
+		res = nr
+	}
+	return m.Ref(res)
+}
+
+// bitPair describes one significance position across the two domains of
+// a binary arithmetic relation.
+type bitPair struct {
+	srcLevel, dstLevel int32
+}
+
+// alignedBits checks that the two domains can host a carry-automaton
+// relation: same width, and for every bit the pair of levels at
+// significance i sits entirely above the pair at significance i+1.
+func alignedBits(src, dst *Domain) ([]bitPair, error) {
+	if len(src.levels) != len(dst.levels) {
+		return nil, fmt.Errorf("bdd: domains %s and %s differ in width (%d vs %d bits)",
+			src.Name, dst.Name, len(src.levels), len(dst.levels))
+	}
+	pairs := make([]bitPair, len(src.levels))
+	for i := range src.levels {
+		pairs[i] = bitPair{src.levels[i], dst.levels[i]}
+	}
+	maxOf := func(p bitPair) int32 {
+		if p.srcLevel > p.dstLevel {
+			return p.srcLevel
+		}
+		return p.dstLevel
+	}
+	minOf := func(p bitPair) int32 {
+		if p.srcLevel < p.dstLevel {
+			return p.srcLevel
+		}
+		return p.dstLevel
+	}
+	for i := 0; i+1 < len(pairs); i++ {
+		if maxOf(pairs[i]) >= minOf(pairs[i+1]) {
+			return nil, fmt.Errorf("bdd: domains %s and %s are not interleaved bitwise; "+
+				"declare them in one order block (e.g. %q)", src.Name, dst.Name, src.Name+"x"+dst.Name)
+		}
+	}
+	return pairs, nil
+}
+
+// AddConst returns the relation {(x, y) : y = x + c ∧ lo ≤ x ≤ hi} with
+// x drawn from src and y from dst. Both bounds are inclusive; x+c must
+// fit in dst. The two domains must be interleaved in the variable order
+// (same order block), which keeps the result linear in the bit width —
+// this is the primitive Algorithm 4 uses to renumber caller contexts
+// into callee contexts. Referenced for the caller.
+func (m *Manager) AddConst(src, dst *Domain, c uint64, lo, hi uint64) (Node, error) {
+	src.checkFinalized()
+	dst.checkFinalized()
+	if lo > hi {
+		return m.Ref(False), nil
+	}
+	if hi >= src.Size {
+		return False, fmt.Errorf("bdd: AddConst source range [%d,%d] outside domain %s (size %d)", lo, hi, src.Name, src.Size)
+	}
+	if hi+c >= dst.Size {
+		return False, fmt.Errorf("bdd: AddConst destination %d outside domain %s (size %d)", hi+c, dst.Name, dst.Size)
+	}
+	pairs, err := alignedBits(src, dst)
+	if err != nil {
+		return False, err
+	}
+	k := len(pairs)
+	// Carry automaton, built bottom-up from the most significant bit.
+	// cur[carry] = BDD over bit positions > i enforcing y = x + c + carry
+	// on those positions with zero carry out of the top.
+	cur := [2]Node{True, False}
+	for i := k - 1; i >= 0; i-- {
+		cbit := (c >> uint(i)) & 1
+		var next [2]Node
+		for carry := uint64(0); carry <= 1; carry++ {
+			branch := func(xbit uint64) Node {
+				sum := xbit + cbit + carry
+				ybit := sum & 1
+				out := cur[sum>>1]
+				// Build the y test under this x branch.
+				if pairs[i].dstLevel > pairs[i].srcLevel {
+					if ybit == 1 {
+						return m.makeNode(pairs[i].dstLevel, False, out)
+					}
+					return m.makeNode(pairs[i].dstLevel, out, False)
+				}
+				return out
+			}
+			if pairs[i].dstLevel > pairs[i].srcLevel {
+				next[carry] = m.makeNode(pairs[i].srcLevel, branch(0), branch(1))
+			} else {
+				// y sits above x: branch on y first; x is then forced.
+				force := func(ybit uint64) Node {
+					xbit := ybit ^ cbit ^ carry
+					sum := xbit + cbit + carry
+					out := cur[sum>>1]
+					if xbit == 1 {
+						return m.makeNode(pairs[i].srcLevel, False, out)
+					}
+					return m.makeNode(pairs[i].srcLevel, out, False)
+				}
+				next[carry] = m.makeNode(pairs[i].dstLevel, force(0), force(1))
+			}
+		}
+		cur = next
+	}
+	rel := cur[0]
+	rng := src.Range(lo, hi)
+	res := m.Ref(m.apply(rel, rng, opAnd))
+	m.Deref(rng)
+	return res, nil
+}
+
+// Equals returns the relation {(x, y) : x = y} between two equally wide,
+// interleaved domains. Referenced for the caller.
+func (m *Manager) Equals(a, b *Domain) (Node, error) {
+	a.checkFinalized()
+	b.checkFinalized()
+	pairs, err := alignedBits(a, b)
+	if err != nil {
+		return False, err
+	}
+	res := Node(True)
+	for i := len(pairs) - 1; i >= 0; i-- {
+		var eq Node
+		if pairs[i].dstLevel > pairs[i].srcLevel {
+			zero := m.makeNode(pairs[i].dstLevel, res, False)
+			one := m.makeNode(pairs[i].dstLevel, False, res)
+			eq = m.makeNode(pairs[i].srcLevel, zero, one)
+		} else {
+			zero := m.makeNode(pairs[i].srcLevel, res, False)
+			one := m.makeNode(pairs[i].srcLevel, False, res)
+			eq = m.makeNode(pairs[i].dstLevel, zero, one)
+		}
+		res = eq
+	}
+	return m.Ref(res), nil
+}

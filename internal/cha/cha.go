@@ -1,0 +1,198 @@
+// Package cha implements class hierarchy analysis (Dean, Grove, and
+// Chambers) over the program IR: assignability (the paper's aT
+// relation), virtual dispatch tables (cha), and static binding of
+// single-target call sites (feeding IE0).
+package cha
+
+import (
+	"sort"
+
+	"bddbddb/internal/program"
+)
+
+// Hierarchy caches hierarchy queries for one program.
+type Hierarchy struct {
+	prog       *program.Program
+	supertypes map[string][]string // type -> all types it is assignable to
+	dispatch   map[[2]string]*program.Method
+}
+
+// New analyzes the program's class hierarchy.
+func New(p *program.Program) *Hierarchy {
+	h := &Hierarchy{
+		prog:       p,
+		supertypes: make(map[string][]string),
+		dispatch:   make(map[[2]string]*program.Method),
+	}
+	for _, c := range p.Classes {
+		seen := make(map[string]bool)
+		var collect func(name string)
+		collect = func(name string) {
+			if name == "" || seen[name] {
+				return
+			}
+			seen[name] = true
+			cl := p.Class(name)
+			if cl == nil {
+				return
+			}
+			if name != program.ObjectClass {
+				collect(cl.Super)
+			}
+			for _, i := range cl.Interfaces {
+				collect(i)
+			}
+		}
+		collect(c.Name)
+		sups := make([]string, 0, len(seen))
+		for s := range seen {
+			sups = append(sups, s)
+		}
+		sort.Strings(sups)
+		h.supertypes[c.Name] = sups
+	}
+	// Dispatch tables for concrete classes.
+	for _, c := range p.Classes {
+		if c.IsInterface {
+			continue
+		}
+		names := make(map[string]bool)
+		for cur := c; cur != nil; {
+			for _, m := range cur.Methods {
+				names[m.Name] = true
+			}
+			if cur.Name == program.ObjectClass {
+				break
+			}
+			cur = p.Class(cur.Super)
+		}
+		for n := range names {
+			if m := h.resolve(c, n); m != nil {
+				h.dispatch[[2]string{c.Name, n}] = m
+			}
+		}
+	}
+	return h
+}
+
+// resolve walks the superclass chain for the nearest concrete method.
+func (h *Hierarchy) resolve(c *program.Class, name string) *program.Method {
+	for cur := c; cur != nil; {
+		if m := cur.Method(name); m != nil && !m.Abstract && !m.Static {
+			return m
+		}
+		if cur.Name == program.ObjectClass {
+			return nil
+		}
+		cur = h.prog.Class(cur.Super)
+	}
+	return nil
+}
+
+// AssignableTo reports whether a value of type sub may be assigned to a
+// location declared as super (the paper's aT(super, sub)).
+func (h *Hierarchy) AssignableTo(super, sub string) bool {
+	for _, s := range h.supertypes[sub] {
+		if s == super {
+			return true
+		}
+	}
+	return false
+}
+
+// Supertypes returns every type sub is assignable to, including itself.
+func (h *Hierarchy) Supertypes(sub string) []string { return h.supertypes[sub] }
+
+// Dispatch returns the method invoked when name is called on a concrete
+// receiver class, or nil when the call would not resolve.
+func (h *Hierarchy) Dispatch(class, name string) *program.Method {
+	return h.dispatch[[2]string{class, name}]
+}
+
+// DispatchTable returns all (class, name, method) triples — the cha
+// relation of Algorithm 3.
+func (h *Hierarchy) DispatchTable() []DispatchEntry {
+	var out []DispatchEntry
+	for k, m := range h.dispatch {
+		out = append(out, DispatchEntry{Class: k[0], Name: k[1], Target: m})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Class != out[j].Class {
+			return out[i].Class < out[j].Class
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// DispatchEntry is one cha(type, name, method) triple.
+type DispatchEntry struct {
+	Class, Name string
+	Target      *program.Method
+}
+
+// VirtualTargets returns the methods a virtual call with the given
+// receiver declared type may dispatch to, per CHA: the dispatch result
+// for every concrete subtype of the declared type.
+func (h *Hierarchy) VirtualTargets(declared, name string) []*program.Method {
+	seen := make(map[*program.Method]bool)
+	var out []*program.Method
+	for _, c := range h.prog.Classes {
+		if c.IsInterface {
+			continue
+		}
+		if !h.AssignableTo(declared, c.Name) {
+			continue
+		}
+		if m := h.Dispatch(c.Name, name); m != nil && !seen[m] {
+			seen[m] = true
+			out = append(out, m)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].QName() < out[j].QName() })
+	return out
+}
+
+// LUB returns a least common supertype of the given types: the deepest
+// class every type is assignable to, or a shared interface (and
+// ultimately java.lang.Object) when the class chains diverge. Used when
+// local moves are factored into alias classes.
+func (h *Hierarchy) LUB(types []string) string {
+	if len(types) == 0 {
+		return program.ObjectClass
+	}
+	// Candidates: supertypes of the first, most specific first (deepest
+	// superclass chain). We only consider the class chain for
+	// determinism; interfaces fall back to Object.
+	best := program.ObjectClass
+	bestDepth := -1
+	for _, cand := range h.supertypes[types[0]] {
+		all := true
+		for _, t := range types[1:] {
+			if !h.AssignableTo(cand, t) {
+				all = false
+				break
+			}
+		}
+		if !all {
+			continue
+		}
+		d := h.depth(cand)
+		if d > bestDepth {
+			best = cand
+			bestDepth = d
+		}
+	}
+	return best
+}
+
+func (h *Hierarchy) depth(t string) int {
+	d := 0
+	for cur := h.prog.Class(t); cur != nil && cur.Name != program.ObjectClass; cur = h.prog.Class(cur.Super) {
+		if cur.IsInterface {
+			return 0
+		}
+		d++
+	}
+	return d
+}

@@ -1,0 +1,160 @@
+package cha
+
+import (
+	"reflect"
+	"testing"
+
+	"bddbddb/internal/program"
+)
+
+func hierarchyFixture(t *testing.T) (*program.Program, *Hierarchy) {
+	t.Helper()
+	src := `
+entry Main.main
+
+interface Shape {
+    abstract method area(x)
+}
+
+class Base {
+    method m() {
+    }
+}
+
+class Mid extends Base implements Shape {
+    method area(x) {
+    }
+}
+
+class Leaf extends Mid {
+    method m() {
+    }
+}
+
+class Other implements Shape {
+    method area(x) {
+    }
+}
+
+class Main {
+    static method main(args) {
+    }
+}
+`
+	p := program.MustParse(src)
+	return p, New(p)
+}
+
+func TestAssignableTo(t *testing.T) {
+	_, h := hierarchyFixture(t)
+	cases := []struct {
+		super, sub string
+		want       bool
+	}{
+		{"Base", "Base", true},
+		{"Base", "Mid", true},
+		{"Base", "Leaf", true},
+		{"Mid", "Base", false},
+		{"Shape", "Mid", true},
+		{"Shape", "Leaf", true},
+		{"Shape", "Other", true},
+		{"Shape", "Base", false},
+		{program.ObjectClass, "Leaf", true},
+		{program.ObjectClass, "Shape", true},
+		{"Other", "Leaf", false},
+	}
+	for _, c := range cases {
+		if got := h.AssignableTo(c.super, c.sub); got != c.want {
+			t.Errorf("AssignableTo(%s, %s) = %v, want %v", c.super, c.sub, got, c.want)
+		}
+	}
+}
+
+func TestDispatchInheritsAndOverrides(t *testing.T) {
+	p, h := hierarchyFixture(t)
+	if m := h.Dispatch("Mid", "m"); m == nil || m.QName() != "Base.m" {
+		t.Fatalf("Mid.m dispatches to %v", m)
+	}
+	if m := h.Dispatch("Leaf", "m"); m == nil || m.QName() != "Leaf.m" {
+		t.Fatalf("Leaf.m dispatches to %v", m)
+	}
+	if m := h.Dispatch("Leaf", "area"); m == nil || m.QName() != "Mid.area" {
+		t.Fatalf("Leaf.area dispatches to %v", m)
+	}
+	if h.Dispatch("Base", "area") != nil {
+		t.Fatal("Base should not dispatch area")
+	}
+	_ = p
+}
+
+func TestVirtualTargets(t *testing.T) {
+	_, h := hierarchyFixture(t)
+	ts := h.VirtualTargets("Shape", "area")
+	var names []string
+	for _, m := range ts {
+		names = append(names, m.QName())
+	}
+	want := []string{"Mid.area", "Other.area"}
+	if !reflect.DeepEqual(names, want) {
+		t.Fatalf("VirtualTargets(Shape, area) = %v, want %v", names, want)
+	}
+	// Declared Base sees both m implementations.
+	ts = h.VirtualTargets("Base", "m")
+	if len(ts) != 2 {
+		t.Fatalf("VirtualTargets(Base, m) = %v", ts)
+	}
+	// Declared Leaf sees only the override.
+	ts = h.VirtualTargets("Leaf", "m")
+	if len(ts) != 1 || ts[0].QName() != "Leaf.m" {
+		t.Fatalf("VirtualTargets(Leaf, m) = %v", ts)
+	}
+}
+
+func TestDispatchTableDeterministic(t *testing.T) {
+	_, h := hierarchyFixture(t)
+	a := h.DispatchTable()
+	b := h.DispatchTable()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("dispatch table not deterministic")
+	}
+	for _, e := range a {
+		if e.Target == nil {
+			t.Fatalf("nil target for %s.%s", e.Class, e.Name)
+		}
+	}
+}
+
+func TestLUB(t *testing.T) {
+	_, h := hierarchyFixture(t)
+	cases := []struct {
+		types []string
+		want  string
+	}{
+		{[]string{"Leaf"}, "Leaf"},
+		{[]string{"Leaf", "Mid"}, "Mid"},
+		{[]string{"Leaf", "Base"}, "Base"},
+		// Both implement Shape, which is a tighter bound than Object.
+		{[]string{"Leaf", "Other"}, "Shape"},
+		{[]string{"Mid", "Mid"}, "Mid"},
+		{nil, program.ObjectClass},
+	}
+	for _, c := range cases {
+		if got := h.LUB(c.types); got != c.want {
+			t.Errorf("LUB(%v) = %s, want %s", c.types, got, c.want)
+		}
+	}
+}
+
+func TestSupertypesIncludeSelfAndObject(t *testing.T) {
+	_, h := hierarchyFixture(t)
+	sup := h.Supertypes("Leaf")
+	want := map[string]bool{"Leaf": true, "Mid": true, "Base": true, "Shape": true, program.ObjectClass: true}
+	if len(sup) != len(want) {
+		t.Fatalf("Supertypes(Leaf) = %v", sup)
+	}
+	for _, s := range sup {
+		if !want[s] {
+			t.Fatalf("unexpected supertype %s", s)
+		}
+	}
+}

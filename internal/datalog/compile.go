@@ -1,0 +1,253 @@
+package datalog
+
+import (
+	"fmt"
+
+	"bddbddb/internal/bdd"
+	"bddbddb/internal/rel"
+)
+
+// constSel selects a constant value on one attribute of a body atom.
+type constSel struct {
+	attr string
+	val  uint64
+}
+
+// litPlan is the compiled form of one body literal: how to normalize
+// the stored relation into "attributes named after rule variables,
+// bound to the variables' physical instances".
+type litPlan struct {
+	pred    string
+	negated bool
+	consts  []constSel
+	dupEqs  [][2]string // attribute pairs equated (variable repeated in one atom)
+	drops   []string    // attributes projected away (wildcards, constants, duplicates)
+	reshape map[string]rel.Remap
+}
+
+// dupJoin equates a head attribute with the head attribute carrying the
+// first occurrence of the same variable.
+type dupJoin struct {
+	joinAttr rel.Attr // first occurrence: name+phys in the head schema
+	newAttr  rel.Attr // duplicate position: name+phys in the head schema
+}
+
+// constJoin binds a head attribute to a constant.
+type constJoin struct {
+	attr rel.Attr
+	val  uint64
+}
+
+// compiledRule is the executable plan for one rule.
+type compiledRule struct {
+	rule       *Rule
+	lits       []litPlan  // positives (textual order) then negatives
+	dropAfter  [][]string // variables whose last use is literal i and that are not in the head
+	unbound    []rel.Attr // head variables never bound in the body
+	headMoves  map[string]rel.Remap
+	dupJoins   []dupJoin
+	constJoins []constJoin
+	headSchema []rel.Attr
+}
+
+// recursivePositions lists the body positions that read predicates of
+// the given stratum (candidates for the semi-naive delta).
+func (cr *compiledRule) recursivePositions(inStratum map[string]bool) []int {
+	var out []int
+	for i, lp := range cr.lits {
+		if !lp.negated && inStratum[lp.pred] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// naturalInstance returns the physical-instance index the i-th attribute
+// of a declaration occupies: the count of earlier same-domain attributes.
+func naturalInstance(decl *RelationDecl, i int) int {
+	n := 0
+	for j := 0; j < i; j++ {
+		if decl.Attrs[j].Domain == decl.Attrs[i].Domain {
+			n++
+		}
+	}
+	return n
+}
+
+// orderedLiterals returns the rule's body in processing order: positive
+// literals first (textual order), then negated ones.
+func orderedLiterals(rule *Rule) []Literal {
+	var out []Literal
+	for _, l := range rule.Body {
+		if !l.Negated {
+			out = append(out, l)
+		}
+	}
+	for _, l := range rule.Body {
+		if l.Negated {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// assignInstances chooses a physical instance for each rule variable.
+// Variables prefer the natural instance of the first attribute position
+// they appear at, falling back to the lowest free instance of their
+// domain. Returns the assignment and the per-domain instance demand.
+func assignInstances(prog *Program, rule *Rule) (map[string]int, map[string]int) {
+	asn := make(map[string]int)
+	used := make(map[string]map[int]bool)
+	need := make(map[string]int)
+	assign := func(v, dom string, pref int) {
+		if _, done := asn[v]; done {
+			return
+		}
+		if used[dom] == nil {
+			used[dom] = make(map[int]bool)
+		}
+		inst := pref
+		if used[dom][inst] {
+			inst = 0
+			for used[dom][inst] {
+				inst++
+			}
+		}
+		asn[v] = inst
+		used[dom][inst] = true
+		if inst+1 > need[dom] {
+			need[dom] = inst + 1
+		}
+	}
+	visit := func(a Atom) {
+		decl := prog.Relation(a.Pred)
+		for i, t := range a.Args {
+			if t.Kind == TermVar {
+				assign(t.Var, decl.Attrs[i].Domain, naturalInstance(decl, i))
+			}
+		}
+	}
+	for _, lit := range orderedLiterals(rule) {
+		visit(lit.Atom)
+	}
+	visit(rule.Head)
+	return asn, need
+}
+
+// compileRule builds the executable plan. Must run after Finalize (it
+// captures physical domain pointers).
+func (s *Solver) compileRule(rule *Rule, asn map[string]int) (*compiledRule, error) {
+	prog := s.prog
+	cr := &compiledRule{rule: rule, headMoves: make(map[string]rel.Remap)}
+	instPhys := func(v string) *bdd.Domain {
+		// Every rule variable has a domain (checked in parsing) and an
+		// assigned instance.
+		dom := varDomainOf(prog, rule, v)
+		return s.u.Phys(dom, asn[v])
+	}
+
+	lits := orderedLiterals(rule)
+	for _, lit := range lits {
+		decl := prog.Relation(lit.Atom.Pred)
+		lp := litPlan{pred: lit.Atom.Pred, negated: lit.Negated, reshape: make(map[string]rel.Remap)}
+		firstAttr := make(map[string]string) // var -> attr of first occurrence in this atom
+		for i, t := range lit.Atom.Args {
+			attr := decl.Attrs[i].Name
+			switch t.Kind {
+			case TermConst, TermNamedConst:
+				v, err := s.resolveConst(t, decl.Attrs[i].Domain)
+				if err != nil {
+					return nil, fmt.Errorf("line %d: %v", lit.Atom.Line, err)
+				}
+				lp.consts = append(lp.consts, constSel{attr: attr, val: v})
+				lp.drops = append(lp.drops, attr)
+			case TermWildcard:
+				lp.drops = append(lp.drops, attr)
+			case TermVar:
+				if fa, dup := firstAttr[t.Var]; dup {
+					lp.dupEqs = append(lp.dupEqs, [2]string{fa, attr})
+					lp.drops = append(lp.drops, attr)
+					continue
+				}
+				firstAttr[t.Var] = attr
+				lp.reshape[attr] = rel.Remap{NewName: t.Var, NewPhys: instPhys(t.Var)}
+			}
+		}
+		cr.lits = append(cr.lits, lp)
+	}
+
+	// Last-use positions drive early projection.
+	headVars := make(map[string]bool)
+	for _, t := range rule.Head.Args {
+		if t.Kind == TermVar {
+			headVars[t.Var] = true
+		}
+	}
+	lastUse := make(map[string]int)
+	for i, lit := range lits {
+		for _, t := range lit.Atom.Args {
+			if t.Kind == TermVar {
+				lastUse[t.Var] = i
+			}
+		}
+	}
+	cr.dropAfter = make([][]string, len(lits))
+	for v, i := range lastUse {
+		if !headVars[v] {
+			cr.dropAfter[i] = append(cr.dropAfter[i], v)
+		}
+	}
+
+	// Head construction.
+	headDecl := prog.Relation(rule.Head.Pred)
+	cr.headSchema = make([]rel.Attr, headDecl.Arity())
+	for i, a := range headDecl.Attrs {
+		cr.headSchema[i] = s.u.A(a.Name, a.Domain, naturalInstance(headDecl, i))
+	}
+	firstPos := make(map[string]int)
+	for i, t := range rule.Head.Args {
+		target := cr.headSchema[i]
+		switch t.Kind {
+		case TermConst, TermNamedConst:
+			v, err := s.resolveConst(t, headDecl.Attrs[i].Domain)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %v", rule.Line, err)
+			}
+			cr.constJoins = append(cr.constJoins, constJoin{attr: target, val: v})
+		case TermVar:
+			if fp, dup := firstPos[t.Var]; dup {
+				cr.dupJoins = append(cr.dupJoins, dupJoin{joinAttr: cr.headSchema[fp], newAttr: target})
+				continue
+			}
+			firstPos[t.Var] = i
+			cr.headMoves[t.Var] = rel.Remap{NewName: target.Name, NewPhys: target.Phys}
+			if _, bound := lastUse[t.Var]; !bound {
+				cr.unbound = append(cr.unbound, rel.Attr{Name: t.Var, Dom: target.Dom, Phys: instPhys(t.Var)})
+			}
+		}
+	}
+	return cr, nil
+}
+
+// varDomainOf returns the domain of a rule variable (established during
+// parsing checks; any occurrence determines it).
+func varDomainOf(prog *Program, rule *Rule, v string) string {
+	scan := func(a Atom) string {
+		decl := prog.Relation(a.Pred)
+		for i, t := range a.Args {
+			if t.Kind == TermVar && t.Var == v {
+				return decl.Attrs[i].Domain
+			}
+		}
+		return ""
+	}
+	for _, lit := range rule.Body {
+		if d := scan(lit.Atom); d != "" {
+			return d
+		}
+	}
+	if d := scan(rule.Head); d != "" {
+		return d
+	}
+	panic(fmt.Sprintf("datalog: variable %s not found in rule %s", v, rule))
+}

@@ -1,0 +1,123 @@
+package datalog
+
+import (
+	"fmt"
+	"time"
+
+	"bddbddb/internal/rel"
+)
+
+// applyRule evaluates one rule. If deltaPos >= 0, that body position
+// reads the delta relation instead of the stored one (semi-naive). The
+// result has the head relation's schema; the caller owns it.
+func (s *Solver) applyRule(cr *compiledRule, deltaPos int, delta *rel.Relation) *rel.Relation {
+	start := time.Now()
+	defer func() {
+		st := s.ruleStat(cr.rule)
+		st.Applications++
+		st.Time += time.Since(start)
+	}()
+	s.stats.RuleApplications++
+	emptyResult := func() *rel.Relation {
+		return s.u.NewRelation("res:"+cr.rule.Head.Pred, cr.headSchema...)
+	}
+
+	var acc *rel.Relation
+	for i := range cr.lits {
+		lp := &cr.lits[i]
+		src := s.rels[lp.pred]
+		if i == deltaPos {
+			src = delta
+		}
+		cur := s.loadLiteral(lp, src)
+		if lp.negated {
+			c := cur.Complement("¬" + lp.pred)
+			cur.Free()
+			cur = c
+		}
+		if acc == nil {
+			acc = cur
+			if len(cr.dropAfter[i]) > 0 {
+				n := acc.ProjectOut("acc", cr.dropAfter[i]...)
+				acc.Free()
+				acc = n
+			}
+		} else {
+			next := acc.JoinProject("acc", cur, cr.dropAfter[i]...)
+			acc.Free()
+			cur.Free()
+			acc = next
+		}
+		if acc.IsEmpty() {
+			// Everything downstream is a join; empty stays empty.
+			acc.Free()
+			return emptyResult()
+		}
+	}
+
+	// Bind head variables that never appeared in the body to their full
+	// domains (finite-universe semantics).
+	for _, a := range cr.unbound {
+		full := s.u.FullDomain("full:"+a.Name, a)
+		next := acc.Join("acc", full)
+		acc.Free()
+		full.Free()
+		acc = next
+	}
+	// Move first occurrences into the head schema.
+	if len(cr.headMoves) > 0 {
+		next := acc.Reshape("acc", cr.headMoves)
+		acc.Free()
+		acc = next
+	}
+	// Duplicate head variables: equate with the first occurrence.
+	for _, dj := range cr.dupJoins {
+		eq, err := s.u.M.Equals(dj.joinAttr.Phys, dj.newAttr.Phys)
+		if err != nil {
+			panic(fmt.Sprintf("datalog: head duplicate in %s: %v", cr.rule, err))
+		}
+		eqRel := s.u.NewRelationFromBDD("dup", eq, dj.joinAttr, dj.newAttr)
+		next := acc.Join("acc", eqRel)
+		acc.Free()
+		eqRel.Free()
+		acc = next
+	}
+	// Constant head arguments.
+	for _, cj := range cr.constJoins {
+		single := s.u.Singleton("const", cj.attr, cj.val)
+		next := acc.Join("acc", single)
+		acc.Free()
+		single.Free()
+		acc = next
+	}
+	return acc
+}
+
+// loadLiteral normalizes a stored relation for one body literal:
+// constants selected and projected, wildcards projected, repeated
+// variables equated, attributes renamed to rule variables on their
+// assigned physical instances.
+func (s *Solver) loadLiteral(lp *litPlan, src *rel.Relation) *rel.Relation {
+	cur := src.Clone("lit:" + lp.pred)
+	for _, cs := range lp.consts {
+		n := cur.SelectEq(cur.Name, cs.attr, cs.val)
+		cur.Free()
+		cur = n
+	}
+	for _, eq := range lp.dupEqs {
+		n := cur.SelectEqualAttrs(cur.Name, eq[0], eq[1])
+		cur.Free()
+		cur = n
+	}
+	if len(lp.drops) > 0 {
+		n := cur.ProjectOut(cur.Name, lp.drops...)
+		cur.Free()
+		cur = n
+	}
+	if len(lp.reshape) > 0 {
+		n := cur.Reshape(cur.Name, lp.reshape)
+		cur.Free()
+		cur = n
+	}
+	return cur
+}

@@ -1,0 +1,208 @@
+package datalog
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokLParen
+	tokRParen
+	tokComma
+	tokColon
+	tokDot       // statement terminator
+	tokDirective // .domain / .relation etc (dot followed by ident)
+	tokTurnstile // :-
+	tokBang
+	tokUnderscore
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokNumber:
+		return "number"
+	case tokString:
+		return "string"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokComma:
+		return "','"
+	case tokColon:
+		return "':'"
+	case tokDot:
+		return "'.'"
+	case tokDirective:
+		return "directive"
+	case tokTurnstile:
+		return "':-'"
+	case tokBang:
+		return "'!'"
+	case tokUnderscore:
+		return "'_'"
+	default:
+		return "token"
+	}
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1} }
+
+func (lx *lexer) errorf(format string, args ...any) error {
+	return fmt.Errorf("line %d: %s", lx.line, fmt.Sprintf(format, args...))
+}
+
+func isIdentStart(r byte) bool {
+	return r == '_' || unicode.IsLetter(rune(r)) || unicode.IsDigit(rune(r))
+}
+
+func isIdentBody(r byte) bool {
+	return r == '_' || r == '$' || unicode.IsLetter(rune(r)) || unicode.IsDigit(rune(r)) || r == '.'
+}
+
+// next returns the next token. Identifiers may contain dots (method
+// names like PBEKeySpec.init); a dot is a terminator only when not
+// followed by an identifier character, so rules still end with '.'.
+func (lx *lexer) next() (token, error) {
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		switch {
+		case c == '\n':
+			lx.line++
+			lx.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			lx.pos++
+		case c == '#':
+			for lx.pos < len(lx.src) && lx.src[lx.pos] != '\n' {
+				lx.pos++
+			}
+		default:
+			goto scan
+		}
+	}
+	return token{kind: tokEOF, line: lx.line}, nil
+
+scan:
+	c := lx.src[lx.pos]
+	line := lx.line
+	switch c {
+	case '(':
+		lx.pos++
+		return token{tokLParen, "(", line}, nil
+	case ')':
+		lx.pos++
+		return token{tokRParen, ")", line}, nil
+	case ',':
+		lx.pos++
+		return token{tokComma, ",", line}, nil
+	case '!':
+		lx.pos++
+		return token{tokBang, "!", line}, nil
+	case ':':
+		if lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '-' {
+			lx.pos += 2
+			return token{tokTurnstile, ":-", line}, nil
+		}
+		lx.pos++
+		return token{tokColon, ":", line}, nil
+	case '"':
+		lx.pos++
+		start := lx.pos
+		for lx.pos < len(lx.src) && lx.src[lx.pos] != '"' {
+			if lx.src[lx.pos] == '\n' {
+				return token{}, lx.errorf("unterminated string")
+			}
+			lx.pos++
+		}
+		if lx.pos >= len(lx.src) {
+			return token{}, lx.errorf("unterminated string")
+		}
+		text := lx.src[start:lx.pos]
+		lx.pos++
+		return token{tokString, text, line}, nil
+	case '.':
+		// Directive if followed by a letter at the start of a statement;
+		// otherwise a terminator dot.
+		if lx.pos+1 < len(lx.src) && unicode.IsLetter(rune(lx.src[lx.pos+1])) {
+			start := lx.pos + 1
+			lx.pos++
+			for lx.pos < len(lx.src) && isIdentBody(lx.src[lx.pos]) && lx.src[lx.pos] != '.' {
+				lx.pos++
+			}
+			return token{tokDirective, lx.src[start:lx.pos], line}, nil
+		}
+		lx.pos++
+		return token{tokDot, ".", line}, nil
+	}
+	if c == '_' && (lx.pos+1 >= len(lx.src) || !isIdentBody(lx.src[lx.pos+1]) || lx.src[lx.pos+1] == '.') {
+		lx.pos++
+		return token{tokUnderscore, "_", line}, nil
+	}
+	if c >= '0' && c <= '9' {
+		start := lx.pos
+		for lx.pos < len(lx.src) && lx.src[lx.pos] >= '0' && lx.src[lx.pos] <= '9' {
+			lx.pos++
+		}
+		// 2^63 style sizes are written as plain integers; exponents via
+		// suffixless digits only.
+		return token{tokNumber, lx.src[start:lx.pos], line}, nil
+	}
+	if isIdentStart(c) {
+		start := lx.pos
+		for lx.pos < len(lx.src) && isIdentBody(lx.src[lx.pos]) {
+			// A trailing dot belongs to the statement, not the identifier:
+			// consume a dot only when followed by more identifier chars.
+			if lx.src[lx.pos] == '.' {
+				if lx.pos+1 >= len(lx.src) || !isIdentBody(lx.src[lx.pos+1]) || lx.src[lx.pos+1] == '.' {
+					break
+				}
+			}
+			lx.pos++
+		}
+		return token{tokIdent, lx.src[start:lx.pos], line}, nil
+	}
+	return token{}, lx.errorf("unexpected character %q", string(rune(c)))
+}
+
+// lexAll tokenizes the whole input (convenience for the parser).
+func lexAll(src string) ([]token, error) {
+	lx := newLexer(src)
+	var toks []token
+	for {
+		t, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.kind == tokEOF {
+			return toks, nil
+		}
+	}
+}
+
+// cleanIdent strips surrounding whitespace (defensive; the lexer should
+// never produce padded identifiers).
+func cleanIdent(s string) string { return strings.TrimSpace(s) }

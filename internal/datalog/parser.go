@@ -1,0 +1,328 @@
+package datalog
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse parses a Datalog program in the dialect used throughout the
+// paper (see the package comment for the grammar).
+func Parse(src string) (*Program, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &Program{}
+	for !p.at(tokEOF) {
+		switch {
+		case p.at(tokDirective):
+			if err := p.directive(prog); err != nil {
+				return nil, err
+			}
+		default:
+			r, err := p.rule()
+			if err != nil {
+				return nil, err
+			}
+			prog.Rules = append(prog.Rules, r)
+		}
+	}
+	if err := check(prog); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// MustParse is Parse for programs embedded in source; it panics on error.
+func MustParse(src string) *Program {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token          { return p.toks[p.pos] }
+func (p *parser) at(k tokenKind) bool { return p.toks[p.pos].kind == k }
+
+func (p *parser) advance() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expect(k tokenKind) (token, error) {
+	if !p.at(k) {
+		return token{}, fmt.Errorf("line %d: expected %v, found %v %q",
+			p.cur().line, k, p.cur().kind, p.cur().text)
+	}
+	return p.advance(), nil
+}
+
+func (p *parser) directive(prog *Program) error {
+	d := p.advance()
+	switch d.text {
+	case "domain":
+		name, err := p.expect(tokIdent)
+		if err != nil {
+			return err
+		}
+		sizeTok, err := p.expect(tokNumber)
+		if err != nil {
+			return err
+		}
+		size, err := strconv.ParseUint(sizeTok.text, 10, 64)
+		if err != nil {
+			return fmt.Errorf("line %d: bad domain size %q", sizeTok.line, sizeTok.text)
+		}
+		decl := &DomainDecl{Name: cleanIdent(name.text), Size: size, Line: d.line}
+		// Optional map file.
+		if p.at(tokIdent) || p.at(tokString) {
+			decl.MapFile = p.advance().text
+		}
+		prog.Domains = append(prog.Domains, decl)
+		return nil
+	case "relation":
+		name, err := p.expect(tokIdent)
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(tokLParen); err != nil {
+			return err
+		}
+		decl := &RelationDecl{Name: cleanIdent(name.text), Line: d.line}
+		for {
+			an, err := p.expect(tokIdent)
+			if err != nil {
+				return err
+			}
+			if _, err := p.expect(tokColon); err != nil {
+				return err
+			}
+			dn, err := p.expect(tokIdent)
+			if err != nil {
+				return err
+			}
+			decl.Attrs = append(decl.Attrs, AttrDecl{Name: an.text, Domain: dn.text})
+			if p.at(tokComma) {
+				p.advance()
+				continue
+			}
+			break
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return err
+		}
+		for p.at(tokIdent) && (p.cur().text == "input" || p.cur().text == "output") {
+			if p.cur().text == "input" {
+				decl.Kind = RelInput
+			} else {
+				decl.Kind = RelOutput
+			}
+			p.advance()
+		}
+		prog.Relations = append(prog.Relations, decl)
+		return nil
+	case "bddvarorder":
+		tok, err := p.expect(tokIdent)
+		if err != nil {
+			return err
+		}
+		if prog.Order != nil {
+			return fmt.Errorf("line %d: .bddvarorder declared twice", d.line)
+		}
+		prog.Order = strings.Split(tok.text, "_")
+		return nil
+	default:
+		return fmt.Errorf("line %d: unknown directive .%s", d.line, d.text)
+	}
+}
+
+func (p *parser) rule() (*Rule, error) {
+	head, err := p.atom()
+	if err != nil {
+		return nil, err
+	}
+	r := &Rule{Head: head, Line: head.Line}
+	if p.at(tokDot) {
+		p.advance()
+		return r, nil
+	}
+	if _, err := p.expect(tokTurnstile); err != nil {
+		return nil, err
+	}
+	for {
+		neg := false
+		if p.at(tokBang) {
+			p.advance()
+			neg = true
+		}
+		a, err := p.atom()
+		if err != nil {
+			return nil, err
+		}
+		r.Body = append(r.Body, Literal{Atom: a, Negated: neg})
+		if p.at(tokComma) {
+			p.advance()
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokDot); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+func (p *parser) atom() (Atom, error) {
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return Atom{}, err
+	}
+	a := Atom{Pred: cleanIdent(name.text), Line: name.line}
+	if _, err := p.expect(tokLParen); err != nil {
+		return Atom{}, err
+	}
+	for {
+		t := p.advance()
+		switch t.kind {
+		case tokIdent:
+			a.Args = append(a.Args, Term{Kind: TermVar, Var: t.text})
+		case tokUnderscore:
+			a.Args = append(a.Args, Term{Kind: TermWildcard})
+		case tokNumber:
+			v, err := strconv.ParseUint(t.text, 10, 64)
+			if err != nil {
+				return Atom{}, fmt.Errorf("line %d: bad constant %q", t.line, t.text)
+			}
+			a.Args = append(a.Args, Term{Kind: TermConst, Val: v})
+		case tokString:
+			a.Args = append(a.Args, Term{Kind: TermNamedConst, Name: t.text})
+		default:
+			return Atom{}, fmt.Errorf("line %d: expected argument, found %v %q", t.line, t.kind, t.text)
+		}
+		if p.at(tokComma) {
+			p.advance()
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return Atom{}, err
+	}
+	return a, nil
+}
+
+// check performs the semantic analysis that does not need domain
+// contents: declarations resolve, arities match, variables are typed
+// consistently, heads are well-formed, facts are ground.
+func check(prog *Program) error {
+	domains := make(map[string]*DomainDecl)
+	for _, d := range prog.Domains {
+		if domains[d.Name] != nil {
+			return fmt.Errorf("line %d: domain %s declared twice", d.Line, d.Name)
+		}
+		if d.Size == 0 {
+			return fmt.Errorf("line %d: domain %s has zero size", d.Line, d.Name)
+		}
+		domains[d.Name] = d
+	}
+	rels := make(map[string]*RelationDecl)
+	for _, r := range prog.Relations {
+		if rels[r.Name] != nil {
+			return fmt.Errorf("line %d: relation %s declared twice", r.Line, r.Name)
+		}
+		seen := make(map[string]bool)
+		for _, a := range r.Attrs {
+			if domains[a.Domain] == nil {
+				return fmt.Errorf("line %d: relation %s: unknown domain %s", r.Line, r.Name, a.Domain)
+			}
+			if seen[a.Name] {
+				return fmt.Errorf("line %d: relation %s repeats attribute %s", r.Line, r.Name, a.Name)
+			}
+			seen[a.Name] = true
+		}
+		rels[r.Name] = r
+	}
+	for _, rule := range prog.Rules {
+		if err := checkRule(rule, rels); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func checkRule(rule *Rule, rels map[string]*RelationDecl) error {
+	checkAtom := func(a Atom) (*RelationDecl, error) {
+		decl := rels[a.Pred]
+		if decl == nil {
+			return nil, fmt.Errorf("line %d: undeclared relation %s", a.Line, a.Pred)
+		}
+		if len(a.Args) != decl.Arity() {
+			return nil, fmt.Errorf("line %d: %s has arity %d, used with %d arguments",
+				a.Line, a.Pred, decl.Arity(), len(a.Args))
+		}
+		return decl, nil
+	}
+	varDomain := make(map[string]string)
+	bindVar := func(a Atom, i int, decl *RelationDecl) error {
+		t := a.Args[i]
+		if t.Kind != TermVar {
+			return nil
+		}
+		dom := decl.Attrs[i].Domain
+		if prev, ok := varDomain[t.Var]; ok && prev != dom {
+			return fmt.Errorf("line %d: variable %s used with domains %s and %s",
+				a.Line, t.Var, prev, dom)
+		}
+		varDomain[t.Var] = dom
+		return nil
+	}
+	headDecl, err := checkAtom(rule.Head)
+	if err != nil {
+		return err
+	}
+	if rule.IsFact() {
+		for _, t := range rule.Head.Args {
+			if t.Kind == TermVar || t.Kind == TermWildcard {
+				return fmt.Errorf("line %d: fact %s must be ground", rule.Line, rule.Head.Pred)
+			}
+		}
+		return nil
+	}
+	for _, t := range rule.Head.Args {
+		if t.Kind == TermWildcard {
+			return fmt.Errorf("line %d: don't-care in rule head", rule.Line)
+		}
+	}
+	for i := range rule.Head.Args {
+		if err := bindVar(rule.Head, i, headDecl); err != nil {
+			return err
+		}
+	}
+	for _, lit := range rule.Body {
+		decl, err := checkAtom(lit.Atom)
+		if err != nil {
+			return err
+		}
+		for i := range lit.Atom.Args {
+			if err := bindVar(lit.Atom, i, decl); err != nil {
+				return err
+			}
+			if lit.Negated && lit.Atom.Args[i].Kind == TermWildcard {
+				return fmt.Errorf("line %d: don't-care inside negated literal %s (project first)",
+					lit.Atom.Line, lit.Atom.Pred)
+			}
+		}
+	}
+	return nil
+}

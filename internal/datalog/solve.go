@@ -1,0 +1,413 @@
+package datalog
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+	"time"
+
+	"bddbddb/internal/rel"
+)
+
+// Options configures a Solver.
+type Options struct {
+	// Order lists logical domain names from the top of the BDD variable
+	// order downward (instances of a domain are always interleaved in
+	// one block). Unlisted domains follow in declaration order.
+	Order []string
+	// NodeSize / CacheSize size the BDD manager (0 = defaults).
+	NodeSize, CacheSize int
+	// DomainSizes overrides declared domain sizes, e.g. to size the
+	// context domain C to the actual number of call paths.
+	DomainSizes map[string]uint64
+	// ElemNames supplies element names per domain (the paper's ".map"
+	// files); quoted constants in rules resolve through these.
+	ElemNames map[string][]string
+	// GCTrigger is the live-node fraction of the table (percent) above
+	// which the solver garbage-collects between iterations. 0 means 75.
+	GCTrigger int
+	// NoIncrementalization disables semi-naive evaluation: every
+	// recursive rule is re-applied to the full relations each iteration.
+	// This is the ablation for Section 2.4's "Incrementalization"
+	// optimization; leave it false for real use.
+	NoIncrementalization bool
+	// CountRuleTuples additionally records, per rule, how many new head
+	// tuples it derived (RuleStats.DeltaTuples). Counting is an exact
+	// satcount per derivation, so it costs a little; rule applications
+	// and times are always collected.
+	CountRuleTuples bool
+}
+
+// SolverStats reports the work a Solve performed; the benchmark harness
+// uses PeakLiveNodes for the paper's Figure 4 memory column.
+type SolverStats struct {
+	RuleApplications int64
+	Iterations       int
+	SolveTime        time.Duration
+	PeakLiveNodes    int
+	NodesAllocated   int64
+	GCs              int64
+	// Rules holds per-rule measurements in program order — the data
+	// behind the paper's Section 6.4 tuning loop.
+	Rules []RuleStats
+}
+
+// RuleStats is the cost of one rule across the whole evaluation.
+type RuleStats struct {
+	Rule         string
+	Applications int64
+	Time         time.Duration
+	// DeltaTuples counts the new head tuples this rule contributed.
+	DeltaTuples int64
+}
+
+// Solver evaluates one Datalog program over BDD relations.
+type Solver struct {
+	prog      *Program
+	opts      Options
+	u         *rel.Universe
+	rels      map[string]*rel.Relation
+	strata    []*stratum
+	compiled  map[*Rule]*compiledRule
+	elemIdx   map[string]map[string]uint64
+	solved    bool
+	stats     SolverStats
+	ruleStats map[*Rule]*RuleStats
+}
+
+// ruleStat returns (creating on demand) the stats bucket of a rule.
+func (s *Solver) ruleStat(r *Rule) *RuleStats {
+	if s.ruleStats == nil {
+		s.ruleStats = make(map[*Rule]*RuleStats)
+	}
+	st := s.ruleStats[r]
+	if st == nil {
+		st = &RuleStats{Rule: r.String()}
+		s.ruleStats[r] = st
+	}
+	return st
+}
+
+func (s *Solver) countDelta(r *Rule, fresh *rel.Relation) {
+	if !s.opts.CountRuleTuples {
+		return
+	}
+	satAddInt64(&s.ruleStat(r).DeltaTuples, fresh.Size())
+}
+
+func satAddInt64(dst *int64, v *big.Int) {
+	if v.IsInt64() {
+		sum := *dst + v.Int64()
+		if sum >= *dst {
+			*dst = sum
+			return
+		}
+	}
+	*dst = math.MaxInt64
+}
+
+// NewSolver builds the universe, relations, and rule plans for prog.
+func NewSolver(prog *Program, opts Options) (*Solver, error) {
+	strata, err := stratify(prog)
+	if err != nil {
+		return nil, err
+	}
+	// The program's own .bddvarorder applies unless options override it.
+	if opts.Order == nil && prog.Order != nil {
+		opts.Order = prog.Order
+	}
+	s := &Solver{
+		prog:     prog,
+		opts:     opts,
+		u:        rel.NewUniverse(),
+		rels:     make(map[string]*rel.Relation),
+		strata:   strata,
+		compiled: make(map[*Rule]*compiledRule),
+		elemIdx:  make(map[string]map[string]uint64),
+	}
+	// Declare logical domains.
+	for _, d := range prog.Domains {
+		size := d.Size
+		if o, ok := opts.DomainSizes[d.Name]; ok {
+			size = o
+		}
+		ld := s.u.Declare(d.Name, size)
+		if names, ok := opts.ElemNames[d.Name]; ok {
+			ld.SetElemNames(names)
+			idx := make(map[string]uint64, len(names))
+			for i, n := range names {
+				idx[n] = uint64(i)
+			}
+			s.elemIdx[d.Name] = idx
+		}
+	}
+	// Instance requirements: relation schemas and per-rule variables.
+	for _, rd := range prog.Relations {
+		counts := make(map[string]int)
+		for _, a := range rd.Attrs {
+			counts[a.Domain]++
+		}
+		for dom, n := range counts {
+			s.u.EnsureInstances(dom, n)
+		}
+	}
+	assignments := make(map[*Rule]map[string]int)
+	for _, rule := range prog.Rules {
+		if rule.IsFact() {
+			continue
+		}
+		asn, need := assignInstances(prog, rule)
+		assignments[rule] = asn
+		for dom, n := range need {
+			s.u.EnsureInstances(dom, n)
+		}
+	}
+	if err := s.u.Finalize(rel.FinalizeOptions{
+		Order:     opts.Order,
+		NodeSize:  opts.NodeSize,
+		CacheSize: opts.CacheSize,
+	}); err != nil {
+		return nil, err
+	}
+	// Materialize declared relations on their natural instances.
+	for _, rd := range prog.Relations {
+		attrs := make([]rel.Attr, len(rd.Attrs))
+		seen := make(map[string]int)
+		for i, a := range rd.Attrs {
+			attrs[i] = s.u.A(a.Name, a.Domain, seen[a.Domain])
+			seen[a.Domain]++
+		}
+		s.rels[rd.Name] = s.u.NewRelation(rd.Name, attrs...)
+	}
+	// Compile rules.
+	for _, rule := range prog.Rules {
+		if rule.IsFact() {
+			continue
+		}
+		cr, err := s.compileRule(rule, assignments[rule])
+		if err != nil {
+			return nil, err
+		}
+		s.compiled[rule] = cr
+	}
+	return s, nil
+}
+
+// Universe exposes the solver's BDD universe so callers can construct
+// relations directly (e.g. context-numbering builds IEC with AddConst).
+func (s *Solver) Universe() *rel.Universe { return s.u }
+
+// Relation returns the live relation for a declared predicate. Fill
+// input relations before Solve; read outputs after. The solver owns the
+// relation; do not Free it.
+func (s *Solver) Relation(name string) *rel.Relation {
+	r := s.rels[name]
+	if r == nil {
+		panic(fmt.Sprintf("datalog: unknown relation %q", name))
+	}
+	return r
+}
+
+// HasRelation reports whether the program declares the relation.
+func (s *Solver) HasRelation(name string) bool { return s.rels[name] != nil }
+
+// ReplaceRelation swaps in an externally built relation (schema must
+// match). The solver takes ownership.
+func (s *Solver) ReplaceRelation(name string, r *rel.Relation) {
+	old := s.rels[name]
+	if old == nil {
+		panic(fmt.Sprintf("datalog: unknown relation %q", name))
+	}
+	if !old.SameSchemaAs(r) {
+		panic(fmt.Sprintf("datalog: ReplaceRelation %s: schema mismatch (%v vs %v)", name, old, r))
+	}
+	old.Free()
+	s.rels[name] = r
+}
+
+// Stats returns evaluation statistics (valid after Solve). Rules are
+// reported in program order.
+func (s *Solver) Stats() SolverStats {
+	out := s.stats
+	for _, r := range s.prog.Rules {
+		if st := s.ruleStats[r]; st != nil {
+			out.Rules = append(out.Rules, *st)
+		}
+	}
+	return out
+}
+
+// resolveConst turns a term into a concrete domain value.
+func (s *Solver) resolveConst(t Term, domain string) (uint64, error) {
+	switch t.Kind {
+	case TermConst:
+		return t.Val, nil
+	case TermNamedConst:
+		idx, ok := s.elemIdx[domain]
+		if !ok {
+			return 0, fmt.Errorf("constant %q used but domain %s has no element names", t.Name, domain)
+		}
+		v, ok := idx[t.Name]
+		if !ok {
+			return 0, fmt.Errorf("constant %q not found in domain %s", t.Name, domain)
+		}
+		return v, nil
+	default:
+		return 0, fmt.Errorf("term %s is not a constant", t)
+	}
+}
+
+// Solve evaluates the program to fixpoint, stratum by stratum.
+func (s *Solver) Solve() error {
+	if s.solved {
+		return fmt.Errorf("datalog: Solve called twice")
+	}
+	s.solved = true
+	start := time.Now()
+	if err := s.applyFacts(); err != nil {
+		return err
+	}
+	for _, st := range s.strata {
+		if err := s.solveStratum(st); err != nil {
+			return err
+		}
+	}
+	s.stats.SolveTime = time.Since(start)
+	ms := s.u.M.Stats()
+	s.stats.PeakLiveNodes = ms.PeakLive
+	s.stats.NodesAllocated = ms.Produced
+	s.stats.GCs = ms.GCs
+	return nil
+}
+
+func (s *Solver) applyFacts() error {
+	for _, rule := range s.prog.Rules {
+		if !rule.IsFact() {
+			continue
+		}
+		decl := s.prog.Relation(rule.Head.Pred)
+		vals := make([]uint64, len(rule.Head.Args))
+		for i, t := range rule.Head.Args {
+			v, err := s.resolveConst(t, decl.Attrs[i].Domain)
+			if err != nil {
+				return fmt.Errorf("line %d: %v", rule.Line, err)
+			}
+			vals[i] = v
+		}
+		s.rels[rule.Head.Pred].AddTuple(vals...)
+	}
+	return nil
+}
+
+func (s *Solver) solveStratum(st *stratum) error {
+	inStratum := make(map[string]bool)
+	for _, p := range st.preds {
+		inStratum[p] = true
+	}
+	var base, recur []*compiledRule
+	for _, rule := range st.rules {
+		if rule.IsFact() {
+			continue
+		}
+		cr := s.compiled[rule]
+		if len(cr.recursivePositions(inStratum)) > 0 {
+			recur = append(recur, cr)
+		} else {
+			base = append(base, cr)
+		}
+	}
+	for _, cr := range base {
+		res := s.applyRule(cr, -1, nil)
+		head := s.rels[cr.rule.Head.Pred]
+		fresh := res.Minus("fresh", head)
+		res.Free()
+		s.countDelta(cr.rule, fresh)
+		head.UnionWith(fresh)
+		fresh.Free()
+	}
+	if len(recur) == 0 {
+		return nil
+	}
+	if s.opts.NoIncrementalization {
+		for {
+			s.stats.Iterations++
+			changed := false
+			for _, cr := range recur {
+				head := s.rels[cr.rule.Head.Pred]
+				res := s.applyRule(cr, -1, nil)
+				fresh := res.Minus("fresh", head)
+				res.Free()
+				if !fresh.IsEmpty() {
+					s.countDelta(cr.rule, fresh)
+					head.UnionWith(fresh)
+					changed = true
+				}
+				fresh.Free()
+			}
+			s.maybeGC()
+			if !changed {
+				return nil
+			}
+		}
+	}
+	// Semi-naive iteration: deltas start at the current values.
+	delta := make(map[string]*rel.Relation)
+	for _, p := range st.preds {
+		if r, ok := s.rels[p]; ok {
+			delta[p] = r.Clone("Δ" + p)
+		}
+	}
+	for {
+		s.stats.Iterations++
+		newDelta := make(map[string]*rel.Relation)
+		changed := false
+		for _, cr := range recur {
+			head := s.rels[cr.rule.Head.Pred]
+			for _, pos := range cr.recursivePositions(inStratum) {
+				d := delta[cr.lits[pos].pred]
+				if d == nil || d.IsEmpty() {
+					continue
+				}
+				res := s.applyRule(cr, pos, d)
+				fresh := res.Minus("fresh", head)
+				res.Free()
+				if fresh.IsEmpty() {
+					fresh.Free()
+					continue
+				}
+				s.countDelta(cr.rule, fresh)
+				head.UnionWith(fresh)
+				nd := newDelta[cr.rule.Head.Pred]
+				if nd == nil {
+					newDelta[cr.rule.Head.Pred] = fresh
+				} else {
+					nd.UnionWith(fresh)
+					fresh.Free()
+				}
+				changed = true
+			}
+		}
+		for _, d := range delta {
+			d.Free()
+		}
+		delta = newDelta
+		s.maybeGC()
+		if !changed {
+			for _, d := range delta {
+				d.Free()
+			}
+			return nil
+		}
+	}
+}
+
+func (s *Solver) maybeGC() {
+	trigger := s.opts.GCTrigger
+	if trigger == 0 {
+		trigger = 75
+	}
+	m := s.u.M
+	if m.LiveNodes()*100 > m.Stats().TableSize*trigger {
+		m.GC()
+	}
+}

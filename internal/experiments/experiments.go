@@ -1,0 +1,349 @@
+// Package experiments regenerates the paper's evaluation section: the
+// benchmark vital statistics (Figure 3), the analysis time and memory
+// table (Figure 4), the escape analysis results (Figure 5), and the
+// type refinement precision comparison (Figure 6). It is shared by
+// cmd/experiments and the repository's benchmark suite; EXPERIMENTS.md
+// records paper-vs-measured values produced by this code.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/big"
+	"sync"
+	"time"
+
+	"bddbddb/internal/analysis"
+	"bddbddb/internal/callgraph"
+	"bddbddb/internal/extract"
+	"bddbddb/internal/synth"
+)
+
+// bytesPerNode estimates resident bytes per live BDD node (the arena
+// entry plus its share of hash structure), used to report memory the
+// way Figure 4 does (MB of peak live BDD nodes).
+const bytesPerNode = 24
+
+// MB converts a live-node count to megabytes.
+func MB(nodes int) float64 { return float64(nodes) * bytesPerNode / (1 << 20) }
+
+// Suite caches per-benchmark artifacts across figures.
+type Suite struct {
+	mu    sync.Mutex
+	cache map[string]*Prepared
+}
+
+// NewSuite returns an empty suite.
+func NewSuite() *Suite { return &Suite{cache: make(map[string]*Prepared)} }
+
+// Prepared is a generated benchmark with extracted facts and the
+// discovered call graph.
+type Prepared struct {
+	Bench synth.Benchmark
+	Facts *extract.Facts
+	Graph *callgraph.Graph // discovered by Algorithm 3
+	// DiscoverStats captures the Algorithm 3 run that built Graph.
+	DiscoverTime  time.Duration
+	DiscoverIters int
+	DiscoverPeak  int
+}
+
+// Load generates, extracts, and discovers the call graph for one
+// benchmark, caching the result.
+func (s *Suite) Load(name string) (*Prepared, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if p, ok := s.cache[name]; ok {
+		return p, nil
+	}
+	b := synth.BenchmarkByName(name)
+	if b == nil {
+		return nil, fmt.Errorf("experiments: unknown benchmark %q", name)
+	}
+	prog := synth.Generate(b.Params)
+	f, err := extract.Extract(prog, extract.Options{})
+	if err != nil {
+		return nil, err
+	}
+	r, err := analysis.RunOnTheFly(f, analysis.Config{})
+	if err != nil {
+		return nil, err
+	}
+	st := r.Stats()
+	p := &Prepared{
+		Bench:         *b,
+		Facts:         f,
+		Graph:         analysis.GraphFromIE(f, r.Solver.Relation("IE")),
+		DiscoverTime:  st.SolveTime,
+		DiscoverIters: st.Iterations,
+		DiscoverPeak:  st.PeakLiveNodes,
+	}
+	s.cache[name] = p
+	return p, nil
+}
+
+// AllNames lists every Figure 3 benchmark in paper order.
+func AllNames() []string {
+	out := make([]string, len(synth.Benchmarks))
+	for i, b := range synth.Benchmarks {
+		out[i] = b.Params.Name
+	}
+	return out
+}
+
+// SmallNames is a subset that keeps full-table runs fast; the context-
+// sensitive analyses on the largest shapes take minutes, as in the
+// paper.
+func SmallNames() []string {
+	return []string{"freetts", "nfcchat", "jetty", "openwfe", "joone"}
+}
+
+// Figure3Row is one line of Figure 3: the benchmark's vital statistics,
+// measured on the generated program, next to the paper's.
+type Figure3Row struct {
+	Name, Description          string
+	Classes, Methods, Stmts    int
+	Vars, Allocs               int
+	Paths                      *big.Int
+	PaperClasses, PaperMethods int
+	PaperBytecodesK            int
+	PaperPaths                 *big.Int
+}
+
+// Figure3 computes the vital statistics of the named benchmarks.
+func (s *Suite) Figure3(names []string) ([]Figure3Row, error) {
+	var rows []Figure3Row
+	for _, name := range names {
+		p, err := s.Load(name)
+		if err != nil {
+			return nil, err
+		}
+		n, err := callgraph.Number(p.Graph)
+		if err != nil {
+			return nil, err
+		}
+		st := synth.Generate(p.Bench.Params).Stats()
+		rows = append(rows, Figure3Row{
+			Name:         name,
+			Description:  p.Bench.Description,
+			Classes:      st.Classes,
+			Methods:      len(p.Facts.Methods),
+			Stmts:        st.Stmts,
+			Vars:         len(p.Facts.Vars),
+			Allocs:       len(p.Facts.Heaps) - 1,
+			Paths:        n.MaxContexts,
+			PaperClasses: p.Bench.PaperClasses, PaperMethods: p.Bench.PaperMethods,
+			PaperBytecodesK: p.Bench.PaperBytecodesK,
+			PaperPaths:      p.Bench.PaperPaths(),
+		})
+	}
+	return rows, nil
+}
+
+// WriteFigure3 renders Figure 3 rows as a table.
+func WriteFigure3(w io.Writer, rows []Figure3Row) {
+	fmt.Fprintf(w, "%-10s %8s %8s %7s %7s %7s %10s | paper: %7s %7s %6s %8s\n",
+		"name", "classes", "methods", "stmts", "vars", "allocs", "c.s.paths",
+		"classes", "methods", "kbyte", "paths")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %8d %8d %7d %7d %7d %10s | paper: %7d %7d %6d %8s\n",
+			r.Name, r.Classes, r.Methods, r.Stmts, r.Vars, r.Allocs,
+			callgraph.FormatPathCount(r.Paths),
+			r.PaperClasses, r.PaperMethods, r.PaperBytecodesK,
+			callgraph.FormatPathCount(r.PaperPaths))
+	}
+}
+
+// Measure is one analysis timing: wall time and peak live BDD nodes.
+type Measure struct {
+	Time  time.Duration
+	Peak  int
+	Iters int
+}
+
+// Figure4Row is one line of Figure 4 across the six analyses.
+type Figure4Row struct {
+	Name                 string
+	CINoFilter, CIFilter Measure // Algorithms 1 and 2
+	Discovery            Measure // Algorithm 3 (iterations included)
+	CSPointer            Measure // Algorithm 5
+	CSType               Measure // Algorithm 6
+	ThreadSensitive      Measure // Algorithm 7
+}
+
+// Figure4 measures every analysis on the named benchmarks.
+func (s *Suite) Figure4(names []string) ([]Figure4Row, error) {
+	var rows []Figure4Row
+	for _, name := range names {
+		p, err := s.Load(name)
+		if err != nil {
+			return nil, err
+		}
+		row := Figure4Row{Name: name}
+		ci, err := analysis.RunContextInsensitive(p.Facts, false, analysis.Config{})
+		if err != nil {
+			return nil, fmt.Errorf("%s ci: %w", name, err)
+		}
+		row.CINoFilter = toMeasure(ci)
+		cif, err := analysis.RunContextInsensitive(p.Facts, true, analysis.Config{})
+		if err != nil {
+			return nil, fmt.Errorf("%s cif: %w", name, err)
+		}
+		row.CIFilter = toMeasure(cif)
+		row.Discovery = Measure{Time: p.DiscoverTime, Peak: p.DiscoverPeak, Iters: p.DiscoverIters}
+		cs, err := analysis.RunContextSensitive(p.Facts, p.Graph, analysis.Config{})
+		if err != nil {
+			return nil, fmt.Errorf("%s cs: %w", name, err)
+		}
+		row.CSPointer = toMeasure(cs)
+		ty, err := analysis.RunTypeAnalysis(p.Facts, p.Graph, analysis.Config{})
+		if err != nil {
+			return nil, fmt.Errorf("%s type: %w", name, err)
+		}
+		row.CSType = toMeasure(ty)
+		th, err := analysis.RunThreadEscape(p.Facts, p.Graph, analysis.Config{})
+		if err != nil {
+			return nil, fmt.Errorf("%s thread: %w", name, err)
+		}
+		row.ThreadSensitive = toMeasure(th)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func toMeasure(r *analysis.Result) Measure {
+	st := r.Stats()
+	return Measure{Time: st.SolveTime, Peak: st.PeakLiveNodes, Iters: st.Iterations}
+}
+
+// WriteFigure4 renders Figure 4 rows.
+func WriteFigure4(w io.Writer, rows []Figure4Row) {
+	fmt.Fprintf(w, "%-10s | %-16s %-16s %-20s %-16s %-16s %-16s\n",
+		"name", "ci-nofilter", "ci-filter", "ci+discovery", "cs-pointer", "cs-type", "thread")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s | %7.2fs %5.1fMB %7.2fs %5.1fMB %7.2fs %5.1fMB i%-3d %7.2fs %5.1fMB %7.2fs %5.1fMB %7.2fs %5.1fMB\n",
+			r.Name,
+			r.CINoFilter.Time.Seconds(), MB(r.CINoFilter.Peak),
+			r.CIFilter.Time.Seconds(), MB(r.CIFilter.Peak),
+			r.Discovery.Time.Seconds(), MB(r.Discovery.Peak), r.Discovery.Iters,
+			r.CSPointer.Time.Seconds(), MB(r.CSPointer.Peak),
+			r.CSType.Time.Seconds(), MB(r.CSType.Peak),
+			r.ThreadSensitive.Time.Seconds(), MB(r.ThreadSensitive.Peak))
+	}
+}
+
+// Figure5Row is one line of Figure 5.
+type Figure5Row struct {
+	Name    string
+	Metrics analysis.EscapeMetrics
+}
+
+// Figure5 runs the thread-escape analysis on the named benchmarks.
+func (s *Suite) Figure5(names []string) ([]Figure5Row, error) {
+	var rows []Figure5Row
+	for _, name := range names {
+		p, err := s.Load(name)
+		if err != nil {
+			return nil, err
+		}
+		r, err := analysis.RunThreadEscape(p.Facts, p.Graph, analysis.Config{})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		rows = append(rows, Figure5Row{Name: name, Metrics: analysis.EscapeResults(r)})
+	}
+	return rows, nil
+}
+
+// WriteFigure5 renders Figure 5 rows.
+func WriteFigure5(w io.Writer, rows []Figure5Row) {
+	fmt.Fprintf(w, "%-10s %9s %8s | %8s %7s\n", "name", "captured", "escaped", "unneeded", "needed")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %9d %8d | %8d %7d\n", r.Name,
+			r.Metrics.CapturedSites, r.Metrics.EscapedSites,
+			r.Metrics.UnneededSyncs, r.Metrics.NeededSyncs)
+	}
+}
+
+// Figure6Row is one line of Figure 6: multi-type and refinable
+// percentages across the six analysis variants.
+type Figure6Row struct {
+	Name                                string
+	CINoFilter, CIFilter                analysis.RefinementMetrics
+	ProjectedCSPointer, ProjectedCSType analysis.RefinementMetrics
+	CSPointer, CSType                   analysis.RefinementMetrics
+}
+
+// Figure6 runs the type refinement query under all six variants.
+func (s *Suite) Figure6(names []string) ([]Figure6Row, error) {
+	var rows []Figure6Row
+	for _, name := range names {
+		p, err := s.Load(name)
+		if err != nil {
+			return nil, err
+		}
+		row := Figure6Row{Name: name}
+		run := func(dst *analysis.RefinementMetrics, f func() (*analysis.Result, error)) error {
+			r, err := f()
+			if err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+			*dst = analysis.RefinementResults(r)
+			return nil
+		}
+		steps := []struct {
+			dst *analysis.RefinementMetrics
+			f   func() (*analysis.Result, error)
+		}{
+			{&row.CINoFilter, func() (*analysis.Result, error) {
+				return analysis.RunContextInsensitive(p.Facts, false,
+					analysis.Config{ExtraSrc: analysis.TypeRefinementQuerySrc(analysis.RefineCIPointer)})
+			}},
+			{&row.CIFilter, func() (*analysis.Result, error) {
+				return analysis.RunContextInsensitive(p.Facts, true,
+					analysis.Config{ExtraSrc: analysis.TypeRefinementQuerySrc(analysis.RefineCIPointer)})
+			}},
+			{&row.ProjectedCSPointer, func() (*analysis.Result, error) {
+				return analysis.RunContextSensitive(p.Facts, p.Graph,
+					analysis.Config{ExtraSrc: analysis.TypeRefinementQuerySrc(analysis.RefineProjectedCSPointer)})
+			}},
+			{&row.ProjectedCSType, func() (*analysis.Result, error) {
+				return analysis.RunTypeAnalysis(p.Facts, p.Graph,
+					analysis.Config{ExtraSrc: analysis.TypeRefinementQuerySrc(analysis.RefineProjectedCSType)})
+			}},
+			{&row.CSPointer, func() (*analysis.Result, error) {
+				return analysis.RunContextSensitive(p.Facts, p.Graph,
+					analysis.Config{ExtraSrc: analysis.TypeRefinementQuerySrc(analysis.RefineCSPointer)})
+			}},
+			{&row.CSType, func() (*analysis.Result, error) {
+				return analysis.RunTypeAnalysis(p.Facts, p.Graph,
+					analysis.Config{ExtraSrc: analysis.TypeRefinementQuerySrc(analysis.RefineCSType)})
+			}},
+		}
+		for _, st := range steps {
+			if err := run(st.dst, st.f); err != nil {
+				return nil, err
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// WriteFigure6 renders Figure 6 rows (multi / refine percentages).
+func WriteFigure6(w io.Writer, rows []Figure6Row) {
+	fmt.Fprintf(w, "%-10s | %-13s %-13s %-13s %-13s %-13s %-13s\n",
+		"name", "ci-nofilter", "ci-filter", "projCSptr", "projCStype", "CSptr", "CStype")
+	fmt.Fprintf(w, "%-10s | %6s %6s %6s %6s %6s %6s %6s %6s %6s %6s %6s %6s\n",
+		"", "multi", "refine", "multi", "refine", "multi", "refine", "multi", "refine", "multi", "refine", "multi", "refine")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s | %5.1f%% %5.1f%% %5.1f%% %5.1f%% %5.1f%% %5.1f%% %5.1f%% %5.1f%% %5.1f%% %5.1f%% %5.1f%% %5.1f%%\n",
+			r.Name,
+			r.CINoFilter.MultiPct, r.CINoFilter.RefinePct,
+			r.CIFilter.MultiPct, r.CIFilter.RefinePct,
+			r.ProjectedCSPointer.MultiPct, r.ProjectedCSPointer.RefinePct,
+			r.ProjectedCSType.MultiPct, r.ProjectedCSType.RefinePct,
+			r.CSPointer.MultiPct, r.CSPointer.RefinePct,
+			r.CSType.MultiPct, r.CSType.RefinePct)
+	}
+}

@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"math/big"
+	"strings"
+	"testing"
+)
+
+func TestSuiteLoadCaches(t *testing.T) {
+	s := NewSuite()
+	a, err := s.Load("freetts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Load("freetts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("Load should cache")
+	}
+	if _, err := s.Load("nosuch"); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestFigure3RowSanity(t *testing.T) {
+	s := NewSuite()
+	rows, err := s.Figure3([]string{"freetts"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	if r.Methods == 0 || r.Vars == 0 || r.Allocs == 0 {
+		t.Fatalf("empty stats: %+v", r)
+	}
+	// Calibration: measured paths within two orders of magnitude of the
+	// paper's 4e4.
+	lo := big.NewInt(400)
+	hi := new(big.Int).Mul(r.PaperPaths, big.NewInt(100))
+	if r.Paths.Cmp(lo) < 0 || r.Paths.Cmp(hi) > 0 {
+		t.Fatalf("freetts paths %s out of calibration band", r.Paths)
+	}
+	var sb strings.Builder
+	WriteFigure3(&sb, rows)
+	if !strings.Contains(sb.String(), "freetts") {
+		t.Fatal("table rendering broken")
+	}
+}
+
+func TestFigure4ShapeChecks(t *testing.T) {
+	s := NewSuite()
+	rows, err := s.Figure4([]string{"freetts"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	// The paper's qualitative orderings that must hold at any scale:
+	// context-sensitive runs dominate the memory of context-insensitive
+	// ones, and the thread-sensitive analysis stays near CI cost.
+	if r.CSPointer.Peak <= r.CIFilter.Peak {
+		t.Fatalf("CS pointer should use more memory than CI: %+v", r)
+	}
+	if r.ThreadSensitive.Peak >= r.CSPointer.Peak {
+		t.Fatalf("thread-sensitive should be cheaper than CS pointer: %+v", r)
+	}
+	if r.Discovery.Iters == 0 {
+		t.Fatal("discovery iterations missing")
+	}
+	var sb strings.Builder
+	WriteFigure4(&sb, rows)
+	if !strings.Contains(sb.String(), "freetts") {
+		t.Fatal("table rendering broken")
+	}
+}
+
+func TestFigure5SingleThreadedInvariant(t *testing.T) {
+	s := NewSuite()
+	rows, err := s.Figure5([]string{"freetts", "nfcchat"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Figure 5's headline: single-threaded benchmarks escape exactly one
+	// object (the global); multi-threaded ones escape more.
+	if rows[0].Metrics.EscapedSites != 1 {
+		t.Fatalf("freetts escaped = %d, want 1", rows[0].Metrics.EscapedSites)
+	}
+	if rows[1].Metrics.EscapedSites <= 1 {
+		t.Fatalf("nfcchat escaped = %d, want >1", rows[1].Metrics.EscapedSites)
+	}
+	if rows[1].Metrics.NeededSyncs == 0 || rows[1].Metrics.UnneededSyncs == 0 {
+		t.Fatalf("nfcchat syncs should split: %+v", rows[1].Metrics)
+	}
+	var sb strings.Builder
+	WriteFigure5(&sb, rows)
+	if !strings.Contains(sb.String(), "nfcchat") {
+		t.Fatal("table rendering broken")
+	}
+}
+
+func TestFigure6MonotonePrecision(t *testing.T) {
+	s := NewSuite()
+	rows, err := s.Figure6([]string{"freetts"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	// Strict precision orderings from the paper.
+	if r.CIFilter.MultiPct > r.CINoFilter.MultiPct+1e-9 {
+		t.Fatalf("type filter must not lose precision: %+v", r)
+	}
+	if r.ProjectedCSPointer.MultiPct > r.CIFilter.MultiPct+1e-9 {
+		t.Fatalf("projected CS must be at least as precise as CI: %+v", r)
+	}
+	if r.CSPointer.MultiPct > r.ProjectedCSPointer.MultiPct+1e-9 {
+		t.Fatalf("full CS must beat projected CS: %+v", r)
+	}
+	if r.CSPointer.RefinePct < r.CIFilter.RefinePct {
+		t.Fatalf("full CS should refine at least as many vars: %+v", r)
+	}
+	var sb strings.Builder
+	WriteFigure6(&sb, rows)
+	if !strings.Contains(sb.String(), "freetts") {
+		t.Fatal("table rendering broken")
+	}
+}
+
+func TestNameSets(t *testing.T) {
+	if len(AllNames()) != 21 {
+		t.Fatalf("AllNames = %d", len(AllNames()))
+	}
+	for _, n := range SmallNames() {
+		found := false
+		for _, a := range AllNames() {
+			if a == n {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("small name %s not in AllNames", n)
+		}
+	}
+}
+
+func TestMBConversion(t *testing.T) {
+	if MB(1<<20/bytesPerNode) < 0.99 || MB(1<<20/bytesPerNode) > 1.01 {
+		t.Fatalf("MB conversion off: %f", MB(1<<20/bytesPerNode))
+	}
+}

@@ -1,0 +1,555 @@
+// Package extract lowers a program.Program into the input relations of
+// the paper's analyses (Sections 2, 3 and 5): vP0, store, load, vT, hT,
+// aT, cha, actual, formal, IE0, mI, Mret, Iret, mV and syncs, together
+// with the name tables ("map files") for every domain and the
+// containment structure the context-numbering pass needs.
+//
+// Following Section 2.2, local variables connected by moves are factored
+// away: a flow-insensitive alias-class collapse replaces the paper's
+// flow-sensitive local factoring (each class becomes one V element whose
+// declared type is the least upper bound of its members).
+package extract
+
+import (
+	"fmt"
+	"sort"
+
+	"bddbddb/internal/cha"
+	"bddbddb/internal/program"
+)
+
+// Reserved domain elements.
+const (
+	// GlobalVarIdx is V element 0: the special variable for statics.
+	GlobalVarIdx = 0
+	// GlobalObjIdx is H element 0: the synthetic object holding statics.
+	GlobalObjIdx = 0
+	// NoNameIdx is N element 0: the null method name of non-virtual and
+	// statically bound invocation sites.
+	NoNameIdx = 0
+)
+
+// Options configures extraction.
+type Options struct {
+	// KeepLocalMoves disables the alias-class collapse and instead emits
+	// local moves into the Assign relation (only meaningful for the
+	// context-insensitive algorithms; Algorithm 5 recomputes assign from
+	// invocation edges and would drop them).
+	KeepLocalMoves bool
+	// NoSingleTargetBinding disables folding CHA-unique virtual calls
+	// into IE0 (Section 3: "local type analysis combined with analysis
+	// of the class hierarchy").
+	NoSingleTargetBinding bool
+}
+
+// Tuple is one relation row.
+type Tuple []uint64
+
+// Facts is the extraction result.
+type Facts struct {
+	Prog      *program.Program
+	Hierarchy *cha.Hierarchy
+
+	// Domain name tables, index = element value.
+	Vars    []string
+	Heaps   []string
+	Fields  []string
+	Types   []string
+	Invokes []string
+	Names   []string
+	Methods []string
+	ZSize   uint64
+
+	// Input relations, as the paper declares them.
+	VP0    []Tuple // (v, h)
+	Assign []Tuple // (dest, source); empty unless KeepLocalMoves
+	Store  []Tuple // (base, field, source)
+	Load   []Tuple // (base, field, dest)
+	VT     []Tuple // (v, t)
+	HT     []Tuple // (h, t)
+	AT     []Tuple // (super, sub)
+	Cha    []Tuple // (t, n, m)
+	Actual []Tuple // (i, z, v)
+	Formal []Tuple // (m, z, v)
+	IE0    []Tuple // (i, m)
+	MI     []Tuple // (m, i, n)
+	Mret   []Tuple // (m, v)
+	Iret   []Tuple // (i, v)
+	MV     []Tuple // (m, v)
+	Syncs  []Tuple // (v)
+
+	// Containment structure for context numbering.
+	StartSites   []int   // I indices that are thread start() spawns
+	InvokeMethod []int   // I index -> containing M index
+	AllocMethod  []int   // H index -> containing M index (-1 for global)
+	VarMethod    []int   // V index -> containing M index (-1 for global)
+	MethodAllocs [][]int // M index -> H indices allocated in the method
+	EntryMethods []int   // M indices of program entry points
+	ThreadRuns   []int   // M indices of run() methods of thread classes
+	ThreadAllocs []int   // H indices whose type is a thread subtype
+
+	methodIdx map[string]int
+	varIdx    map[string]uint64
+	localRep  map[string]uint64 // "Class.method/local" -> V index of its alias class
+	typeIdx   map[string]uint64
+	fieldIdx  map[string]uint64
+	nameIdx   map[string]uint64
+}
+
+// LocalRep returns the V index of the alias class holding a method's
+// local variable (which may be named after a different member), or -1.
+func (f *Facts) LocalRep(qmethod, local string) int64 {
+	if i, ok := f.localRep[qmethod+"/"+local]; ok {
+		return int64(i)
+	}
+	return -1
+}
+
+// MethodIndex returns the M index of a method, or -1.
+func (f *Facts) MethodIndex(qname string) int {
+	if i, ok := f.methodIdx[qname]; ok {
+		return i
+	}
+	return -1
+}
+
+// VarIndex returns the V index of a qualified variable name, or -1.
+func (f *Facts) VarIndex(qname string) int64 {
+	if i, ok := f.varIdx[qname]; ok {
+		return int64(i)
+	}
+	return -1
+}
+
+// TypeIndex returns the T index of a class name, or -1.
+func (f *Facts) TypeIndex(name string) int64 {
+	if i, ok := f.typeIdx[name]; ok {
+		return int64(i)
+	}
+	return -1
+}
+
+// FieldIndex returns the F index of a field name, or -1.
+func (f *Facts) FieldIndex(name string) int64 {
+	if i, ok := f.fieldIdx[name]; ok {
+		return int64(i)
+	}
+	return -1
+}
+
+// aliasClasses computes the union-find collapse of one method's locals.
+type aliasClasses struct {
+	parent map[string]string
+}
+
+func newAliasClasses() *aliasClasses { return &aliasClasses{parent: make(map[string]string)} }
+
+func (a *aliasClasses) find(v string) string {
+	p, ok := a.parent[v]
+	if !ok || p == v {
+		a.parent[v] = v
+		return v
+	}
+	r := a.find(p)
+	a.parent[v] = r
+	return r
+}
+
+func (a *aliasClasses) union(x, y string) {
+	rx, ry := a.find(x), a.find(y)
+	if rx == ry {
+		return
+	}
+	// Deterministic representative: the lexicographically smaller name.
+	if ry < rx {
+		rx, ry = ry, rx
+	}
+	a.parent[ry] = rx
+}
+
+// Extract runs the frontend over a validated program.
+func Extract(p *program.Program, opts Options) (*Facts, error) {
+	h := cha.New(p)
+	f := &Facts{
+		Prog:      p,
+		Hierarchy: h,
+		methodIdx: make(map[string]int),
+		varIdx:    make(map[string]uint64),
+		localRep:  make(map[string]uint64),
+		typeIdx:   make(map[string]uint64),
+		fieldIdx:  make(map[string]uint64),
+		nameIdx:   make(map[string]uint64),
+	}
+
+	// --- T domain: every declared class and interface.
+	for _, c := range p.Classes {
+		f.typeIdx[c.Name] = uint64(len(f.Types))
+		f.Types = append(f.Types, c.Name)
+	}
+	// aT from the hierarchy.
+	for _, c := range p.Classes {
+		for _, sup := range h.Supertypes(c.Name) {
+			f.AT = append(f.AT, Tuple{f.typeIdx[sup], f.typeIdx[c.Name]})
+		}
+	}
+
+	// --- M domain: implemented (concrete) methods only.
+	var methods []*program.Method
+	for _, c := range p.Classes {
+		if c.IsInterface {
+			continue
+		}
+		for _, m := range c.Methods {
+			if m.Abstract {
+				continue
+			}
+			f.methodIdx[m.QName()] = len(methods)
+			methods = append(methods, m)
+			f.Methods = append(f.Methods, m.QName())
+		}
+	}
+	f.MethodAllocs = make([][]int, len(methods))
+
+	// --- N domain: 0 is the null name, then every virtual-dispatch name.
+	f.nameIdx["<none>"] = NoNameIdx
+	f.Names = append(f.Names, "<none>")
+	internName := func(n string) uint64 {
+		if v, ok := f.nameIdx[n]; ok {
+			return v
+		}
+		v := uint64(len(f.Names))
+		f.nameIdx[n] = v
+		f.Names = append(f.Names, n)
+		return v
+	}
+	// cha relation (and its names).
+	for _, e := range h.DispatchTable() {
+		mi, ok := f.methodIdx[e.Target.QName()]
+		if !ok {
+			continue
+		}
+		f.Cha = append(f.Cha, Tuple{f.typeIdx[e.Class], internName(e.Name), uint64(mi)})
+	}
+
+	// --- F domain: declared fields, used fields, global fields, arrays.
+	internField := func(n string) uint64 {
+		if v, ok := f.fieldIdx[n]; ok {
+			return v
+		}
+		v := uint64(len(f.Fields))
+		f.fieldIdx[n] = v
+		f.Fields = append(f.Fields, n)
+		return v
+	}
+	internField(program.ArrayField)
+	for _, c := range p.Classes {
+		for _, fd := range c.Fields {
+			internField(fd)
+		}
+	}
+
+	// --- V domain: the global variable, then per-method alias classes.
+	f.Vars = append(f.Vars, program.GlobalVar)
+	f.varIdx[program.GlobalVar] = GlobalVarIdx
+	f.VarMethod = append(f.VarMethod, -1)
+
+	type methodInfo struct {
+		m       *program.Method
+		classes *aliasClasses
+		rep     func(v string) uint64 // local name -> V index
+	}
+	infos := make([]methodInfo, len(methods))
+
+	for mi, m := range methods {
+		ac := newAliasClasses()
+		// Collect every variable the method mentions and its declared type.
+		declType := make(map[string]string)
+		note := func(v, ty string) {
+			if v == "" || v == "global" {
+				return
+			}
+			if _, ok := declType[v]; !ok {
+				declType[v] = program.ObjectClass
+			}
+			if ty != "" {
+				declType[v] = ty
+			}
+		}
+		if !m.Static {
+			note("this", m.Class)
+		}
+		for _, prm := range m.Params {
+			note(prm.Name, prm.Type)
+		}
+		if m.HasReturn() {
+			note(m.Ret.Name, m.Ret.Type)
+		}
+		for v, ty := range m.VarTypes {
+			note(v, ty)
+		}
+		for _, st := range m.Stmts {
+			switch st.Kind {
+			case program.StNew:
+				note(st.Dst, "")
+			case program.StMove:
+				note(st.Dst, "")
+				note(st.Src, "")
+				if !opts.KeepLocalMoves {
+					ac.union(st.Dst, st.Src)
+				}
+			case program.StLoad:
+				note(st.Dst, "")
+				note(st.Src, "")
+				internField(st.Field)
+			case program.StStore:
+				note(st.Dst, "")
+				note(st.Src, "")
+				internField(st.Field)
+			case program.StLoadGlobal:
+				note(st.Dst, "")
+				internField(st.Field)
+			case program.StStoreGlobal:
+				note(st.Src, "")
+				internField(st.Field)
+			case program.StInvoke:
+				if st.Dst != "" {
+					note(st.Dst, "")
+				}
+				for _, a := range st.Args {
+					note(a, "")
+				}
+			case program.StReturn, program.StSync:
+				note(st.Src, "")
+			}
+		}
+		// Assign V indices per alias class; declared type is the LUB of
+		// the members' declared types.
+		classMembers := make(map[string][]string)
+		var varNames []string
+		for v := range declType {
+			varNames = append(varNames, v)
+		}
+		sort.Strings(varNames)
+		for _, v := range varNames {
+			r := ac.find(v)
+			classMembers[r] = append(classMembers[r], v)
+		}
+		classIdx := make(map[string]uint64)
+		var reps []string
+		for r := range classMembers {
+			reps = append(reps, r)
+		}
+		sort.Strings(reps)
+		for _, r := range reps {
+			idx := uint64(len(f.Vars))
+			classIdx[r] = idx
+			f.varIdx[m.QName()+"/"+r] = idx
+			f.Vars = append(f.Vars, m.QName()+"/"+r)
+			f.VarMethod = append(f.VarMethod, mi)
+			f.MV = append(f.MV, Tuple{uint64(mi), idx})
+			var tys []string
+			for _, member := range classMembers[r] {
+				tys = append(tys, declType[member])
+			}
+			f.VT = append(f.VT, Tuple{idx, f.typeIdx[h.LUB(tys)]})
+		}
+		rep := func(v string) uint64 { return classIdx[ac.find(v)] }
+		for _, v := range varNames {
+			f.localRep[m.QName()+"/"+v] = rep(v)
+		}
+		infos[mi] = methodInfo{m: m, classes: ac, rep: rep}
+
+		if opts.KeepLocalMoves {
+			for _, st := range m.Stmts {
+				if st.Kind == program.StMove {
+					f.Assign = append(f.Assign, Tuple{rep(st.Dst), rep(st.Src)})
+				}
+			}
+		}
+	}
+	// The global variable's declared type is Object.
+	f.VT = append(f.VT, Tuple{GlobalVarIdx, f.typeIdx[program.ObjectClass]})
+
+	// --- H domain: the global object, then allocation sites in order.
+	f.Heaps = append(f.Heaps, "<global-obj>")
+	f.AllocMethod = append(f.AllocMethod, -1)
+	f.HT = append(f.HT, Tuple{GlobalObjIdx, f.typeIdx[program.ObjectClass]})
+	f.VP0 = append(f.VP0, Tuple{GlobalVarIdx, GlobalObjIdx})
+
+	// --- Z size: widest formal list (+1 for the receiver slot).
+	f.ZSize = 1
+	for _, m := range methods {
+		if n := uint64(len(m.Params) + 1); n > f.ZSize {
+			f.ZSize = n
+		}
+	}
+
+	// --- Statement walk: vP0, store, load, invocations.
+	for mi, m := range methods {
+		rep := infos[mi].rep
+		// formal, Mret.
+		z := uint64(0)
+		if !m.Static {
+			f.Formal = append(f.Formal, Tuple{uint64(mi), 0, rep("this")})
+		}
+		z = 1
+		for _, prm := range m.Params {
+			f.Formal = append(f.Formal, Tuple{uint64(mi), z, rep(prm.Name)})
+			z++
+		}
+		if m.HasReturn() {
+			f.Mret = append(f.Mret, Tuple{uint64(mi), rep(m.Ret.Name)})
+		}
+		usesGlobal := false
+		for si, st := range m.Stmts {
+			switch st.Kind {
+			case program.StNew:
+				hIdx := uint64(len(f.Heaps))
+				f.Heaps = append(f.Heaps, fmt.Sprintf("%s@%d:%s", m.QName(), si, st.Type))
+				f.AllocMethod = append(f.AllocMethod, mi)
+				f.MethodAllocs[mi] = append(f.MethodAllocs[mi], int(hIdx))
+				f.HT = append(f.HT, Tuple{hIdx, f.typeIdx[st.Type]})
+				f.VP0 = append(f.VP0, Tuple{rep(st.Dst), hIdx})
+				if f.Prog.IsSubclassOf(st.Type, program.ThreadClass) {
+					f.ThreadAllocs = append(f.ThreadAllocs, int(hIdx))
+				}
+			case program.StLoad:
+				f.Load = append(f.Load, Tuple{rep(st.Src), f.fieldIdx[st.Field], rep(st.Dst)})
+			case program.StStore:
+				f.Store = append(f.Store, Tuple{rep(st.Dst), f.fieldIdx[st.Field], rep(st.Src)})
+			case program.StLoadGlobal:
+				f.Load = append(f.Load, Tuple{GlobalVarIdx, f.fieldIdx[st.Field], rep(st.Dst)})
+				usesGlobal = true
+			case program.StStoreGlobal:
+				f.Store = append(f.Store, Tuple{GlobalVarIdx, f.fieldIdx[st.Field], rep(st.Src)})
+				usesGlobal = true
+			case program.StInvoke:
+				f.extractInvoke(m, mi, si, st, rep, opts, internName)
+			}
+		}
+		if usesGlobal {
+			f.MV = append(f.MV, Tuple{uint64(mi), GlobalVarIdx})
+		}
+		// syncs.
+		for _, st := range m.Stmts {
+			if st.Kind == program.StSync {
+				f.Syncs = append(f.Syncs, Tuple{rep(st.Src)})
+			}
+		}
+	}
+
+	// Entry methods.
+	for _, e := range p.Entries {
+		if mi, ok := f.methodIdx[e.String()]; ok {
+			f.EntryMethods = append(f.EntryMethods, mi)
+		}
+	}
+	// Thread run methods: run() reachable by dispatch on thread subtypes.
+	seenRun := make(map[int]bool)
+	for _, c := range p.Classes {
+		if c.IsInterface || !p.IsSubclassOf(c.Name, program.ThreadClass) {
+			continue
+		}
+		if m := h.Dispatch(c.Name, "run"); m != nil {
+			if mi, ok := f.methodIdx[m.QName()]; ok && !seenRun[mi] {
+				seenRun[mi] = true
+				f.ThreadRuns = append(f.ThreadRuns, mi)
+			}
+		}
+	}
+	sort.Ints(f.ThreadRuns)
+	f.dedupe()
+	return f, nil
+}
+
+// extractInvoke emits the relations of one invocation site.
+func (f *Facts) extractInvoke(m *program.Method, mi, si int, st program.Stmt,
+	rep func(string) uint64, opts Options, internName func(string) uint64) {
+	iIdx := uint64(len(f.Invokes))
+	f.Invokes = append(f.Invokes, fmt.Sprintf("%s@%d", m.QName(), si))
+	f.InvokeMethod = append(f.InvokeMethod, mi)
+
+	if st.Dst != "" {
+		f.Iret = append(f.Iret, Tuple{iIdx, rep(st.Dst)})
+	}
+	if st.Virtual {
+		// Thread starts dispatch on run(): invoking start() spawns the
+		// receiver's run method (Section 4, footnote 3).
+		name := st.Callee
+		if name == "start" {
+			name = "run"
+			f.StartSites = append(f.StartSites, int(iIdx))
+		}
+		f.Actual = append(f.Actual, Tuple{iIdx, 0, rep(st.Args[0])})
+		for z, a := range st.Args[1:] {
+			f.Actual = append(f.Actual, Tuple{iIdx, uint64(z + 1), rep(a)})
+		}
+		// Single-target binding via the receiver's declared type.
+		if !opts.NoSingleTargetBinding {
+			declared := f.declaredTypeName(mi, rep(st.Args[0]))
+			targets := f.Hierarchy.VirtualTargets(declared, name)
+			if len(targets) == 1 {
+				if ti, ok := f.methodIdx[targets[0].QName()]; ok {
+					f.IE0 = append(f.IE0, Tuple{iIdx, uint64(ti)})
+					f.MI = append(f.MI, Tuple{uint64(mi), iIdx, NoNameIdx})
+					return
+				}
+			}
+		}
+		f.MI = append(f.MI, Tuple{uint64(mi), iIdx, internName(name)})
+		return
+	}
+	// Static call: bound directly.
+	target := st.Src + "." + st.Callee
+	if ti, ok := f.methodIdx[target]; ok {
+		f.IE0 = append(f.IE0, Tuple{iIdx, uint64(ti)})
+	}
+	for z, a := range st.Args {
+		f.Actual = append(f.Actual, Tuple{iIdx, uint64(z + 1), rep(a)})
+	}
+	f.MI = append(f.MI, Tuple{uint64(mi), iIdx, NoNameIdx})
+}
+
+// declaredTypeName looks up the declared type recorded in VT for a
+// variable of method mi.
+func (f *Facts) declaredTypeName(mi int, v uint64) string {
+	for _, t := range f.VT {
+		if t[0] == v {
+			return f.Types[t[1]]
+		}
+	}
+	return program.ObjectClass
+}
+
+// dedupe removes duplicate tuples from every relation (collapsed moves
+// can repeat rows).
+func (f *Facts) dedupe() {
+	d := func(ts []Tuple) []Tuple {
+		seen := make(map[string]bool, len(ts))
+		out := ts[:0]
+		for _, t := range ts {
+			k := fmt.Sprint([]uint64(t))
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, t)
+			}
+		}
+		return out
+	}
+	f.VP0 = d(f.VP0)
+	f.Assign = d(f.Assign)
+	f.Store = d(f.Store)
+	f.Load = d(f.Load)
+	f.VT = d(f.VT)
+	f.HT = d(f.HT)
+	f.AT = d(f.AT)
+	f.Cha = d(f.Cha)
+	f.Actual = d(f.Actual)
+	f.Formal = d(f.Formal)
+	f.IE0 = d(f.IE0)
+	f.MI = d(f.MI)
+	f.Mret = d(f.Mret)
+	f.Iret = d(f.Iret)
+	f.MV = d(f.MV)
+	f.Syncs = d(f.Syncs)
+}

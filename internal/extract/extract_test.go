@@ -1,0 +1,382 @@
+package extract
+
+import (
+	"testing"
+
+	"bddbddb/internal/program"
+)
+
+const sampleJP = `
+entry Main.main
+
+class Item {
+    field next
+}
+
+class Box {
+    field contents
+    method put(v: Item) returns old: Item {
+        old = this.contents
+        this.contents = v
+        return old
+    }
+    method id(v: Item) returns r: Item {
+        r = v
+        return r
+    }
+}
+
+class FancyBox extends Box {
+    method put(v: Item) returns old: Item {
+        old = v
+    }
+}
+
+class Worker extends java.lang.Thread {
+    field item
+    method run() {
+        v = new Item
+        this.item = v
+        sync this
+    }
+}
+
+class Main {
+    static method main(args) {
+        var b: Box
+        b = new Box
+        i = new Item
+        old = b.put(i)
+        t = new Worker
+        t.start()
+        u = Main::mk()
+        global.shared = u
+    }
+    static method mk() returns r: Item {
+        r = new Item
+        return r
+    }
+}
+`
+
+func mustExtract(t *testing.T, opts Options) *Facts {
+	t.Helper()
+	p := program.MustParse(sampleJP)
+	f, err := Extract(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func hasTuple(ts []Tuple, want ...uint64) bool {
+	for _, tp := range ts {
+		if len(tp) != len(want) {
+			continue
+		}
+		ok := true
+		for i := range tp {
+			if tp[i] != want[i] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+func TestReservedElements(t *testing.T) {
+	f := mustExtract(t, Options{})
+	if f.Vars[GlobalVarIdx] != program.GlobalVar {
+		t.Fatalf("V[0] = %q", f.Vars[0])
+	}
+	if f.Heaps[GlobalObjIdx] != "<global-obj>" {
+		t.Fatalf("H[0] = %q", f.Heaps[0])
+	}
+	if f.Names[NoNameIdx] != "<none>" {
+		t.Fatalf("N[0] = %q", f.Names[0])
+	}
+	if !hasTuple(f.VP0, GlobalVarIdx, GlobalObjIdx) {
+		t.Fatal("global variable does not point to global object")
+	}
+}
+
+func TestAllocationSites(t *testing.T) {
+	f := mustExtract(t, Options{})
+	// 5 allocation sites + global object.
+	if len(f.Heaps) != 6 {
+		t.Fatalf("heaps = %v", f.Heaps)
+	}
+	// Every non-global alloc belongs to a method and appears in vP0 and hT.
+	for h := 1; h < len(f.Heaps); h++ {
+		if f.AllocMethod[h] < 0 {
+			t.Fatalf("alloc %d has no method", h)
+		}
+	}
+	if len(f.VP0) != 6 { // 5 allocs + the global tuple
+		t.Fatalf("vP0 = %v", f.VP0)
+	}
+	if len(f.ThreadAllocs) != 1 {
+		t.Fatalf("thread allocs = %v", f.ThreadAllocs)
+	}
+}
+
+func TestLocalMoveCollapse(t *testing.T) {
+	f := mustExtract(t, Options{})
+	// Box.id: r = v merges r and v into one alias class, so Box.id has
+	// this + one merged class = 2 variables.
+	n := 0
+	mIdx := f.MethodIndex("Box.id")
+	if mIdx < 0 {
+		t.Fatal("Box.id missing")
+	}
+	for _, mv := range f.MV {
+		if mv[0] == uint64(mIdx) {
+			n++
+		}
+	}
+	if n != 2 {
+		t.Fatalf("Box.id has %d alias classes, want 2", n)
+	}
+	if len(f.Assign) != 0 {
+		t.Fatalf("collapsed extraction should emit no assigns, got %v", f.Assign)
+	}
+}
+
+func TestKeepLocalMoves(t *testing.T) {
+	f := mustExtract(t, Options{KeepLocalMoves: true})
+	if len(f.Assign) == 0 {
+		t.Fatal("KeepLocalMoves should emit assign edges")
+	}
+	mIdx := f.MethodIndex("Box.id")
+	n := 0
+	for _, mv := range f.MV {
+		if mv[0] == uint64(mIdx) {
+			n++
+		}
+	}
+	if n != 3 { // this, v, r kept separate
+		t.Fatalf("Box.id has %d vars, want 3", n)
+	}
+}
+
+func TestFormalsAndActuals(t *testing.T) {
+	f := mustExtract(t, Options{})
+	put := f.MethodIndex("Box.put")
+	thisVar := f.VarIndex("Box.put/this")
+	if put < 0 || thisVar < 0 {
+		t.Fatal("Box.put structure missing")
+	}
+	if !hasTuple(f.Formal, uint64(put), 0, uint64(thisVar)) {
+		t.Fatal("formal 0 (this) missing")
+	}
+	vVar := f.VarIndex("Box.put/v")
+	if vVar < 0 || !hasTuple(f.Formal, uint64(put), 1, uint64(vVar)) {
+		t.Fatal("formal 1 missing")
+	}
+	// Static method formals number from 1; mk has no formals (args none).
+	mk := f.MethodIndex("Main.mk")
+	for _, tpl := range f.Formal {
+		if tpl[0] == uint64(mk) {
+			t.Fatalf("Main.mk should have no formals, got %v", tpl)
+		}
+	}
+	// Main.main's virtual call b.put(i): receiver at z=0, arg at z=1.
+	found0, found1 := false, false
+	for _, a := range f.Actual {
+		if a[1] == 0 {
+			found0 = true
+		}
+		if a[1] == 1 {
+			found1 = true
+		}
+	}
+	if !found0 || !found1 {
+		t.Fatalf("actuals missing receiver or arg: %v", f.Actual)
+	}
+}
+
+func TestReturnsLinked(t *testing.T) {
+	f := mustExtract(t, Options{})
+	mk := f.MethodIndex("Main.mk")
+	if mk < 0 {
+		t.Fatal("Main.mk missing")
+	}
+	okM := false
+	for _, r := range f.Mret {
+		if r[0] == uint64(mk) {
+			okM = true
+		}
+	}
+	if !okM {
+		t.Fatal("Mret for Main.mk missing")
+	}
+	if len(f.Iret) == 0 {
+		t.Fatal("Iret missing")
+	}
+}
+
+func TestVirtualDispatchBecomesNamedSite(t *testing.T) {
+	// b.put(i) has two CHA targets (Box.put, FancyBox.put), so it must
+	// remain a named virtual site, not IE0.
+	f := mustExtract(t, Options{})
+	putName := uint64(0)
+	for i, n := range f.Names {
+		if n == "put" {
+			putName = uint64(i)
+		}
+	}
+	if putName == 0 {
+		t.Fatalf("'put' not in name table %v", f.Names)
+	}
+	found := false
+	for _, mi := range f.MI {
+		if mi[2] == putName {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("virtual put site not named")
+	}
+}
+
+func TestSingleTargetBinding(t *testing.T) {
+	// t.start() maps to run(); Worker is the only thread class, so with
+	// declared type Object... the receiver t is typed Object (no var
+	// declaration), so CHA sees one run() implementation plus
+	// java.lang.Thread.run — two targets; it stays virtual. The static
+	// call Main::mk is always IE0.
+	f := mustExtract(t, Options{})
+	mk := f.MethodIndex("Main.mk")
+	okStatic := false
+	for _, e := range f.IE0 {
+		if e[1] == uint64(mk) {
+			okStatic = true
+		}
+	}
+	if !okStatic {
+		t.Fatal("static call not in IE0")
+	}
+}
+
+func TestThreadStartDispatchesRun(t *testing.T) {
+	f := mustExtract(t, Options{})
+	runName := uint64(0)
+	for i, n := range f.Names {
+		if n == "run" {
+			runName = uint64(i)
+		}
+	}
+	// Either the start site was single-target-bound to Worker.run in IE0,
+	// or it is a named virtual site with name "run".
+	named := false
+	for _, mi := range f.MI {
+		if mi[2] == runName {
+			named = true
+		}
+	}
+	workerRun := f.MethodIndex("Worker.run")
+	bound := false
+	for _, e := range f.IE0 {
+		if e[1] == uint64(workerRun) {
+			bound = true
+		}
+	}
+	if !named && !bound {
+		t.Fatal("start() neither named run nor bound to Worker.run")
+	}
+	if len(f.ThreadRuns) != 1 || f.ThreadRuns[0] != workerRun {
+		t.Fatalf("ThreadRuns = %v", f.ThreadRuns)
+	}
+}
+
+func TestGlobalAccesses(t *testing.T) {
+	f := mustExtract(t, Options{})
+	shared := f.FieldIndex("shared")
+	if shared < 0 {
+		t.Fatal("field shared missing")
+	}
+	found := false
+	for _, s := range f.Store {
+		if s[0] == GlobalVarIdx && s[1] == uint64(shared) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("global store not lowered to store on <global>")
+	}
+	// Main.main must own the global var in mV.
+	main := f.MethodIndex("Main.main")
+	okMV := false
+	for _, mv := range f.MV {
+		if mv[0] == uint64(main) && mv[1] == GlobalVarIdx {
+			okMV = true
+		}
+	}
+	if !okMV {
+		t.Fatal("mV(main, <global>) missing")
+	}
+}
+
+func TestSyncs(t *testing.T) {
+	f := mustExtract(t, Options{})
+	if len(f.Syncs) != 1 {
+		t.Fatalf("syncs = %v", f.Syncs)
+	}
+	v := f.Syncs[0][0]
+	if f.VarMethod[v] != f.MethodIndex("Worker.run") {
+		t.Fatal("sync variable in wrong method")
+	}
+}
+
+func TestDeclaredTypes(t *testing.T) {
+	f := mustExtract(t, Options{})
+	// b is declared Box in main; b is in an alias class of its own
+	// (no moves touch it besides the alloc).
+	b := f.VarIndex("Main.main/b")
+	if b < 0 {
+		t.Fatal("Main.main/b missing")
+	}
+	boxT := f.TypeIndex("Box")
+	if !hasTuple(f.VT, uint64(b), uint64(boxT)) {
+		t.Fatal("vT(b, Box) missing")
+	}
+	// aT is reflexive.
+	if !hasTuple(f.AT, uint64(boxT), uint64(boxT)) {
+		t.Fatal("aT not reflexive")
+	}
+}
+
+func TestEntryMethods(t *testing.T) {
+	f := mustExtract(t, Options{})
+	if len(f.EntryMethods) != 1 || f.EntryMethods[0] != f.MethodIndex("Main.main") {
+		t.Fatalf("entries = %v", f.EntryMethods)
+	}
+}
+
+func TestZSize(t *testing.T) {
+	f := mustExtract(t, Options{})
+	if f.ZSize != 2 { // this + 1 param
+		t.Fatalf("ZSize = %d", f.ZSize)
+	}
+}
+
+func TestInvokeContainment(t *testing.T) {
+	f := mustExtract(t, Options{})
+	if len(f.Invokes) != len(f.InvokeMethod) {
+		t.Fatal("invoke containment out of sync")
+	}
+	main := f.MethodIndex("Main.main")
+	n := 0
+	for _, m := range f.InvokeMethod {
+		if m == main {
+			n++
+		}
+	}
+	if n != 3 {
+		t.Fatalf("main contains %d invokes, want 3", n)
+	}
+}

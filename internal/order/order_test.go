@@ -1,0 +1,111 @@
+package order
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"bddbddb/internal/analysis"
+	"bddbddb/internal/extract"
+	"bddbddb/internal/synth"
+)
+
+// TestSearchImprovesSyntheticCost uses a synthetic cost (number of
+// inversions relative to a target permutation): hill climbing must end
+// at least as good as it started, and normally better.
+func TestSearchImprovesSyntheticCost(t *testing.T) {
+	target := map[string]int{"A": 0, "B": 1, "C": 2, "D": 3, "E": 4}
+	cost := func(ord []string) Cost {
+		inv := 0
+		for i := range ord {
+			for j := i + 1; j < len(ord); j++ {
+				if target[ord[i]] > target[ord[j]] {
+					inv++
+				}
+			}
+		}
+		return Cost{Nodes: inv, Time: time.Duration(inv)}
+	}
+	initial := []string{"E", "D", "C", "B", "A"} // fully inverted: cost 10
+	res, err := Search(initial, cost, Options{MaxTrials: 60, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestCost.Nodes >= 10 {
+		t.Fatalf("search did not improve: %+v", res.BestCost)
+	}
+	if res.Trials != 60 {
+		t.Fatalf("trials = %d", res.Trials)
+	}
+}
+
+func TestSearchKeepsInitialWhenOptimal(t *testing.T) {
+	cost := func(ord []string) Cost {
+		if ord[0] == "A" {
+			return Cost{Nodes: 1}
+		}
+		return Cost{Nodes: 2}
+	}
+	res, err := Search([]string{"A", "B"}, cost, Options{MaxTrials: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best[0] != "A" || res.BestCost.Nodes != 1 {
+		t.Fatalf("lost the optimum: %+v", res)
+	}
+}
+
+func TestSearchAllFailing(t *testing.T) {
+	boom := errors.New("boom")
+	res, err := Search([]string{"A", "B"}, func([]string) Cost {
+		return Cost{Err: boom}
+	}, Options{MaxTrials: 4})
+	if err == nil {
+		t.Fatal("expected error when all trials fail")
+	}
+	if res.Trials != 4 {
+		t.Fatalf("trials = %d", res.Trials)
+	}
+}
+
+func TestSearchEmptyInitial(t *testing.T) {
+	if _, err := Search(nil, func([]string) Cost { return Cost{} }, Options{}); err == nil {
+		t.Fatal("expected error on empty order")
+	}
+}
+
+// TestSearchOnRealAnalysis wires the search to the actual solver over a
+// small synthetic program: every candidate must produce the same
+// points-to result, and the search must return a working order.
+func TestSearchOnRealAnalysis(t *testing.T) {
+	prog := synth.Generate(synth.Params{
+		Name: "ordersearch", Seed: 11, Classes: 8, Interfaces: 2,
+		Layers: 4, Width: 3, Fanout: 2, VirtualFrac: 0.3, OverrideFrac: 0.3,
+	})
+	f, err := extract.Extract(prog, extract.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var refSize string
+	run := func(ord []string) Cost {
+		start := time.Now()
+		r, err := analysis.RunOnTheFly(f, analysis.Config{Order: ord})
+		if err != nil {
+			return Cost{Err: err}
+		}
+		size := r.Solver.Relation("vP").Size().String()
+		if refSize == "" {
+			refSize = size
+		} else if refSize != size {
+			t.Fatalf("order %v changed the result: %s vs %s", ord, size, refSize)
+		}
+		return Cost{Time: time.Since(start), Nodes: r.Stats().PeakLiveNodes}
+	}
+	res, err := Search([]string{"I", "Z", "N", "M", "T", "F", "V", "H"}, run, Options{MaxTrials: 6, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestCost.Nodes == 0 {
+		t.Fatal("no nodes measured")
+	}
+}

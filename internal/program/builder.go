@@ -1,0 +1,203 @@
+package program
+
+import "fmt"
+
+// Builder assembles a Program programmatically. It performs no
+// validation until Build.
+type Builder struct {
+	prog *Program
+}
+
+// NewBuilder returns an empty program builder.
+func NewBuilder() *Builder {
+	return &Builder{prog: &Program{}}
+}
+
+// ClassBuilder extends one class declaration.
+type ClassBuilder struct {
+	b   *Builder
+	cls *Class
+}
+
+// MethodBuilder appends statements to one method.
+type MethodBuilder struct {
+	cb *ClassBuilder
+	m  *Method
+}
+
+// Class declares a class. Options configure inheritance.
+func (b *Builder) Class(name string, opts ...ClassOption) *ClassBuilder {
+	c := &Class{Name: name}
+	for _, o := range opts {
+		o(c)
+	}
+	b.prog.Classes = append(b.prog.Classes, c)
+	return &ClassBuilder{b: b, cls: c}
+}
+
+// Interface declares an interface.
+func (b *Builder) Interface(name string, opts ...ClassOption) *ClassBuilder {
+	cb := b.Class(name, opts...)
+	cb.cls.IsInterface = true
+	return cb
+}
+
+// ClassOption configures a class declaration.
+type ClassOption func(*Class)
+
+// Extends sets the superclass.
+func Extends(super string) ClassOption { return func(c *Class) { c.Super = super } }
+
+// Implements adds implemented interfaces.
+func Implements(ifaces ...string) ClassOption {
+	return func(c *Class) { c.Interfaces = append(c.Interfaces, ifaces...) }
+}
+
+// Field declares a field.
+func (cb *ClassBuilder) Field(name string) *ClassBuilder {
+	cb.cls.Fields = append(cb.cls.Fields, name)
+	return cb
+}
+
+// MethodOption configures a method declaration.
+type MethodOption func(*Method)
+
+// Static marks the method static (no implicit receiver).
+func Static() MethodOption { return func(m *Method) { m.Static = true } }
+
+// Abstract marks the method bodiless.
+func Abstract() MethodOption { return func(m *Method) { m.Abstract = true } }
+
+// Params declares parameters as "name" or "name:Type" strings.
+func Params(ps ...string) MethodOption {
+	return func(m *Method) {
+		for _, p := range ps {
+			m.Params = append(m.Params, splitTyped(p))
+		}
+	}
+}
+
+// Returns declares the return variable as "name" or "name:Type".
+func Returns(r string) MethodOption {
+	return func(m *Method) { m.Ret = splitTyped(r) }
+}
+
+func splitTyped(s string) Param {
+	for i := 0; i < len(s); i++ {
+		if s[i] == ':' {
+			return Param{Name: trim(s[:i]), Type: trim(s[i+1:])}
+		}
+	}
+	return Param{Name: trim(s)}
+}
+
+func trim(s string) string {
+	for len(s) > 0 && (s[0] == ' ' || s[0] == '\t') {
+		s = s[1:]
+	}
+	for len(s) > 0 && (s[len(s)-1] == ' ' || s[len(s)-1] == '\t') {
+		s = s[:len(s)-1]
+	}
+	return s
+}
+
+// Method declares a method on the class.
+func (cb *ClassBuilder) Method(name string, opts ...MethodOption) *MethodBuilder {
+	m := &Method{Name: name, VarTypes: make(map[string]string)}
+	for _, o := range opts {
+		o(m)
+	}
+	cb.cls.Methods = append(cb.cls.Methods, m)
+	return &MethodBuilder{cb: cb, m: m}
+}
+
+// DeclareLocal gives a local variable a declared type.
+func (mb *MethodBuilder) DeclareLocal(name, typ string) *MethodBuilder {
+	mb.m.VarTypes[name] = typ
+	return mb
+}
+
+// New appends dst = new typ.
+func (mb *MethodBuilder) New(dst, typ string) *MethodBuilder {
+	mb.m.Stmts = append(mb.m.Stmts, Stmt{Kind: StNew, Dst: dst, Type: typ})
+	return mb
+}
+
+// Move appends dst = src.
+func (mb *MethodBuilder) Move(dst, src string) *MethodBuilder {
+	mb.m.Stmts = append(mb.m.Stmts, Stmt{Kind: StMove, Dst: dst, Src: src})
+	return mb
+}
+
+// Load appends dst = base.field.
+func (mb *MethodBuilder) Load(dst, base, field string) *MethodBuilder {
+	mb.m.Stmts = append(mb.m.Stmts, Stmt{Kind: StLoad, Dst: dst, Src: base, Field: field})
+	return mb
+}
+
+// Store appends base.field = src.
+func (mb *MethodBuilder) Store(base, field, src string) *MethodBuilder {
+	mb.m.Stmts = append(mb.m.Stmts, Stmt{Kind: StStore, Dst: base, Field: field, Src: src})
+	return mb
+}
+
+// LoadGlobal appends dst = global.field.
+func (mb *MethodBuilder) LoadGlobal(dst, field string) *MethodBuilder {
+	mb.m.Stmts = append(mb.m.Stmts, Stmt{Kind: StLoadGlobal, Dst: dst, Field: field})
+	return mb
+}
+
+// StoreGlobal appends global.field = src.
+func (mb *MethodBuilder) StoreGlobal(field, src string) *MethodBuilder {
+	mb.m.Stmts = append(mb.m.Stmts, Stmt{Kind: StStoreGlobal, Field: field, Src: src})
+	return mb
+}
+
+// InvokeVirtual appends [dst =] recv.callee(args...). Pass dst "" to
+// discard the result.
+func (mb *MethodBuilder) InvokeVirtual(dst, recv, callee string, args ...string) *MethodBuilder {
+	all := append([]string{recv}, args...)
+	mb.m.Stmts = append(mb.m.Stmts, Stmt{Kind: StInvoke, Dst: dst, Callee: callee, Args: all, Virtual: true})
+	return mb
+}
+
+// InvokeStatic appends [dst =] class::callee(args...).
+func (mb *MethodBuilder) InvokeStatic(dst, class, callee string, args ...string) *MethodBuilder {
+	mb.m.Stmts = append(mb.m.Stmts, Stmt{Kind: StInvoke, Dst: dst, Src: class, Callee: callee, Args: args})
+	return mb
+}
+
+// Return appends return src.
+func (mb *MethodBuilder) Return(src string) *MethodBuilder {
+	mb.m.Stmts = append(mb.m.Stmts, Stmt{Kind: StReturn, Src: src})
+	return mb
+}
+
+// Sync appends sync src.
+func (mb *MethodBuilder) Sync(src string) *MethodBuilder {
+	mb.m.Stmts = append(mb.m.Stmts, Stmt{Kind: StSync, Src: src})
+	return mb
+}
+
+// Entry marks a root method.
+func (b *Builder) Entry(class, method string) *Builder {
+	b.prog.Entries = append(b.prog.Entries, MethodRef{Class: class, Method: method})
+	return b
+}
+
+// Build validates and returns the program.
+func (b *Builder) Build() (*Program, error) {
+	if err := b.prog.validate(); err != nil {
+		return nil, err
+	}
+	return b.prog, nil
+}
+
+// MustBuild is Build for test and example code; it panics on error.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(fmt.Sprintf("program: %v", err))
+	}
+	return p
+}

@@ -1,0 +1,145 @@
+package program
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format renders a program in the textual ".jp" syntax accepted by
+// Parse. Implicit classes (Object, Thread) are omitted. Formatting a
+// parsed program and re-parsing it yields an equivalent program.
+func Format(p *Program) string {
+	var b strings.Builder
+	for _, e := range p.Entries {
+		fmt.Fprintf(&b, "entry %s\n", e)
+	}
+	b.WriteString("\n")
+	for _, c := range p.Classes {
+		if c.Name == ObjectClass || (c.Name == ThreadClass && len(c.Fields) == 0 && allAbstract(c)) {
+			continue
+		}
+		formatClass(&b, c)
+	}
+	return b.String()
+}
+
+func allAbstract(c *Class) bool {
+	for _, m := range c.Methods {
+		if !m.Abstract {
+			return false
+		}
+	}
+	return true
+}
+
+func formatClass(b *strings.Builder, c *Class) {
+	kw := "class"
+	if c.IsInterface {
+		kw = "interface"
+	}
+	fmt.Fprintf(b, "%s %s", kw, c.Name)
+	if c.Super != "" && c.Super != ObjectClass {
+		fmt.Fprintf(b, " extends %s", c.Super)
+	}
+	if len(c.Interfaces) > 0 {
+		fmt.Fprintf(b, " implements %s", strings.Join(c.Interfaces, ", "))
+	}
+	b.WriteString(" {\n")
+	for _, f := range c.Fields {
+		fmt.Fprintf(b, "    field %s\n", f)
+	}
+	for _, m := range c.Methods {
+		formatMethod(b, m)
+	}
+	b.WriteString("}\n\n")
+}
+
+func formatMethod(b *strings.Builder, m *Method) {
+	b.WriteString("    ")
+	if m.Static {
+		b.WriteString("static ")
+	}
+	if m.Abstract {
+		b.WriteString("abstract ")
+	}
+	fmt.Fprintf(b, "method %s(", m.Name)
+	for i, p := range m.Params {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(formatTyped(p))
+	}
+	b.WriteString(")")
+	if m.HasReturn() {
+		fmt.Fprintf(b, " returns %s", formatTyped(m.Ret))
+	}
+	if m.Abstract {
+		b.WriteString("\n")
+		return
+	}
+	b.WriteString(" {\n")
+	// Deterministic local declarations.
+	var locals []string
+	for v := range m.VarTypes {
+		locals = append(locals, v)
+	}
+	sortStrings(locals)
+	for _, v := range locals {
+		if m.VarTypes[v] != "" && m.VarTypes[v] != ObjectClass {
+			fmt.Fprintf(b, "        var %s: %s\n", v, m.VarTypes[v])
+		}
+	}
+	for _, st := range m.Stmts {
+		fmt.Fprintf(b, "        %s\n", formatStmt(st))
+	}
+	b.WriteString("    }\n")
+}
+
+func formatTyped(p Param) string {
+	if p.Type == "" || p.Type == ObjectClass {
+		return p.Name
+	}
+	return p.Name + ": " + p.Type
+}
+
+// formatStmt renders one statement in parseable syntax (Stmt.String is
+// for diagnostics; the invoke forms differ slightly).
+func formatStmt(s Stmt) string {
+	switch s.Kind {
+	case StLoadGlobal:
+		return fmt.Sprintf("%s = global.%s", s.Dst, s.Field)
+	case StStoreGlobal:
+		return fmt.Sprintf("global.%s = %s", s.Field, s.Src)
+	case StLoad:
+		if s.Field == ArrayField {
+			return fmt.Sprintf("%s = %s[]", s.Dst, s.Src)
+		}
+		return fmt.Sprintf("%s = %s.%s", s.Dst, s.Src, s.Field)
+	case StStore:
+		if s.Field == ArrayField {
+			return fmt.Sprintf("%s[] = %s", s.Dst, s.Src)
+		}
+		return fmt.Sprintf("%s.%s = %s", s.Dst, s.Field, s.Src)
+	case StInvoke:
+		var call string
+		if s.Virtual {
+			call = fmt.Sprintf("%s.%s(%s)", s.Args[0], s.Callee, strings.Join(s.Args[1:], ", "))
+		} else {
+			call = fmt.Sprintf("%s::%s(%s)", s.Src, s.Callee, strings.Join(s.Args, ", "))
+		}
+		if s.Dst != "" {
+			return s.Dst + " = " + call
+		}
+		return call
+	default:
+		return s.String()
+	}
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j-1] > s[j]; j-- {
+			s[j-1], s[j] = s[j], s[j-1]
+		}
+	}
+}

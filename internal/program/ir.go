@@ -1,0 +1,417 @@
+// Package program defines the Java-like intermediate representation the
+// analyses consume. It plays the role of the paper's Joeq frontend
+// (Section 6.1): classes with single inheritance plus interfaces,
+// fields, static and instance methods, and method bodies made of the
+// statements pointer analysis cares about — allocation, move, field
+// load/store, array load/store, static (global) access, virtual and
+// static invocation, return, and synchronization. Threads are classes
+// extending java.lang.Thread, started with an invocation of start().
+//
+// Programs are built either with the Builder API or parsed from the
+// textual ".jp" format (see Parse).
+package program
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ObjectClass is the implicit root of the class hierarchy.
+const ObjectClass = "java.lang.Object"
+
+// ThreadClass is the implicit threading root; classes extending it are
+// threads whose run() methods are spawned by start().
+const ThreadClass = "java.lang.Thread"
+
+// ArrayField is the special field descriptor the paper uses to denote
+// array element access.
+const ArrayField = "[]"
+
+// GlobalVar is the name of the special variable through which static
+// (global) fields are accessed.
+const GlobalVar = "<global>"
+
+// StmtKind enumerates the statement forms.
+type StmtKind int
+
+const (
+	// StNew is Dst = new Type.
+	StNew StmtKind = iota
+	// StMove is Dst = Src.
+	StMove
+	// StLoad is Dst = Src.Field.
+	StLoad
+	// StStore is Dst.Field = Src.
+	StStore
+	// StLoadGlobal is Dst = global.Field.
+	StLoadGlobal
+	// StStoreGlobal is global.Field = Src.
+	StStoreGlobal
+	// StInvoke is [Dst =] Recv.Callee(Args...) when Virtual, otherwise
+	// [Dst =] Class::Callee(Args...) with Class in Src.
+	StInvoke
+	// StReturn is return Src.
+	StReturn
+	// StSync is sync Src.
+	StSync
+)
+
+// Stmt is one statement. Field use depends on Kind; see StmtKind.
+type Stmt struct {
+	Kind    StmtKind
+	Dst     string
+	Src     string // Move/Store/Return/Sync source; class name for static invokes
+	Field   string
+	Type    string   // StNew allocation type
+	Callee  string   // invoked method name
+	Args    []string // invocation arguments; Args[0] is the receiver for virtual calls
+	Virtual bool
+}
+
+func (s Stmt) String() string {
+	switch s.Kind {
+	case StNew:
+		return fmt.Sprintf("%s = new %s", s.Dst, s.Type)
+	case StMove:
+		return fmt.Sprintf("%s = %s", s.Dst, s.Src)
+	case StLoad:
+		return fmt.Sprintf("%s = %s.%s", s.Dst, s.Src, s.Field)
+	case StStore:
+		return fmt.Sprintf("%s.%s = %s", s.Dst, s.Field, s.Src)
+	case StLoadGlobal:
+		return fmt.Sprintf("%s = global.%s", s.Dst, s.Field)
+	case StStoreGlobal:
+		return fmt.Sprintf("global.%s = %s", s.Field, s.Src)
+	case StInvoke:
+		call := ""
+		if s.Virtual {
+			call = fmt.Sprintf("%s.%s(%s)", s.Args[0], s.Callee, joinArgs(s.Args[1:]))
+		} else {
+			call = fmt.Sprintf("%s::%s(%s)", s.Src, s.Callee, joinArgs(s.Args))
+		}
+		if s.Dst != "" {
+			return s.Dst + " = " + call
+		}
+		return call
+	case StReturn:
+		return "return " + s.Src
+	case StSync:
+		return "sync " + s.Src
+	default:
+		return "<bad stmt>"
+	}
+}
+
+func joinArgs(args []string) string {
+	out := ""
+	for i, a := range args {
+		if i > 0 {
+			out += ", "
+		}
+		out += a
+	}
+	return out
+}
+
+// Param is a formal parameter with an optional declared type
+// (ObjectClass when empty).
+type Param struct {
+	Name string
+	Type string
+}
+
+// Method is a method body. Instance methods have an implicit receiver
+// parameter named "this" of the enclosing class, at formal position 0;
+// explicit parameters number from 1 (the paper's Z domain).
+type Method struct {
+	Name     string
+	Class    string // enclosing class, set by Build/Parse
+	Static   bool
+	Abstract bool // declared but bodiless (interface/abstract methods)
+	Params   []Param
+	Ret      Param // zero value when the method returns nothing
+	Stmts    []Stmt
+	// VarTypes holds declared types of locals (beyond parameters);
+	// locals without entries are typed ObjectClass.
+	VarTypes map[string]string
+}
+
+// QName returns Class.Name, the method's display name.
+func (m *Method) QName() string { return m.Class + "." + m.Name }
+
+// HasReturn reports whether the method returns a reference.
+func (m *Method) HasReturn() bool { return m.Ret.Name != "" }
+
+// Class is a class or interface declaration.
+type Class struct {
+	Name        string
+	Super       string // ObjectClass if unset (and not Object itself)
+	Interfaces  []string
+	IsInterface bool
+	Fields      []string
+	Methods     []*Method
+}
+
+// Method returns the class's own method with the given name, or nil.
+func (c *Class) Method(name string) *Method {
+	for _, m := range c.Methods {
+		if m.Name == name {
+			return m
+		}
+	}
+	return nil
+}
+
+// MethodRef names a method globally.
+type MethodRef struct {
+	Class, Method string
+}
+
+func (r MethodRef) String() string { return r.Class + "." + r.Method }
+
+// Program is a whole validated program.
+type Program struct {
+	Classes []*Class
+	// Entries lists root methods (typically main); thread run() methods
+	// are added as entry points by the analyses, per Section 6.1.
+	Entries []MethodRef
+
+	byName map[string]*Class
+}
+
+// Class returns the named class, or nil.
+func (p *Program) Class(name string) *Class { return p.byName[name] }
+
+// Method resolves a method reference, or nil.
+func (p *Program) Method(ref MethodRef) *Method {
+	c := p.Class(ref.Class)
+	if c == nil {
+		return nil
+	}
+	return c.Method(ref.Method)
+}
+
+// IsSubclassOf walks the superclass chain (classes only).
+func (p *Program) IsSubclassOf(sub, super string) bool {
+	for cur := sub; cur != ""; {
+		if cur == super {
+			return true
+		}
+		c := p.Class(cur)
+		if c == nil || cur == ObjectClass {
+			return false
+		}
+		cur = c.Super
+	}
+	return false
+}
+
+// validate wires back-references and checks structural sanity.
+func (p *Program) validate() error {
+	p.byName = make(map[string]*Class, len(p.Classes))
+	for _, c := range p.Classes {
+		if p.byName[c.Name] != nil {
+			return fmt.Errorf("program: class %s declared twice", c.Name)
+		}
+		p.byName[c.Name] = c
+	}
+	// Implicit roots.
+	if p.byName[ObjectClass] == nil {
+		obj := &Class{Name: ObjectClass}
+		p.Classes = append(p.Classes, obj)
+		p.byName[ObjectClass] = obj
+	}
+	if p.byName[ThreadClass] == nil {
+		thr := &Class{
+			Name:  ThreadClass,
+			Super: ObjectClass,
+			// start/run are abstract so they never become analyzed
+			// methods themselves; subclasses provide run bodies.
+			Methods: []*Method{
+				{Name: "start", Abstract: true},
+				{Name: "run", Abstract: true},
+			},
+		}
+		p.Classes = append(p.Classes, thr)
+		p.byName[ThreadClass] = thr
+	}
+	for _, c := range p.Classes {
+		if c.Super == "" && c.Name != ObjectClass {
+			c.Super = ObjectClass
+		}
+		if c.Super != "" && p.byName[c.Super] == nil {
+			return fmt.Errorf("program: class %s extends unknown %s", c.Name, c.Super)
+		}
+		for _, i := range c.Interfaces {
+			ic := p.byName[i]
+			if ic == nil {
+				return fmt.Errorf("program: class %s implements unknown %s", c.Name, i)
+			}
+			if !ic.IsInterface {
+				return fmt.Errorf("program: class %s implements non-interface %s", c.Name, i)
+			}
+		}
+		seenM := make(map[string]bool)
+		for _, m := range c.Methods {
+			if seenM[m.Name] {
+				return fmt.Errorf("program: class %s declares method %s twice", c.Name, m.Name)
+			}
+			seenM[m.Name] = true
+			m.Class = c.Name
+			if err := p.validateMethod(c, m); err != nil {
+				return err
+			}
+		}
+		sort.Strings(c.Fields)
+	}
+	// Supertype chains must be acyclic.
+	for _, c := range p.Classes {
+		seen := map[string]bool{}
+		for cur := c.Name; cur != ObjectClass; {
+			if seen[cur] {
+				return fmt.Errorf("program: inheritance cycle through %s", cur)
+			}
+			seen[cur] = true
+			cur = p.byName[cur].Super
+		}
+	}
+	for _, e := range p.Entries {
+		if p.Method(e) == nil {
+			return fmt.Errorf("program: entry %s does not resolve", e)
+		}
+	}
+	return nil
+}
+
+func (p *Program) validateMethod(c *Class, m *Method) error {
+	if m.VarTypes == nil {
+		m.VarTypes = make(map[string]string)
+	}
+	defined := make(map[string]bool)
+	if !m.Static && !c.IsInterface {
+		defined["this"] = true
+	}
+	for _, prm := range m.Params {
+		if prm.Name == "this" {
+			return fmt.Errorf("program: %s declares explicit 'this'", m.QName())
+		}
+		if defined[prm.Name] {
+			return fmt.Errorf("program: %s repeats parameter %s", m.QName(), prm.Name)
+		}
+		defined[prm.Name] = true
+		if prm.Type != "" && p.byName[prm.Type] == nil {
+			return fmt.Errorf("program: %s parameter %s has unknown type %s", m.QName(), prm.Name, prm.Type)
+		}
+	}
+	if m.Abstract && len(m.Stmts) > 0 {
+		return fmt.Errorf("program: abstract method %s has a body", m.QName())
+	}
+	for v, ty := range m.VarTypes {
+		if p.byName[ty] == nil {
+			return fmt.Errorf("program: %s local %s has unknown type %s", m.QName(), v, ty)
+		}
+	}
+	use := func(v string) error {
+		if v == "" {
+			return fmt.Errorf("program: %s uses empty variable", m.QName())
+		}
+		return nil
+	}
+	for i, st := range m.Stmts {
+		bad := func(why string) error {
+			return fmt.Errorf("program: %s statement %d (%s): %s", m.QName(), i, st, why)
+		}
+		switch st.Kind {
+		case StNew:
+			cls := p.byName[st.Type]
+			if cls == nil {
+				return bad("unknown type " + st.Type)
+			}
+			if cls.IsInterface {
+				return bad("cannot instantiate interface " + st.Type)
+			}
+			if err := use(st.Dst); err != nil {
+				return err
+			}
+		case StMove:
+			if use(st.Dst) != nil || use(st.Src) != nil {
+				return bad("missing operand")
+			}
+		case StLoad:
+			if use(st.Dst) != nil || use(st.Src) != nil || st.Field == "" {
+				return bad("missing operand")
+			}
+		case StStore:
+			if use(st.Dst) != nil || use(st.Src) != nil || st.Field == "" {
+				return bad("missing operand")
+			}
+		case StLoadGlobal, StStoreGlobal:
+			if st.Field == "" {
+				return bad("missing global field")
+			}
+		case StInvoke:
+			if st.Callee == "" {
+				return bad("missing callee")
+			}
+			if st.Virtual {
+				if len(st.Args) == 0 {
+					return bad("virtual call without receiver")
+				}
+			} else {
+				if p.byName[st.Src] == nil {
+					return bad("static call on unknown class " + st.Src)
+				}
+			}
+		case StReturn:
+			if !m.HasReturn() {
+				return bad("return in method without return variable")
+			}
+			if err := use(st.Src); err != nil {
+				return err
+			}
+		case StSync:
+			if err := use(st.Src); err != nil {
+				return err
+			}
+		default:
+			return bad("unknown statement kind")
+		}
+	}
+	return nil
+}
+
+// AllMethods returns every method in the program in declaration order.
+func (p *Program) AllMethods() []*Method {
+	var out []*Method
+	for _, c := range p.Classes {
+		out = append(out, c.Methods...)
+	}
+	return out
+}
+
+// Stats summarizes program size (Figure 3's vital statistics inputs).
+type Stats struct {
+	Classes, Methods, Stmts, Allocs, Invokes int
+}
+
+// Stats counts classes, methods, statements, allocation and invocation
+// sites across the whole program.
+func (p *Program) Stats() Stats {
+	var s Stats
+	s.Classes = len(p.Classes)
+	for _, c := range p.Classes {
+		for _, m := range c.Methods {
+			s.Methods++
+			s.Stmts += len(m.Stmts)
+			for _, st := range m.Stmts {
+				switch st.Kind {
+				case StNew:
+					s.Allocs++
+				case StInvoke:
+					s.Invokes++
+				}
+			}
+		}
+	}
+	return s
+}

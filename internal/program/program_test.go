@@ -1,0 +1,398 @@
+package program
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleJP = `
+# A small program exercising every construct.
+entry Main.main
+
+interface Greeter {
+    abstract method greet(x)
+}
+
+class Item {
+    field next
+}
+
+class Box extends Item implements Greeter {
+    field contents
+    method greet(x) {
+    }
+    method put(v: Item) returns old: Item {
+        old = this.contents
+        this.contents = v
+        return old
+    }
+}
+
+class Worker extends java.lang.Thread {
+    field item
+    method run() {
+        var v: Item
+        v = new Item
+        this.item = v
+        sync this
+    }
+}
+
+class Main {
+    static method main(args) {
+        var b: Box
+        b = new Box
+        i = new Item
+        old = b.put(i)
+        t = new Worker
+        t.start()
+        u = Main::mk()
+        global.shared = u
+        w = global.shared
+        arr = new Item
+        arr[] = i
+        x = arr[]
+    }
+    static method mk() returns r: Item {
+        r = new Item
+        return r
+    }
+}
+`
+
+func TestParseSample(t *testing.T) {
+	p, err := Parse(sampleJP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Class("Box") == nil || p.Class("Greeter") == nil {
+		t.Fatal("classes missing")
+	}
+	if !p.Class("Greeter").IsInterface {
+		t.Fatal("Greeter should be an interface")
+	}
+	if p.Class("Box").Super != "Item" {
+		t.Fatalf("Box super = %q", p.Class("Box").Super)
+	}
+	if got := p.Class("Box").Interfaces; len(got) != 1 || got[0] != "Greeter" {
+		t.Fatalf("Box interfaces = %v", got)
+	}
+	if p.Class("Worker").Super != ThreadClass {
+		t.Fatal("Worker should extend Thread")
+	}
+	m := p.Method(MethodRef{"Box", "put"})
+	if m == nil || len(m.Params) != 1 || m.Params[0].Type != "Item" {
+		t.Fatalf("Box.put parsed wrong: %+v", m)
+	}
+	if m.Ret.Name != "old" || m.Ret.Type != "Item" {
+		t.Fatalf("Box.put return = %+v", m.Ret)
+	}
+	main := p.Method(MethodRef{"Main", "main"})
+	if !main.Static {
+		t.Fatal("main should be static")
+	}
+	if main.VarTypes["b"] != "Box" {
+		t.Fatalf("var decl lost: %v", main.VarTypes)
+	}
+}
+
+func TestParseStatementKinds(t *testing.T) {
+	p := MustParse(sampleJP)
+	main := p.Method(MethodRef{"Main", "main"})
+	kinds := make(map[StmtKind]int)
+	for _, st := range main.Stmts {
+		kinds[st.Kind]++
+	}
+	if kinds[StNew] != 4 {
+		t.Fatalf("news = %d", kinds[StNew])
+	}
+	if kinds[StInvoke] != 3 {
+		t.Fatalf("invokes = %d", kinds[StInvoke])
+	}
+	if kinds[StStoreGlobal] != 1 || kinds[StLoadGlobal] != 1 {
+		t.Fatalf("global accesses: %v", kinds)
+	}
+	if kinds[StStore] != 1 || kinds[StLoad] != 1 {
+		t.Fatalf("array accesses: %v", kinds)
+	}
+	// The array store/load use the special field.
+	found := 0
+	for _, st := range main.Stmts {
+		if (st.Kind == StStore || st.Kind == StLoad) && st.Field == ArrayField {
+			found++
+		}
+	}
+	if found != 2 {
+		t.Fatalf("array field uses = %d", found)
+	}
+}
+
+func TestParseInvokeShapes(t *testing.T) {
+	p := MustParse(sampleJP)
+	main := p.Method(MethodRef{"Main", "main"})
+	var virt, static int
+	for _, st := range main.Stmts {
+		if st.Kind != StInvoke {
+			continue
+		}
+		if st.Virtual {
+			virt++
+			if st.Args[0] == "" {
+				t.Fatal("virtual call without receiver")
+			}
+		} else {
+			static++
+			if st.Src != "Main" || st.Callee != "mk" {
+				t.Fatalf("static call parsed wrong: %+v", st)
+			}
+		}
+	}
+	if virt != 2 || static != 1 {
+		t.Fatalf("virt=%d static=%d", virt, static)
+	}
+}
+
+func TestImplicitRootClasses(t *testing.T) {
+	p := MustParse("entry A.m\nclass A {\n method m() {\n }\n}\n")
+	if p.Class(ObjectClass) == nil || p.Class(ThreadClass) == nil {
+		t.Fatal("implicit roots missing")
+	}
+	if p.Class("A").Super != ObjectClass {
+		t.Fatal("default super missing")
+	}
+}
+
+func TestBuilderEquivalence(t *testing.T) {
+	b := NewBuilder()
+	b.Interface("Greeter").Method("greet", Params("x"), Abstract())
+	b.Class("Item").Field("next")
+	box := b.Class("Box", Extends("Item"), Implements("Greeter"))
+	box.Field("contents")
+	box.Method("greet", Params("x"))
+	box.Method("put", Params("v: Item"), Returns("old: Item")).
+		Load("old", "this", "contents").
+		Store("this", "contents", "v").
+		Return("old")
+	b.Entry("Box", "put")
+	p := b.MustBuild()
+	m := p.Method(MethodRef{"Box", "put"})
+	if len(m.Stmts) != 3 || m.Stmts[0].Kind != StLoad {
+		t.Fatalf("builder stmts: %v", m.Stmts)
+	}
+	if p.Class("Box").Method("greet").Abstract {
+		t.Fatal("greet should be concrete")
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(b *Builder)
+		want string
+	}{
+		{"unknown super", func(b *Builder) { b.Class("A", Extends("Nope")) }, "unknown"},
+		{"unknown iface", func(b *Builder) { b.Class("A", Implements("Nope")) }, "unknown"},
+		{"non-interface impl", func(b *Builder) {
+			b.Class("B")
+			b.Class("A", Implements("B"))
+		}, "non-interface"},
+		{"dup class", func(b *Builder) { b.Class("A"); b.Class("A") }, "twice"},
+		{"dup method", func(b *Builder) {
+			c := b.Class("A")
+			c.Method("m")
+			c.Method("m")
+		}, "twice"},
+		{"instantiate interface", func(b *Builder) {
+			b.Interface("I")
+			b.Class("A").Method("m").New("v", "I")
+		}, "interface"},
+		{"unknown new type", func(b *Builder) {
+			b.Class("A").Method("m").New("v", "Nope")
+		}, "unknown type"},
+		{"return without ret", func(b *Builder) {
+			b.Class("A").Method("m").Return("x")
+		}, "without return"},
+		{"bad entry", func(b *Builder) { b.Class("A"); b.Entry("A", "nope") }, "entry"},
+		{"explicit this", func(b *Builder) {
+			b.Class("A").Method("m", Params("this"))
+		}, "this"},
+		{"cycle", func(b *Builder) {
+			b.Class("A", Extends("B"))
+			b.Class("B", Extends("A"))
+		}, "cycle"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			b := NewBuilder()
+			c.mut(b)
+			_, err := b.Build()
+			if err == nil {
+				t.Fatal("no error")
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not mention %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"bad toplevel", "frob A"},
+		{"unclosed class", "class A {"},
+		{"bad entry", "entry nope"},
+		{"bad header", "class A extends {"},
+		{"unclosed method", "class A {\nmethod m() {\n}"},
+		{"var without type", "class A {\nmethod m() {\nvar x\n}\n}"},
+		{"call without receiver", "class A {\nmethod m() {\nfoo(x)\n}\n}"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := Parse(c.src); err == nil {
+				t.Fatalf("no error for %q", c.src)
+			}
+		})
+	}
+}
+
+func TestStats(t *testing.T) {
+	p := MustParse(sampleJP)
+	s := p.Stats()
+	if s.Allocs != 6 { // 4 in main, 1 in run, 1 in mk
+		t.Fatalf("allocs = %d", s.Allocs)
+	}
+	if s.Invokes != 3 {
+		t.Fatalf("invokes = %d", s.Invokes)
+	}
+	if s.Classes < 6 { // 4 declared + Object + Thread
+		t.Fatalf("classes = %d", s.Classes)
+	}
+}
+
+func TestStmtString(t *testing.T) {
+	p := MustParse(sampleJP)
+	// Round-trip sanity for a couple of forms.
+	run := p.Method(MethodRef{"Worker", "run"})
+	if got := run.Stmts[0].String(); got != "v = new Item" {
+		t.Fatalf("String() = %q", got)
+	}
+	if got := run.Stmts[1].String(); got != "this.item = v" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestIsSubclassOf(t *testing.T) {
+	p := MustParse(sampleJP)
+	if !p.IsSubclassOf("Box", "Item") || !p.IsSubclassOf("Box", ObjectClass) {
+		t.Fatal("subclass chain broken")
+	}
+	if p.IsSubclassOf("Item", "Box") {
+		t.Fatal("inverted subclassing")
+	}
+	if !p.IsSubclassOf("Worker", ThreadClass) {
+		t.Fatal("thread subclass not detected")
+	}
+}
+
+func TestBuilderFullStatementSurface(t *testing.T) {
+	b := NewBuilder()
+	b.Class("Item")
+	w := b.Class("Worker", Extends(ThreadClass))
+	w.Field("slot")
+	w.Method("run").
+		DeclareLocal("v", "Item").
+		New("v", "Item").
+		Move("w", "v").
+		Store("this", "slot", "w").
+		Load("x", "this", "slot").
+		StoreGlobal("g", "x").
+		LoadGlobal("y", "g").
+		InvokeVirtual("", "this", "helper", "y").
+		Sync("v")
+	w.Method("helper", Params("p")).
+		InvokeStatic("", "Worker", "util", "p")
+	w.Method("util", Params("p"), Static())
+	p := b.MustBuild()
+	run := p.Method(MethodRef{"Worker", "run"})
+	if len(run.Stmts) != 8 {
+		t.Fatalf("run has %d stmts", len(run.Stmts))
+	}
+	if run.VarTypes["v"] != "Item" {
+		t.Fatal("DeclareLocal lost")
+	}
+	if !p.Class("Worker").Method("util").Static {
+		t.Fatal("Static() lost")
+	}
+	// Statement String forms all render.
+	for _, st := range run.Stmts {
+		if st.String() == "<bad stmt>" {
+			t.Fatalf("bad render for %+v", st)
+		}
+	}
+	util := p.Class("Worker").Method("helper").Stmts[0]
+	if got := util.String(); got != `Worker::util(p)` {
+		t.Fatalf("static invoke renders %q", got)
+	}
+}
+
+func TestAllMethods(t *testing.T) {
+	p := MustParse(sampleJP)
+	ms := p.AllMethods()
+	if len(ms) < 5 {
+		t.Fatalf("AllMethods = %d", len(ms))
+	}
+	seen := map[string]bool{}
+	for _, m := range ms {
+		seen[m.QName()] = true
+	}
+	if !seen["Box.put"] || !seen["Main.main"] {
+		t.Fatal("methods missing from AllMethods")
+	}
+}
+
+func TestInvokeStringWithResult(t *testing.T) {
+	st := Stmt{Kind: StInvoke, Dst: "r", Callee: "m", Args: []string{"recv", "a", "b"}, Virtual: true}
+	if got := st.String(); got != "r = recv.m(a, b)" {
+		t.Fatalf("String() = %q", got)
+	}
+	st2 := Stmt{Kind: StInvoke, Dst: "r", Src: "Cls", Callee: "m", Args: []string{"a"}}
+	if got := st2.String(); got != "r = Cls::m(a)" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestValidateAbstractWithBody(t *testing.T) {
+	b := NewBuilder()
+	c := b.Class("A")
+	mb := c.Method("m", Abstract())
+	mb.New("v", "A")
+	if _, err := b.Build(); err == nil {
+		t.Fatal("abstract method with body accepted")
+	}
+}
+
+func TestValidateUnknownLocalType(t *testing.T) {
+	b := NewBuilder()
+	b.Class("A").Method("m").DeclareLocal("v", "Nope")
+	if _, err := b.Build(); err == nil {
+		t.Fatal("unknown local type accepted")
+	}
+}
+
+func TestValidateVirtualWithoutReceiver(t *testing.T) {
+	b := NewBuilder()
+	c := b.Class("A")
+	m := c.Method("m")
+	m.m.Stmts = append(m.m.Stmts, Stmt{Kind: StInvoke, Callee: "x", Virtual: true})
+	if _, err := b.Build(); err == nil {
+		t.Fatal("virtual call without receiver accepted")
+	}
+}
+
+func TestValidateStaticCallUnknownClass(t *testing.T) {
+	b := NewBuilder()
+	b.Class("A").Method("m").InvokeStatic("", "Nope", "x")
+	if _, err := b.Build(); err == nil {
+		t.Fatal("static call on unknown class accepted")
+	}
+}

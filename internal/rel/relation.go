@@ -1,0 +1,446 @@
+package rel
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+	"strings"
+
+	"bddbddb/internal/bdd"
+)
+
+// Attr binds an attribute name to a logical domain and the physical
+// instance holding its bits.
+type Attr struct {
+	Name string
+	Dom  *LogicalDomain
+	Phys *bdd.Domain
+}
+
+// A returns an attribute of the named logical domain bound to physical
+// instance inst.
+func (u *Universe) A(attrName, domName string, inst int) Attr {
+	d := u.logical[domName]
+	if d == nil {
+		panic(fmt.Sprintf("rel: unknown domain %q", domName))
+	}
+	return Attr{Name: attrName, Dom: d, Phys: u.Phys(domName, inst)}
+}
+
+// Relation is a set of tuples over named attributes, stored as a BDD.
+// All mutating and deriving operations keep the underlying BDD node
+// referenced; call Free when a relation is no longer needed.
+type Relation struct {
+	u     *Universe
+	Name  string
+	attrs []Attr
+	root  bdd.Node
+}
+
+// NewRelation creates an empty relation. Attribute names must be unique
+// and no two attributes may share a physical domain.
+func (u *Universe) NewRelation(name string, attrs ...Attr) *Relation {
+	if !u.final {
+		panic("rel: NewRelation before Finalize")
+	}
+	checkAttrs(name, attrs)
+	return &Relation{u: u, Name: name, attrs: append([]Attr(nil), attrs...), root: u.M.Ref(bdd.False)}
+}
+
+// NewRelationFromBDD wraps an already-referenced BDD node as a relation;
+// the relation takes ownership of the caller's reference.
+func (u *Universe) NewRelationFromBDD(name string, root bdd.Node, attrs ...Attr) *Relation {
+	checkAttrs(name, attrs)
+	return &Relation{u: u, Name: name, attrs: append([]Attr(nil), attrs...), root: root}
+}
+
+func checkAttrs(name string, attrs []Attr) {
+	seenName := make(map[string]bool)
+	seenPhys := make(map[*bdd.Domain]string)
+	for _, a := range attrs {
+		if a.Phys == nil || a.Dom == nil {
+			panic(fmt.Sprintf("rel: relation %s has incomplete attribute %q", name, a.Name))
+		}
+		if seenName[a.Name] {
+			panic(fmt.Sprintf("rel: relation %s repeats attribute %q", name, a.Name))
+		}
+		seenName[a.Name] = true
+		if prev, ok := seenPhys[a.Phys]; ok {
+			panic(fmt.Sprintf("rel: relation %s binds attributes %q and %q to one physical domain %s",
+				name, prev, a.Name, a.Phys.Name))
+		}
+		seenPhys[a.Phys] = a.Name
+	}
+}
+
+// Attrs returns the relation's attributes.
+func (r *Relation) Attrs() []Attr { return r.attrs }
+
+// Attr returns the attribute with the given name.
+func (r *Relation) Attr(name string) Attr {
+	for _, a := range r.attrs {
+		if a.Name == name {
+			return a
+		}
+	}
+	panic(fmt.Sprintf("rel: relation %s has no attribute %q (has %s)", r.Name, name, r.attrNames()))
+}
+
+// HasAttr reports whether the relation has an attribute with the name.
+func (r *Relation) HasAttr(name string) bool {
+	for _, a := range r.attrs {
+		if a.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+func (r *Relation) attrNames() string {
+	names := make([]string, len(r.attrs))
+	for i, a := range r.attrs {
+		names[i] = a.Name
+	}
+	return strings.Join(names, ",")
+}
+
+// Root exposes the underlying BDD node (still owned by the relation).
+func (r *Relation) Root() bdd.Node { return r.root }
+
+// Free releases the relation's BDD reference. The relation must not be
+// used afterwards.
+func (r *Relation) Free() {
+	r.u.M.Deref(r.root)
+	r.root = bdd.False
+	r.attrs = nil
+}
+
+// Clone returns an independent copy sharing the same tuples.
+func (r *Relation) Clone(name string) *Relation {
+	return &Relation{u: r.u, Name: name, attrs: append([]Attr(nil), r.attrs...), root: r.u.M.Ref(r.root)}
+}
+
+// AddTuple inserts one tuple, with values listed in attribute order.
+func (r *Relation) AddTuple(vals ...uint64) {
+	if len(vals) != len(r.attrs) {
+		panic(fmt.Sprintf("rel: AddTuple(%v) into %s(%s)", vals, r.Name, r.attrNames()))
+	}
+	m := r.u.M
+	cube := m.Ref(bdd.True)
+	for i, a := range r.attrs {
+		if vals[i] >= a.Dom.Size {
+			panic(fmt.Sprintf("rel: value %d exceeds domain %s (size %d) in %s.%s",
+				vals[i], a.Dom.Name, a.Dom.Size, r.Name, a.Name))
+		}
+		eq := a.Phys.Eq(vals[i])
+		next := m.And(cube, eq)
+		m.Deref(cube)
+		m.Deref(eq)
+		cube = next
+	}
+	next := m.Or(r.root, cube)
+	m.Deref(r.root)
+	m.Deref(cube)
+	r.root = next
+}
+
+func (r *Relation) sameSchema(o *Relation) bool {
+	if len(r.attrs) != len(o.attrs) {
+		return false
+	}
+	for _, a := range r.attrs {
+		found := false
+		for _, b := range o.attrs {
+			if a.Name == b.Name {
+				if a.Phys != b.Phys {
+					return false
+				}
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *Relation) requireSameSchema(o *Relation, op string) {
+	if !r.sameSchema(o) {
+		panic(fmt.Sprintf("rel: %s of %s(%s) and %s(%s): schemas differ",
+			op, r.Name, r.attrNames(), o.Name, o.attrNames()))
+	}
+}
+
+// UnionWith adds all of o's tuples to r in place and reports whether r
+// changed.
+func (r *Relation) UnionWith(o *Relation) bool {
+	r.requireSameSchema(o, "union")
+	m := r.u.M
+	next := m.Or(r.root, o.root)
+	changed := next != r.root
+	m.Deref(r.root)
+	r.root = next
+	return changed
+}
+
+// Union returns a new relation with the tuples of both operands.
+func (r *Relation) Union(name string, o *Relation) *Relation {
+	r.requireSameSchema(o, "union")
+	return &Relation{u: r.u, Name: name, attrs: append([]Attr(nil), r.attrs...), root: r.u.M.Or(r.root, o.root)}
+}
+
+// Minus returns the tuples of r that are not in o.
+func (r *Relation) Minus(name string, o *Relation) *Relation {
+	r.requireSameSchema(o, "difference")
+	return &Relation{u: r.u, Name: name, attrs: append([]Attr(nil), r.attrs...), root: r.u.M.Diff(r.root, o.root)}
+}
+
+// joinAttrs computes the result schema of a natural join and validates
+// physical alignment: shared attribute names must share a physical
+// domain; attributes private to one side must not collide physically.
+func joinAttrs(a, b *Relation, op string) (shared []string, result []Attr) {
+	result = append(result, a.attrs...)
+	for _, battr := range b.attrs {
+		if a.HasAttr(battr.Name) {
+			aattr := a.Attr(battr.Name)
+			if aattr.Phys != battr.Phys {
+				panic(fmt.Sprintf("rel: %s of %s and %s: attribute %q on %s vs %s (rename first)",
+					op, a.Name, b.Name, battr.Name, aattr.Phys.Name, battr.Phys.Name))
+			}
+			shared = append(shared, battr.Name)
+			continue
+		}
+		for _, aattr := range a.attrs {
+			if aattr.Phys == battr.Phys {
+				panic(fmt.Sprintf("rel: %s of %s and %s: attributes %q and %q collide on %s",
+					op, a.Name, b.Name, aattr.Name, battr.Name, battr.Phys.Name))
+			}
+		}
+		result = append(result, battr)
+	}
+	return shared, result
+}
+
+// Join returns the natural join of r and o on their shared attribute
+// names (a BDD AND once aligned).
+func (r *Relation) Join(name string, o *Relation) *Relation {
+	_, attrs := joinAttrs(r, o, "join")
+	return &Relation{u: r.u, Name: name, attrs: attrs, root: r.u.M.And(r.root, o.root)}
+}
+
+// JoinProject joins r and o and projects away the named attributes in
+// one BDD relprod (AndExist) pass — the workhorse of rule application.
+func (r *Relation) JoinProject(name string, o *Relation, drop ...string) *Relation {
+	_, attrs := joinAttrs(r, o, "join")
+	m := r.u.M
+	var keep []Attr
+	var dropLevels []int32
+	for _, a := range attrs {
+		dropped := false
+		for _, d := range drop {
+			if a.Name == d {
+				dropped = true
+				break
+			}
+		}
+		if dropped {
+			dropLevels = append(dropLevels, a.Phys.Levels()...)
+		} else {
+			keep = append(keep, a)
+		}
+	}
+	for _, d := range drop {
+		found := false
+		for _, a := range attrs {
+			if a.Name == d {
+				found = true
+				break
+			}
+		}
+		if !found {
+			panic(fmt.Sprintf("rel: JoinProject drops unknown attribute %q", d))
+		}
+	}
+	vs := m.MakeSet(dropLevels)
+	root := m.AndExist(r.root, o.root, vs)
+	m.Deref(vs)
+	return &Relation{u: r.u, Name: name, attrs: keep, root: root}
+}
+
+// ProjectOut removes the named attributes (existential quantification).
+func (r *Relation) ProjectOut(name string, drop ...string) *Relation {
+	m := r.u.M
+	var keep []Attr
+	var dropLevels []int32
+	for _, a := range r.attrs {
+		dropped := false
+		for _, d := range drop {
+			if a.Name == d {
+				dropped = true
+				break
+			}
+		}
+		if dropped {
+			dropLevels = append(dropLevels, a.Phys.Levels()...)
+		} else {
+			keep = append(keep, a)
+		}
+	}
+	for _, d := range drop {
+		if !r.HasAttr(d) {
+			panic(fmt.Sprintf("rel: ProjectOut of unknown attribute %q from %s", d, r.Name))
+		}
+	}
+	vs := m.MakeSet(dropLevels)
+	root := m.Exist(r.root, vs)
+	m.Deref(vs)
+	return &Relation{u: r.u, Name: name, attrs: keep, root: root}
+}
+
+// Rename returns r with some attributes rebound to different physical
+// instances (one BDD replace). The map keys are attribute names.
+func (r *Relation) Rename(name string, moves map[string]*bdd.Domain) *Relation {
+	m := r.u.M
+	p := m.NewPair()
+	attrs := append([]Attr(nil), r.attrs...)
+	for i := range attrs {
+		to, ok := moves[attrs[i].Name]
+		if !ok || to == attrs[i].Phys {
+			continue
+		}
+		p.SetDomains(attrs[i].Phys, to)
+		attrs[i].Phys = to
+	}
+	for n := range moves {
+		if !r.HasAttr(n) {
+			panic(fmt.Sprintf("rel: Rename of unknown attribute %q in %s", n, r.Name))
+		}
+	}
+	root := m.Replace(r.root, p)
+	res := &Relation{u: r.u, Name: name, attrs: attrs, root: root}
+	checkAttrs(name, attrs)
+	return res
+}
+
+// RenameAttr returns r with one attribute renamed (metadata only; the
+// tuples and physical binding are unchanged).
+func (r *Relation) RenameAttr(name, oldAttr, newAttr string) *Relation {
+	attrs := append([]Attr(nil), r.attrs...)
+	found := false
+	for i := range attrs {
+		if attrs[i].Name == oldAttr {
+			attrs[i].Name = newAttr
+			found = true
+		}
+	}
+	if !found {
+		panic(fmt.Sprintf("rel: RenameAttr of unknown attribute %q in %s", oldAttr, r.Name))
+	}
+	checkAttrs(name, attrs)
+	return &Relation{u: r.u, Name: name, attrs: attrs, root: r.u.M.Ref(r.root)}
+}
+
+// SelectEq returns the tuples whose attribute equals val (attribute
+// retained; ProjectOut to drop it).
+func (r *Relation) SelectEq(name, attr string, val uint64) *Relation {
+	a := r.Attr(attr)
+	if val >= a.Dom.Size {
+		panic(fmt.Sprintf("rel: SelectEq value %d outside domain %s", val, a.Dom.Name))
+	}
+	m := r.u.M
+	eq := a.Phys.Eq(val)
+	root := m.And(r.root, eq)
+	m.Deref(eq)
+	return &Relation{u: r.u, Name: name, attrs: append([]Attr(nil), r.attrs...), root: root}
+}
+
+// Complement returns the tuples over the attributes' domains that are
+// NOT in r — negation relative to the finite universe of the schema,
+// used by stratified Datalog negation.
+func (r *Relation) Complement(name string) *Relation {
+	m := r.u.M
+	root := m.Not(r.root)
+	for _, a := range r.attrs {
+		c := a.Phys.DomainConstraint()
+		next := m.And(root, c)
+		m.Deref(root)
+		m.Deref(c)
+		root = next
+	}
+	return &Relation{u: r.u, Name: name, attrs: append([]Attr(nil), r.attrs...), root: root}
+}
+
+// SameSchemaAs reports whether both relations bind the same attribute
+// names to the same physical domains (tuple order notwithstanding).
+func (r *Relation) SameSchemaAs(o *Relation) bool { return r.sameSchema(o) }
+
+// IsEmpty reports whether the relation has no tuples.
+func (r *Relation) IsEmpty() bool { return r.root == bdd.False }
+
+// SameTuples reports whether two relations over the same schema hold
+// exactly the same tuples (constant time: BDDs are canonical).
+func (r *Relation) SameTuples(o *Relation) bool {
+	r.requireSameSchema(o, "comparison")
+	return r.root == o.root
+}
+
+// Size returns the exact tuple count.
+func (r *Relation) Size() *big.Int {
+	if len(r.attrs) == 0 {
+		if r.root == bdd.True {
+			return big.NewInt(1)
+		}
+		return big.NewInt(0)
+	}
+	return r.u.M.SatCountIn(r.root, r.supportVars())
+}
+
+func (r *Relation) supportVars() []int32 {
+	var vars []int32
+	for _, a := range r.attrs {
+		vars = append(vars, a.Phys.Levels()...)
+	}
+	sort.Slice(vars, func(i, j int) bool { return vars[i] < vars[j] })
+	return vars
+}
+
+// Iterate calls fn for every tuple (values in attribute order) until it
+// returns false. Enumeration order is deterministic.
+func (r *Relation) Iterate(fn func(vals []uint64) bool) {
+	if len(r.attrs) == 0 {
+		if r.root == bdd.True {
+			fn(nil)
+		}
+		return
+	}
+	vars := r.supportVars()
+	vals := make([]uint64, len(r.attrs))
+	r.u.M.AllSat(r.root, vars, func(bits []bool) bool {
+		for i, a := range r.attrs {
+			vals[i] = a.Phys.Value(vars, bits)
+		}
+		return fn(vals)
+	})
+}
+
+// Tuples materializes the relation as a slice (tests and small outputs
+// only; context-sensitive relations can hold 10^14 tuples).
+func (r *Relation) Tuples() [][]uint64 {
+	var out [][]uint64
+	r.Iterate(func(vals []uint64) bool {
+		out = append(out, append([]uint64(nil), vals...))
+		return true
+	})
+	return out
+}
+
+// String renders the schema, for diagnostics.
+func (r *Relation) String() string {
+	parts := make([]string, len(r.attrs))
+	for i, a := range r.attrs {
+		parts[i] = fmt.Sprintf("%s:%s@%s", a.Name, a.Dom.Name, a.Phys.Name)
+	}
+	return fmt.Sprintf("%s(%s)", r.Name, strings.Join(parts, ","))
+}

@@ -1,0 +1,113 @@
+package synth
+
+import "math/big"
+
+// Benchmark pairs a generator configuration with the Figure 3 line it
+// is calibrated against, so the harness can print paper-vs-measured.
+type Benchmark struct {
+	Params Params
+	// Paper's vital statistics (Figure 3).
+	PaperClasses, PaperMethods int
+	PaperBytecodesK            int
+	PaperPathsExp              int // C.S. paths ≈ PaperPathsMant × 10^exp
+	PaperPathsMant             int
+	Description                string
+}
+
+// PaperPaths renders the paper's path count.
+func (b Benchmark) PaperPaths() *big.Int {
+	p := new(big.Int).Exp(big.NewInt(10), big.NewInt(int64(b.PaperPathsExp)), nil)
+	return p.Mul(p, big.NewInt(int64(b.PaperPathsMant)))
+}
+
+// Quick is a small configuration for tests and examples.
+var Quick = Params{
+	Name: "quick", Seed: 7,
+	Classes: 10, Interfaces: 2, FieldsPerClass: 2,
+	Layers: 5, Width: 3, Fanout: 2,
+	VirtualFrac: 0.3, OverrideFrac: 0.3, RecursionFrac: 0.1,
+	Threads: 2, SyncsPerThread: 2,
+}
+
+// Benchmarks are the 21 SourceForge applications of Figure 3, scaled
+// down (≈1/10 in classes/methods) with call-skeleton shapes chosen so
+// the reduced-call-path counts land near the paper's exponents.
+var Benchmarks = []Benchmark{
+	bench("freetts", "speech synthesis system", 215, 723, 48, 4, 4,
+		Params{Classes: 22, Interfaces: 3, Layers: 10, Width: 6, Fanout: 3}),
+	bench("nfcchat", "scalable, distributed chat client", 283, 993, 61, 8, 6,
+		Params{Classes: 28, Interfaces: 4, Layers: 12, Width: 6, Fanout: 4, Threads: 2}),
+	bench("jetty", "HTTP Server and Servlet container", 309, 1160, 66, 9, 5,
+		Params{Classes: 31, Interfaces: 5, Layers: 13, Width: 7, Fanout: 3, Threads: 3}),
+	bench("openwfe", "java workflow engine", 337, 1215, 74, 3, 6,
+		Params{Classes: 34, Interfaces: 5, Layers: 11, Width: 7, Fanout: 4}),
+	bench("joone", "Java neural net framework", 375, 1531, 92, 1, 7,
+		Params{Classes: 38, Interfaces: 5, Layers: 13, Width: 7, Fanout: 4, Threads: 1}),
+	bench("jboss", "J2EE application server", 348, 1554, 104, 3, 8,
+		Params{Classes: 35, Interfaces: 6, Layers: 15, Width: 8, Fanout: 4, Threads: 3}),
+	bench("jbossdep", "J2EE deployer", 431, 1924, 119, 4, 8,
+		Params{Classes: 43, Interfaces: 6, Layers: 15, Width: 8, Fanout: 4, Threads: 2}),
+	bench("sshdaemon", "SSH daemon", 485, 2053, 115, 4, 9,
+		Params{Classes: 48, Interfaces: 7, Layers: 14, Width: 8, Fanout: 5, Threads: 4}),
+	bench("pmd", "Java source code analyzer", 394, 1971, 140, 5, 23,
+		Params{Classes: 39, Interfaces: 6, Layers: 27, Width: 8, Fanout: 8}),
+	bench("azureus", "Java bittorrent client", 498, 2714, 167, 2, 9,
+		Params{Classes: 50, Interfaces: 7, Layers: 14, Width: 8, Fanout: 5, Threads: 4}),
+	bench("freenet", "anonymous peer-to-peer file sharing system", 667, 3200, 210, 2, 7,
+		Params{Classes: 67, Interfaces: 8, Layers: 13, Width: 8, Fanout: 4, Threads: 4}),
+	bench("sshterm", "SSH terminal", 808, 4059, 241, 5, 11,
+		Params{Classes: 81, Interfaces: 9, Layers: 17, Width: 9, Fanout: 5, Threads: 3}),
+	bench("jgraph", "mathematical graph-theory objects and algorithms", 1041, 5753, 337, 1, 11,
+		Params{Classes: 104, Interfaces: 10, Layers: 16, Width: 9, Fanout: 5, Threads: 2}),
+	bench("umldot", "makes UML class diagrams from Java code", 1189, 6505, 362, 3, 14,
+		Params{Classes: 119, Interfaces: 11, Layers: 19, Width: 9, Fanout: 6, Threads: 2}),
+	bench("jbidwatch", "auction site bidding, sniping, and tracking tool", 1474, 8262, 489, 7, 13,
+		Params{Classes: 147, Interfaces: 12, Layers: 18, Width: 10, Fanout: 6, Threads: 3}),
+	bench("columba", "graphical email client with internationalization", 2020, 10574, 572, 1, 13,
+		Params{Classes: 202, Interfaces: 14, Layers: 19, Width: 10, Fanout: 5, Threads: 4}),
+	bench("gantt", "plan projects using Gantt charts", 1834, 10487, 597, 1, 13,
+		Params{Classes: 183, Interfaces: 13, Layers: 19, Width: 10, Fanout: 5, Threads: 3}),
+	bench("jxplorer", "ldap browser", 1927, 10702, 645, 2, 9,
+		Params{Classes: 193, Interfaces: 14, Layers: 14, Width: 10, Fanout: 5, Threads: 3}),
+	bench("jedit", "programmer's text editor", 1788, 10934, 667, 6, 7,
+		Params{Classes: 179, Interfaces: 13, Layers: 14, Width: 10, Fanout: 4, Threads: 2}),
+	bench("megamek", "networked BattleTech game", 1265, 8970, 668, 4, 14,
+		Params{Classes: 126, Interfaces: 11, Layers: 19, Width: 10, Fanout: 6, Threads: 4}),
+	bench("gruntspud", "graphical CVS client", 2277, 12846, 687, 2, 9,
+		Params{Classes: 228, Interfaces: 15, Layers: 14, Width: 10, Fanout: 5, Threads: 3}),
+}
+
+// BenchmarkByName returns the named configuration, or nil.
+func BenchmarkByName(name string) *Benchmark {
+	for i := range Benchmarks {
+		if Benchmarks[i].Params.Name == name {
+			return &Benchmarks[i]
+		}
+	}
+	return nil
+}
+
+func bench(name, desc string, paperClasses, paperMethods, paperKB, mant, exp int, p Params) Benchmark {
+	p.Name = name
+	p.Seed = int64(len(name))*1_000_003 + int64(paperMethods)
+	p.FieldsPerClass = 2
+	if p.VirtualFrac == 0 {
+		p.VirtualFrac = 0.3
+	}
+	if p.OverrideFrac == 0 {
+		p.OverrideFrac = 0.3
+	}
+	if p.RecursionFrac == 0 {
+		p.RecursionFrac = 0.1
+	}
+	if p.Threads > 0 && p.SyncsPerThread == 0 {
+		p.SyncsPerThread = 2
+	}
+	return Benchmark{
+		Params:       p,
+		PaperClasses: paperClasses, PaperMethods: paperMethods,
+		PaperBytecodesK: paperKB,
+		PaperPathsMant:  mant, PaperPathsExp: exp,
+		Description: desc,
+	}
+}

@@ -1,0 +1,330 @@
+// Package synth generates deterministic Java-like benchmark programs
+// whose relational shape mirrors the paper's 21 SourceForge benchmarks
+// (Figure 3): class hierarchies with interfaces and overrides, a
+// layered call skeleton whose reduced-call-path count grows as
+// fanout^layers (freetts's 4×10^4 up to pmd's 5×10^23), virtual calls
+// with CHA ambiguity, recursion (call-graph SCCs), field traffic,
+// globals, threads and synchronization.
+//
+// The programs are scaled down from the originals (we cannot ship
+// SourceForge jars, and Joeq is a JVM frontend); what the analyses
+// consume is the extracted relation shape, which the generator
+// reproduces — see DESIGN.md's substitution table.
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"bddbddb/internal/program"
+)
+
+// Params controls one generated benchmark.
+type Params struct {
+	Name string
+	Seed int64
+
+	// Classes is the number of application classes (plus a few library
+	// and query-support classes the generator always adds).
+	Classes int
+	// Interfaces get implemented by roughly a third of the classes.
+	Interfaces int
+	// FieldsPerClass fields are declared per class.
+	FieldsPerClass int
+
+	// The call skeleton: Layers × Width methods; each calls Fanout
+	// methods of the next layer, so reduced call paths ≈ Width ·
+	// Fanout^Layers.
+	Layers, Width, Fanout int
+	// VirtualFrac of skeleton calls dispatch virtually (with CHA
+	// ambiguity from overrides); the rest are static.
+	VirtualFrac float64
+	// OverrideFrac of skeleton methods are overridden in a subclass,
+	// feeding virtual-dispatch ambiguity.
+	OverrideFrac float64
+	// RecursionFrac of methods add a back-edge call into an earlier (or
+	// the same) layer, creating call-graph SCCs.
+	RecursionFrac float64
+
+	// Threads is the number of Thread subclasses; each is allocated and
+	// started, its run() calling into the skeleton, touching globals and
+	// synchronizing.
+	Threads int
+	// SyncsPerThread sync statements are placed in each run() (plus
+	// some in skeleton methods when threads exist).
+	SyncsPerThread int
+}
+
+// Generate builds the program for the given parameters. The same
+// Params always yield the identical program.
+func Generate(p Params) *program.Program {
+	if p.Classes < 2 {
+		p.Classes = 2
+	}
+	if p.Layers < 1 {
+		p.Layers = 1
+	}
+	if p.Width < 1 {
+		p.Width = 1
+	}
+	if p.Fanout < 1 {
+		p.Fanout = 1
+	}
+	if p.FieldsPerClass < 1 {
+		p.FieldsPerClass = 2
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	g := &gen{p: p, rng: rng, b: program.NewBuilder()}
+	g.types()
+	g.skeleton()
+	g.threads()
+	g.mainMethod()
+	return g.b.MustBuild()
+}
+
+type gen struct {
+	p   Params
+	rng *rand.Rand
+	b   *program.Builder
+
+	classNames []string // concrete app classes, hierarchy order
+	ifaceNames []string
+	supers     map[string]string
+	// methods[l][s] is the class owning skeleton method m<l>_<s>.
+	methods [][]string
+	// overridden[l][s] is the overriding subclass ("" if none).
+	overridden [][]string
+	classes    map[string]*program.ClassBuilder
+	threadCls  []string
+}
+
+// field names are per-class (as in Java, where a field descriptor
+// includes its declaring class); sharing names across classes would
+// funnel the whole heap through a couple of F elements and wreck the
+// field-sensitive analyses' precision.
+func (g *gen) field(owner string, i int) string {
+	return fmt.Sprintf("%s_f%d", owner, i%g.p.FieldsPerClass)
+}
+
+// types emits the hierarchy: interfaces, then classes extending earlier
+// classes, plus the String/Crypto classes the Section 5 queries target.
+func (g *gen) types() {
+	g.classes = make(map[string]*program.ClassBuilder)
+	g.supers = make(map[string]string)
+	for i := 0; i < g.p.Interfaces; i++ {
+		name := fmt.Sprintf("I%d", i)
+		g.ifaceNames = append(g.ifaceNames, name)
+		g.b.Interface(name)
+	}
+	for i := 0; i < g.p.Classes; i++ {
+		name := fmt.Sprintf("C%d", i)
+		var opts []program.ClassOption
+		// A third extend an earlier class; the rest extend Object.
+		if i > 0 && g.rng.Intn(3) == 0 {
+			super := g.classNames[g.rng.Intn(len(g.classNames))]
+			opts = append(opts, program.Extends(super))
+			g.supers[name] = super
+		}
+		if len(g.ifaceNames) > 0 && g.rng.Intn(3) == 0 {
+			opts = append(opts, program.Implements(g.ifaceNames[g.rng.Intn(len(g.ifaceNames))]))
+		}
+		cb := g.b.Class(name, opts...)
+		for f := 0; f < g.p.FieldsPerClass; f++ {
+			cb.Field(g.field(name, f))
+		}
+		g.classNames = append(g.classNames, name)
+		g.classes[name] = cb
+	}
+	// Query-support classes: a String-alike whose methods return
+	// string-derived objects, and a crypto sink.
+	str := g.b.Class("java.lang.String")
+	str.Method("chars", program.Returns("r: java.lang.String")).
+		New("r", "java.lang.String").
+		Return("r")
+	g.classes["java.lang.String"] = str
+	crypto := g.b.Class("Crypto")
+	crypto.Method("init", program.Params("key"))
+	g.classes["Crypto"] = crypto
+}
+
+func (g *gen) methodName(l, s int) string { return fmt.Sprintf("m%d_%d", l, s) }
+
+// classOf picks the class hosting a skeleton slot, round-robin.
+func (g *gen) classOf(l, s int) string {
+	return g.classNames[(l*g.p.Width+s)%len(g.classNames)]
+}
+
+// skeleton emits the layered call structure.
+func (g *gen) skeleton() {
+	L, W := g.p.Layers, g.p.Width
+	g.methods = make([][]string, L)
+	g.overridden = make([][]string, L)
+	for l := 0; l < L; l++ {
+		g.methods[l] = make([]string, W)
+		g.overridden[l] = make([]string, W)
+		for s := 0; s < W; s++ {
+			g.methods[l][s] = g.classOf(l, s)
+		}
+	}
+	for l := 0; l < L; l++ {
+		for s := 0; s < W; s++ {
+			g.emitSkeletonMethod(l, s)
+		}
+	}
+}
+
+// emitSkeletonMethod writes method m<l>_<s> on its class: allocations,
+// field traffic, and Fanout calls into layer l+1.
+func (g *gen) emitSkeletonMethod(l, s int) {
+	owner := g.methods[l][s]
+	name := g.methodName(l, s)
+	mb := g.classes[owner].Method(name,
+		program.Params(fmt.Sprintf("p: %s", program.ObjectClass)),
+		program.Returns(fmt.Sprintf("r: %s", program.ObjectClass)))
+	g.body(mb, l, s, false)
+
+	// Optional override in a direct subclass-by-construction: declare a
+	// fresh subclass once per overridden slot.
+	if g.rng.Float64() < g.p.OverrideFrac {
+		sub := fmt.Sprintf("%sSub%d_%d", owner, l, s)
+		cb := g.b.Class(sub, program.Extends(owner))
+		g.classes[sub] = cb
+		g.overridden[l][s] = sub
+		mb2 := cb.Method(name,
+			program.Params(fmt.Sprintf("p: %s", program.ObjectClass)),
+			program.Returns(fmt.Sprintf("r: %s", program.ObjectClass)))
+		g.body(mb2, l, s, true)
+	}
+}
+
+// body fills one skeleton method body. Field accesses on "this" use the
+// slot's base class fields (inherited by override subclasses).
+func (g *gen) body(mb *program.MethodBuilder, l, s int, isOverride bool) {
+	base := g.methods[l][s]
+	alloc := fmt.Sprintf("o%d", g.rng.Intn(1000))
+	cls := g.classNames[g.rng.Intn(len(g.classNames))]
+	mb.DeclareLocal(alloc, cls)
+	mb.New(alloc, cls)
+	// Field traffic through this and the fresh object.
+	mb.Store("this", g.field(base, g.rng.Intn(g.p.FieldsPerClass)), alloc)
+	mb.Load("w", "this", g.field(base, g.rng.Intn(g.p.FieldsPerClass)))
+	mb.Store(alloc, g.field(cls, 0), "p")
+
+	// Calls into the next layer.
+	if l+1 < g.p.Layers {
+		for c := 0; c < g.p.Fanout; c++ {
+			target := g.rng.Intn(g.p.Width)
+			g.emitCall(mb, l+1, target, alloc)
+		}
+	} else {
+		// Leaves allocate a bit more.
+		mb.New("leaf", g.classNames[g.rng.Intn(len(g.classNames))])
+		mb.Store("this", g.field(base, 0), "leaf")
+	}
+	// Recursion: a self-call, forming a one-method cycle — the dominant
+	// SCC shape in real call graphs. Spanning back-edges would glue
+	// whole layer ranges into one component and destroy the path-count
+	// calibration, which real programs do not exhibit at scale.
+	if !isOverride && g.rng.Float64() < g.p.RecursionFrac {
+		g.emitCall(mb, l, s, alloc)
+	}
+	// Occasional global traffic.
+	if g.rng.Intn(4) == 0 {
+		mb.StoreGlobal(fmt.Sprintf("g%d", g.rng.Intn(4)), alloc)
+	}
+	if g.rng.Intn(4) == 0 {
+		mb.LoadGlobal("gv", fmt.Sprintf("g%d", g.rng.Intn(4)))
+	}
+	if g.p.Threads > 0 && g.rng.Intn(6) == 0 {
+		// Library-style locking: guard an object read from shared state
+		// (needed) or the receiver (frequently provably thread-local).
+		if g.rng.Intn(2) == 0 {
+			mb.LoadGlobal("lk", fmt.Sprintf("g%d", g.rng.Intn(4)))
+			mb.Sync("lk")
+		} else {
+			mb.Sync("this")
+		}
+	}
+	mb.Return(alloc)
+}
+
+// emitCall invokes skeleton slot (l, s), statically or virtually.
+func (g *gen) emitCall(mb *program.MethodBuilder, l, s int, arg string) {
+	owner := g.methods[l][s]
+	name := g.methodName(l, s)
+	if g.rng.Float64() < g.p.VirtualFrac {
+		recv := fmt.Sprintf("rv%d_%d", l, s)
+		// Receiver allocated as the owner (or its override subclass) but
+		// declared as the owner: CHA sees every override.
+		concrete := owner
+		if g.overridden[l][s] != "" && g.rng.Intn(2) == 0 {
+			concrete = g.overridden[l][s]
+		}
+		mb.DeclareLocal(recv, owner)
+		mb.New(recv, concrete)
+		mb.InvokeVirtual("cr", recv, name, arg)
+	} else {
+		mb.InvokeStatic("cr", owner, name, arg)
+	}
+}
+
+// threads emits Thread subclasses whose run() methods call into the
+// skeleton, exchange objects through globals, and synchronize.
+func (g *gen) threads() {
+	for t := 0; t < g.p.Threads; t++ {
+		name := fmt.Sprintf("Worker%d", t)
+		cb := g.b.Class(name, program.Extends(program.ThreadClass))
+		cb.Field(name + "_item")
+		mb := cb.Method("run")
+		mb.New("local", g.classNames[g.rng.Intn(len(g.classNames))])
+		mb.Store("this", name+"_item", "local")
+		mb.New("shared", g.classNames[g.rng.Intn(len(g.classNames))])
+		mb.StoreGlobal(fmt.Sprintf("t%d", t%2), "shared")
+		mb.LoadGlobal("seen", fmt.Sprintf("t%d", (t+1)%2))
+		if g.p.Layers > 0 {
+			g.emitCall(mb, g.rng.Intn(g.p.Layers), g.rng.Intn(g.p.Width), "local")
+		}
+		// Synchronization skews toward shared state, as in real servers:
+		// most locks guard published objects; a minority guard objects
+		// the escape analysis can prove thread-local (the paper removes
+		// 15-30% of sync operations).
+		for k := 0; k < g.p.SyncsPerThread; k++ {
+			switch k % 3 {
+			case 0:
+				mb.Sync("shared")
+			case 1:
+				mb.Sync("seen")
+			default:
+				mb.Sync("local")
+			}
+		}
+		g.threadCls = append(g.threadCls, name)
+	}
+}
+
+// mainMethod emits the entry point: allocations, calls covering layer
+// 0, thread spawns, and the Section 5 query patterns (a leak through a
+// global and a String flowing into Crypto.init).
+func (g *gen) mainMethod() {
+	main := g.b.Class("Main")
+	mb := main.Method("main", program.Params("args"), program.Static())
+	for s := 0; s < g.p.Width; s++ {
+		g.emitCall(mb, 0, s, "args")
+	}
+	for _, tc := range g.threadCls {
+		v := "th" + tc
+		mb.New(v, tc)
+		mb.InvokeVirtual("", v, "start")
+	}
+	// Leak pattern for the memory-leak query.
+	mb.New("cache", g.classNames[0])
+	mb.New("leaked", g.classNames[len(g.classNames)-1])
+	mb.Store("cache", g.field(g.classNames[0], 0), "leaked")
+	mb.StoreGlobal("cache", "cache")
+	// Vulnerability pattern for the security query.
+	mb.New("sstr", "java.lang.String")
+	mb.InvokeVirtual("key", "sstr", "chars")
+	mb.New("crypto", "Crypto")
+	mb.InvokeVirtual("", "crypto", "init", "key")
+	g.b.Entry("Main", "main")
+}

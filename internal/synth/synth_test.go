@@ -1,0 +1,172 @@
+package synth
+
+import (
+	"math/big"
+	"testing"
+
+	"bddbddb/internal/analysis"
+	"bddbddb/internal/callgraph"
+	"bddbddb/internal/extract"
+	"bddbddb/internal/program"
+)
+
+func numberGraph(g *callgraph.Graph) (*callgraph.Numbering, error) {
+	return callgraph.Number(g)
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Quick)
+	b := Generate(Quick)
+	sa, sb := a.Stats(), b.Stats()
+	if sa != sb {
+		t.Fatalf("same params, different stats: %+v vs %+v", sa, sb)
+	}
+	if len(a.Classes) != len(b.Classes) {
+		t.Fatal("nondeterministic class count")
+	}
+}
+
+func TestGenerateValidates(t *testing.T) {
+	// Generate already MustBuilds; this exercises a few shapes.
+	for _, p := range []Params{
+		Quick,
+		{Name: "tiny", Seed: 1, Classes: 2, Layers: 1, Width: 1, Fanout: 1},
+		{Name: "noif", Seed: 2, Classes: 5, Layers: 3, Width: 2, Fanout: 2, VirtualFrac: 1.0, OverrideFrac: 1.0},
+		{Name: "rec", Seed: 3, Classes: 5, Layers: 4, Width: 2, Fanout: 2, RecursionFrac: 1.0},
+		{Name: "threads", Seed: 4, Classes: 5, Layers: 3, Width: 2, Fanout: 2, Threads: 3, SyncsPerThread: 3},
+	} {
+		prog := Generate(p)
+		if prog.Class("Main") == nil {
+			t.Fatalf("%s: no Main", p.Name)
+		}
+		if len(prog.Entries) != 1 {
+			t.Fatalf("%s: entries = %v", p.Name, prog.Entries)
+		}
+	}
+}
+
+func TestGenerateExtractsAndAnalyzes(t *testing.T) {
+	prog := Generate(Quick)
+	f, err := extract.Extract(prog, extract.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Heaps) < 10 || len(f.Invokes) < 10 {
+		t.Fatalf("quick program too small: %d heaps, %d invokes", len(f.Heaps), len(f.Invokes))
+	}
+	r, err := analysis.RunOnTheFly(f, analysis.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Solver.Relation("vP").IsEmpty() {
+		t.Fatal("no points-to facts derived")
+	}
+	if r.Solver.Relation("IE").IsEmpty() {
+		t.Fatal("no call graph discovered")
+	}
+}
+
+func TestQuickContextSensitiveRuns(t *testing.T) {
+	prog := Generate(Quick)
+	f, err := extract.Extract(prog, extract.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := analysis.RunContextSensitive(f, nil, analysis.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Numbering.MaxContexts.Cmp(big.NewInt(2)) < 0 {
+		t.Fatalf("expected multiple contexts, got %s", cs.Numbering.MaxContexts)
+	}
+	if cs.Solver.Relation("vPC").IsEmpty() {
+		t.Fatal("vPC empty")
+	}
+}
+
+func TestBenchmarkConfigsComplete(t *testing.T) {
+	if len(Benchmarks) != 21 {
+		t.Fatalf("Figure 3 has 21 benchmarks; got %d", len(Benchmarks))
+	}
+	seen := map[string]bool{}
+	for _, b := range Benchmarks {
+		if seen[b.Params.Name] {
+			t.Fatalf("duplicate benchmark %s", b.Params.Name)
+		}
+		seen[b.Params.Name] = true
+		if b.PaperClasses <= 0 || b.PaperMethods <= 0 || b.PaperPathsExp <= 0 {
+			t.Fatalf("%s: paper stats missing: %+v", b.Params.Name, b)
+		}
+		if b.Params.Layers < 5 || b.Params.Width < 5 {
+			t.Fatalf("%s: skeleton too small: %+v", b.Params.Name, b.Params)
+		}
+	}
+	if BenchmarkByName("megamek") == nil || BenchmarkByName("nope") != nil {
+		t.Fatal("BenchmarkByName broken")
+	}
+}
+
+func TestPaperPathsRendering(t *testing.T) {
+	b := BenchmarkByName("pmd")
+	want := new(big.Int).Exp(big.NewInt(10), big.NewInt(23), nil)
+	want.Mul(want, big.NewInt(5))
+	if b.PaperPaths().Cmp(want) != 0 {
+		t.Fatalf("pmd paper paths = %s", b.PaperPaths())
+	}
+}
+
+// TestSmallBenchmarkPathExponent checks the calibration machinery: the
+// generated freetts call graph must land within a couple of orders of
+// magnitude of the paper's 4×10^4 reduced call paths.
+func TestSmallBenchmarkPathExponent(t *testing.T) {
+	b := BenchmarkByName("freetts")
+	prog := Generate(b.Params)
+	f, err := extract.Extract(prog, extract.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := analysis.DiscoverCallGraph(f, analysis.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := numberGraph(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	digits := len(n.MaxContexts.String())
+	if digits < 3 || digits > 8 {
+		t.Fatalf("freetts calibration off: %s contexts (%d digits, paper 4e4)",
+			n.MaxContexts, digits)
+	}
+	_ = prog
+}
+
+func TestThreadBenchmarksHaveSyncs(t *testing.T) {
+	prog := Generate(BenchmarkByName("nfcchat").Params)
+	f, err := extract.Extract(prog, extract.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.ThreadAllocs) == 0 || len(f.Syncs) == 0 {
+		t.Fatalf("thread benchmark lacks threads/syncs: %d allocs, %d syncs",
+			len(f.ThreadAllocs), len(f.Syncs))
+	}
+	if len(f.StartSites) == 0 {
+		t.Fatal("no thread spawns")
+	}
+}
+
+func TestProgramTextRoundTrip(t *testing.T) {
+	// The generated program survives a build check when re-validated.
+	prog := Generate(Quick)
+	if err := revalidate(prog); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// revalidate rebuilds the program through the builder to re-run
+// validation (Generate already validated once).
+func revalidate(p *program.Program) error {
+	_, err := extract.Extract(p, extract.Options{KeepLocalMoves: true})
+	return err
+}
