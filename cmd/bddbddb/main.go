@@ -3,7 +3,13 @@
 //
 // Usage:
 //
-//	bddbddb [-order C_I_V] [-print rel1,rel2] [-facts dir] program.dl
+//	bddbddb [-check] [-Werror] [-order C_I_V] [-print rel1,rel2] [-facts dir] program.dl
+//
+// Programs are parsed and semantically checked first; diagnostics are
+// reported as file:line:col: DLxxx: message (see the DL-code catalog in
+// internal/datalog/check). -check stops after the analysis — exit
+// status 1 if any errors were reported, 0 otherwise. -Werror promotes
+// warnings to errors in both modes.
 //
 // Input relations are loaded from <facts>/<relation>.tuples, one tuple
 // per line as whitespace-separated integers (lines starting with # are
@@ -14,6 +20,7 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -23,9 +30,12 @@ import (
 	"time"
 
 	"bddbddb/internal/datalog"
+	"bddbddb/internal/datalog/check"
 )
 
 func main() {
+	checkOnly := flag.Bool("check", false, "parse and check the program, report diagnostics, and exit")
+	wError := flag.Bool("Werror", false, "treat checker warnings as errors")
 	orderFlag := flag.String("order", "", "variable order: logical domain names separated by '_'")
 	printFlag := flag.String("print", "", "comma-separated output relations to dump")
 	factsDir := flag.String("facts", ".", "directory holding <relation>.tuples input files")
@@ -38,21 +48,55 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *orderFlag, *printFlag, *factsDir, *nodes, *cache, *ruleStats); err != nil {
-		fmt.Fprintln(os.Stderr, "bddbddb:", err)
-		os.Exit(1)
-	}
+	os.Exit(run(flag.Arg(0), *checkOnly, *wError, *orderFlag, *printFlag, *factsDir, *nodes, *cache, *ruleStats))
 }
 
-func run(path, order, printRels, factsDir string, nodes, cache int, ruleStats bool) error {
+// run executes the tool and returns the process exit status: 0 on
+// success, 1 when the program is rejected or evaluation fails.
+func run(path string, checkOnly, wError bool, order, printRels, factsDir string, nodes, cache int, ruleStats bool) int {
 	src, err := os.ReadFile(path)
 	if err != nil {
-		return err
+		return fail(err)
 	}
-	prog, err := datalog.Parse(string(src))
+	prog, diags, err := datalog.ParseAndCheck(path, string(src))
 	if err != nil {
-		return err
+		// Syntax error: a single DL000 diagnostic.
+		var ce *check.Error
+		if errors.As(err, &ce) {
+			reportDiags(ce.Diags)
+			return 1
+		}
+		return fail(err)
 	}
+	if wError {
+		diags = diags.Promote()
+	}
+	// Validate -print names against the program's relation table before
+	// solving, so typos fail fast instead of silently printing nothing.
+	toPrint := map[string]bool{}
+	for _, n := range strings.Split(printRels, ",") {
+		if n == "" {
+			continue
+		}
+		if prog.Relation(n) == nil {
+			diags = append(diags, check.Diag{
+				Code:     check.CodeRelation,
+				Severity: check.SevError,
+				File:     path,
+				Message:  fmt.Sprintf("-print names undeclared relation %s", n),
+			})
+		}
+		toPrint[n] = true
+	}
+	diags.Sort()
+	reportDiags(diags)
+	if diags.HasErrors() {
+		return 1
+	}
+	if checkOnly {
+		return 0
+	}
+
 	opts := datalog.Options{NodeSize: nodes, CacheSize: cache, CountRuleTuples: ruleStats}
 	if order != "" {
 		opts.Order = strings.Split(order, "_")
@@ -70,18 +114,18 @@ func run(path, order, printRels, factsDir string, nodes, cache int, ruleStats bo
 	}
 	s, err := datalog.NewSolver(prog, opts)
 	if err != nil {
-		return err
+		return fail(err)
 	}
 	for _, rd := range prog.Relations {
 		if rd.Kind != datalog.RelInput {
 			continue
 		}
 		if err := loadTuples(s, factsDir, rd.Name); err != nil {
-			return err
+			return fail(err)
 		}
 	}
 	if err := s.Solve(); err != nil {
-		return err
+		return fail(err)
 	}
 	st := s.Stats()
 	fmt.Printf("solved in %v: %d rule applications, %d iterations, peak %d live BDD nodes\n",
@@ -92,14 +136,8 @@ func run(path, order, printRels, factsDir string, nodes, cache int, ruleStats bo
 				rs.Rule, rs.Applications, rs.Time.Round(time.Microsecond), rs.DeltaTuples)
 		}
 	}
-	toPrint := map[string]bool{}
-	for _, n := range strings.Split(printRels, ",") {
-		if n != "" {
-			toPrint[n] = true
-		}
-	}
 	for _, rd := range prog.Relations {
-		if rd.Kind != datalog.RelOutput {
+		if rd.Kind != datalog.RelOutput && !toPrint[rd.Name] {
 			continue
 		}
 		r := s.Relation(rd.Name)
@@ -115,7 +153,18 @@ func run(path, order, printRels, factsDir string, nodes, cache int, ruleStats bo
 			})
 		}
 	}
-	return nil
+	return 0
+}
+
+func fail(err error) int {
+	fmt.Fprintln(os.Stderr, "bddbddb:", err)
+	return 1
+}
+
+func reportDiags(ds check.Diags) {
+	for _, d := range ds {
+		fmt.Fprintln(os.Stderr, d)
+	}
 }
 
 func loadTuples(s *datalog.Solver, dir, name string) error {

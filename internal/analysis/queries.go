@@ -32,8 +32,8 @@ func SecurityQuerySrc(stringClass, initMethod string) string {
 .relation fromString (h : H) output
 .relation vuln (c : C, i : I) output
 
-fromString(h) :- cha(%q, n, m), Mret(m, v), vPC(c, v, h).
-vuln(c, i) :- IEC(c, i, cm, %q), actual(i, 1, v), vPC(c, v, h), fromString(h).
+fromString(h) :- cha(%q, _, m), Mret(m, v), vPC(_, v, h).
+vuln(c, i) :- IEC(c, i, _, %q), actual(i, 1, v), vPC(c, v, h), fromString(h).
 `, stringClass, initMethod)
 }
 
@@ -63,9 +63,9 @@ func TypeRefinementQuerySrc(variant TypeRefinementVariant) string {
 	case RefineCIPointer:
 		return decl + `varExactTypes(v, t) :- vP(v, h), hT(h, t).` + TypeRefinementSrc
 	case RefineProjectedCSPointer:
-		return decl + `varExactTypes(v, t) :- vPC(c, v, h), hT(h, t).` + TypeRefinementSrc
+		return decl + `varExactTypes(v, t) :- vPC(_, v, h), hT(h, t).` + TypeRefinementSrc
 	case RefineProjectedCSType:
-		return decl + `varExactTypes(v, t) :- vTC(c, v, t).` + TypeRefinementSrc
+		return decl + `varExactTypes(v, t) :- vTC(_, v, t).` + TypeRefinementSrc
 	case RefineCSPointer:
 		return contextualRefinement(`varExactTypesC(c, v, t) :- vPC(c, v, h), hT(h, t).`)
 	case RefineCSType:
@@ -91,8 +91,8 @@ func contextualRefinement(exactRule string) string {
 ` + exactRule + `
 notVarTypeC(c, v, t) :- varExactTypesC(c, v, tv), !aT(t, tv).
 varSuperTypesC(c, v, t) :- !notVarTypeC(c, v, t).
-refinable(v, tc) :- vT(v, td), varSuperTypesC(c, v, tc), varExactTypesC(c, v, t), aT(td, tc), !eqT(td, tc).
+refinable(v, tc) :- vT(v, td), varSuperTypesC(c, v, tc), varExactTypesC(c, v, _), aT(td, tc), !eqT(td, tc).
 multiType(v) :- varExactTypesC(c, v, t1), varExactTypesC(c, v, t2), !eqT(t1, t2).
-typedVar(v) :- varExactTypesC(c, v, t).
+typedVar(v) :- varExactTypesC(_, v, _).
 `
 }

@@ -234,6 +234,13 @@ func runCloned(f *extract.Facts, g *callgraph.Graph, cfg Config, src string) (*R
 	copy(allocMethod, f.AllocMethod)
 	hc := n.MaterializeHC(s.Universe(), "hC", hcDecl[0], hcDecl[1], allocMethod)
 	s.ReplaceRelation("hC", hc)
+	// domC holds every context — programs bind the paper's implicitly
+	// universal head contexts against it (Algorithm 6 rule (23), the
+	// mod-ref query's mVC base case).
+	if s.HasRelation("domC") {
+		attr := s.Relation("domC").Attrs()[0]
+		s.ReplaceRelation("domC", s.Universe().FullDomain("domC", attr))
+	}
 	fillCommon(s, f)
 	if err := s.Solve(); err != nil {
 		return nil, err

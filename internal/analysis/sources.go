@@ -12,12 +12,19 @@
 //   - The Section 5 queries: memory-leak debugging, JCE vulnerability,
 //     type refinement, and context-sensitive mod-ref.
 //
-// The Datalog below is the paper's, modulo three documented deltas:
+// The Datalog below is the paper's, modulo four documented deltas:
 // return values are handled by explicit Iret/Mret rules (the paper says
 // they are "handled analogously"), allocation-site contexts come from an
 // explicit hC(context, heap) relation instead of the untyped "H ⊆ I"
-// overlap in rules (14)/(20), and inequality tests are expressed with
-// negated equality input relations (eqT/eqCT diagonals).
+// overlap in rules (14)/(20), inequality tests are expressed with
+// negated equality input relations (eqT/eqCT diagonals), and the
+// paper's implicitly universally quantified head contexts (rule (23),
+// mod-ref's mVC base case) are bound explicitly through domC — the
+// full context domain — so every rule passes the DL020 safety check.
+//
+// Every source here parses and checks clean (no errors, no warnings)
+// under the datalog/check pass; TestShippedProgramsCheckClean enforces
+// that.
 package analysis
 
 // commonDomains declares the domains shared by every program. Sizes are
@@ -34,14 +41,32 @@ const commonDomains = `
 .domain Z 2
 `
 
-// commonInputs declares the extracted input relations of Algorithms 1-3.
+// commonInputs declares the core extracted relations every points-to
+// variant reads: initial points-to plus the heap access statements.
 const commonInputs = `
 .relation vP0 (variable : V, heap : H) input
 .relation store (base : V, field : F, source : V) input
 .relation load (base : V, field : F, dest : V) input
+`
+
+// typeInputs declares the type-hierarchy relations used by the type
+// filter and the type analyses. Kept separate from commonInputs so
+// programs that never consult types (Algorithm 1) don't declare unused
+// relations.
+const typeInputs = `
 .relation vT (variable : V, type : T) input
 .relation hT (heap : H, type : T) input
 .relation aT (supertype : T, subtype : T) input
+`
+
+// TypeFilterInputsSrc exposes the type-hierarchy declarations for
+// composing query fragments onto a program that doesn't already declare
+// them — e.g. the Figure 6 type-refinement query over Algorithm 1.
+const TypeFilterInputsSrc = typeInputs
+
+// invokeInputs declares the call-site binding relations consumed by the
+// call-graph-aware programs (parameter passing and returns).
+const invokeInputs = `
 .relation actual (invoke : I, param : Z, var : V) input
 .relation formal (method : M, param : Z, var : V) input
 .relation Mret (method : M, var : V) input
@@ -63,7 +88,7 @@ vP(v2, h2)    :- load(v1, f, v2), vP(v1, h1), hP(h1, f, h2).    # (4)
 `
 
 // Algorithm2Src adds the type filter (the paper's Algorithm 2).
-const Algorithm2Src = commonDomains + commonInputs + `
+const Algorithm2Src = commonDomains + commonInputs + typeInputs + `
 .relation assign (dest : V, source : V) input
 .relation vPfilter (variable : V, heap : H)
 .relation vP (variable : V, heap : H) output
@@ -79,7 +104,7 @@ vP(v2, h2)     :- load(v1, f, v2), vP(v1, h1), hP(h1, f, h2), vPfilter(v2, h2). 
 // Algorithm3Src discovers the call graph on the fly (the paper's
 // Algorithm 3): assign becomes a computed relation driven by the
 // invocation edges IE, which in turn grow from points-to results.
-const Algorithm3Src = commonDomains + commonInputs + `
+const Algorithm3Src = commonDomains + commonInputs + typeInputs + invokeInputs + `
 .relation cha (type : T, name : N, target : M) input
 .relation IE0 (invoke : I, target : M) input
 .relation mI (method : M, invoke : I, name : N) input
@@ -96,7 +121,7 @@ vP(v1, h)      :- assign(v1, v2), vP(v2, h), vPfilter(v1, h).
 hP(h1, f, h2)  :- store(v1, f, v2), vP(v1, h1), vP(v2, h2).
 vP(v2, h2)     :- load(v1, f, v2), vP(v1, h1), hP(h1, f, h2), vPfilter(v2, h2).
 IE(i, m)       :- IE0(i, m).                                    # (10)
-IE(i, m2)      :- mI(m1, i, n), actual(i, 0, v), vP(v, h), hT(h, t), cha(t, n, m2). # (11)
+IE(i, m2)      :- mI(_, i, n), actual(i, 0, v), vP(v, h), hT(h, t), cha(t, n, m2). # (11)
 assign(v1, v2) :- assign0(v1, v2).
 assign(v1, v2) :- IE(i, m), formal(m, z, v1), actual(i, z, v2). # (12)
 assign(v1, v2) :- IE(i, m), Iret(i, v1), Mret(m, v2).           # returns
@@ -111,7 +136,7 @@ const contextDomain = `
 // Algorithm5Src is context-sensitive points-to over the cloned call
 // graph (the paper's Algorithm 5). IEC comes from Algorithm 4; hC gives
 // each allocation site its method's context range.
-const Algorithm5Src = commonDomains + contextDomain + commonInputs + `
+const Algorithm5Src = commonDomains + contextDomain + commonInputs + typeInputs + invokeInputs + `
 .relation IEC (caller : C, invoke : I, callee : C, tgt : M) input
 .relation hC (context : C, heap : H) input
 .relation vPfilter (variable : V, heap : H)
@@ -136,7 +161,7 @@ assignC(c1, v1, c2, v2)   :- IEC(c1, i, c2, m), Iret(i, v1), Mret(m, v2).       
 // edges only if warranted by the points-to results"). The paper labels
 // this of primarily academic interest — the call graph rarely improves
 // over the context-insensitive one — and ships it anyway; so do we.
-const Algorithm5OTFSrc = commonDomains + contextDomain + commonInputs + `
+const Algorithm5OTFSrc = commonDomains + contextDomain + commonInputs + typeInputs + invokeInputs + `
 .relation cha (type : T, name : N, target : M) input
 .relation IE0 (invoke : I, target : M) input
 .relation mI (method : M, invoke : I, name : N) input
@@ -157,17 +182,21 @@ vPC(c, v2, h2)          :- load(v1, f, v2), vPC(c, v1, h1), hP(h1, f, h2), vPfil
 # Edges activate statically (IE0) or when the receiver's context-
 # sensitive points-to set dispatches to the target.
 IECd(c, i, cm, m)       :- IEC(c, i, cm, m), IE0(i, m).
-IECd(c, i, cm, m2)      :- IEC(c, i, cm, m2), mI(m1, i, n), actual(i, 0, v), vPC(c, v, h), hT(h, t), cha(t, n, m2).
+IECd(c, i, cm, m2)      :- IEC(c, i, cm, m2), mI(_, i, n), actual(i, 0, v), vPC(c, v, h), hT(h, t), cha(t, n, m2).
 
 assignC(c1, v1, c2, v2) :- IECd(c2, i, c1, m), formal(m, z, v1), actual(i, z, v2).
 assignC(c1, v1, c2, v2) :- IECd(c1, i, c2, m), Iret(i, v1), Mret(m, v2).
 `
 
 // Algorithm6Src is the context-sensitive type analysis (the paper's
-// Algorithm 6): like Algorithm 5 but tracking types, not objects.
-const Algorithm6Src = commonDomains + contextDomain + commonInputs + `
+// Algorithm 6): like Algorithm 5 but tracking types, not objects. The
+// paper's rule (23) leaves its head context implicitly universal; domC
+// (the runner fills it with the whole context domain) binds it
+// explicitly.
+const Algorithm6Src = commonDomains + contextDomain + commonInputs + typeInputs + invokeInputs + `
 .relation IEC (caller : C, invoke : I, callee : C, tgt : M) input
 .relation hC (context : C, heap : H) input
+.relation domC (context : C) input
 .relation vTfilter (variable : V, type : T)
 .relation assignC (destc : C, dest : V, srcc : C, src : V)
 .relation vTC (context : C, variable : V, type : T) output
@@ -177,7 +206,7 @@ vTfilter(v, t)          :- vT(v, tv), aT(tv, t).                # (19)
 vTC(c, v, t)            :- vP0(v, h), hC(c, h), hT(h, t).       # (20)
 vTC(c1, v1, t)          :- assignC(c1, v1, c2, v2), vTC(c2, v2, t), vTfilter(v1, t). # (21)
 fT(f, t)                :- store(_, f, v2), vTC(_, v2, t).      # (22)
-vTC(c, v, t)            :- load(_, f, v), fT(f, t), vTfilter(v, t). # (23)
+vTC(c, v, t)            :- load(_, f, v), fT(f, t), vTfilter(v, t), domC(c). # (23)
 assignC(c1, v1, c2, v2) :- IEC(c2, i, c1, m), formal(m, z, v1), actual(i, z, v2). # (24)
 assignC(c1, v1, c2, v2) :- IEC(c1, i, c2, m), Iret(i, v1), Mret(m, v2).           # returns
 `
@@ -186,7 +215,7 @@ assignC(c1, v1, c2, v2) :- IEC(c1, i, c2, m), Iret(i, v1), Mret(m, v2).         
 // "the basic type analysis is similar to 0-CFA" (Section 5.5): type
 // sets propagated through assignments, loads and stores, with no
 // contexts. assign is an input from a precomputed call graph.
-const TypeAnalysisCISrc = commonDomains + commonInputs + `
+const TypeAnalysisCISrc = commonDomains + commonInputs + typeInputs + `
 .relation assign (dest : V, source : V) input
 .relation vTfilter (variable : V, type : T)
 .relation vTA (variable : V, type : T) output
@@ -210,7 +239,7 @@ const threadDomain = `
 // graph with thread-spawn bindings removed; vP0T seeds thread objects
 // and the global; HT gives each thread context its reachable
 // allocation sites.
-const Algorithm7Src = commonDomains + threadDomain + commonInputs + `
+const Algorithm7Src = commonDomains + threadDomain + commonInputs + typeInputs + `
 .relation assign (dest : V, source : V) input
 .relation HT (c : CT, heap : H) input
 .relation vP0T (cv : CT, variable : V, ch : CT, heap : H) input
@@ -230,24 +259,27 @@ vPT(c2, v1, ch, h)         :- assign(v1, v2), vPT(c2, v2, ch, h), vPfilter(v1, h
 hPT(c1, h1, f, c2, h2)     :- store(v1, f, v2), vPT(c, v1, c1, h1), vPT(c, v2, c2, h2). # (29)
 vPT(c, v2, c2, h2)         :- load(v1, f, v2), vPT(c, v1, c1, h1), hPT(c1, h1, f, c2, h2), vPfilter(v2, h2). # (30)
 
-escaped(c, h)              :- vPT(cv, v, c, h), !eqCT(cv, c).
-captured(c, h)             :- vPT(c, v, c, h), !escaped(c, h).
+escaped(c, h)              :- vPT(cv, _, c, h), !eqCT(cv, c).
+captured(c, h)             :- vPT(c, _, c, h), !escaped(c, h).
 neededSyncs(c, v)          :- syncs(v), vPT(c, v, ch, h), escaped(ch, h).
 `
 
 // ModRefQuerySrc is the Section 5.4 context-sensitive mod-ref analysis,
-// appended to Algorithm 5's program.
+// appended to Algorithm 5's program. The base case quantifies over
+// every context of the enclosing method — domC again makes the
+// paper's implicit universal context explicit.
 const ModRefQuerySrc = `
 .relation mI (method : M, invoke : I, name : N) input
 .relation mV (method : M, var : V) input
+.relation domC (context : C) input
 .relation mVC (c1 : C, m : M, c2 : C, v : V)
 .relation mod (c : C, m : M, h : H, f : F) output
 .relation ref (c : C, m : M, h : H, f : F) output
 
-mVC(c, m, c, v)        :- mV(m, v).
-mVC(c1, m1, c3, v3)    :- mI(m1, i, n), IEC(c1, i, c2, m2), mVC(c2, m2, c3, v3).
-mod(c, m, h, f)        :- mVC(c, m, cv, v), store(v, f, w), vPC(cv, v, h).
-ref(c, m, h, f)        :- mVC(c, m, cv, v), load(v, f, w), vPC(cv, v, h).
+mVC(c, m, c, v)        :- mV(m, v), domC(c).
+mVC(c1, m1, c3, v3)    :- mI(m1, i, _), IEC(c1, i, c2, m2), mVC(c2, m2, c3, v3).
+mod(c, m, h, f)        :- mVC(c, m, cv, v), store(v, f, _), vPC(cv, v, h).
+ref(c, m, h, f)        :- mVC(c, m, cv, v), load(v, f, _), vPC(cv, v, h).
 `
 
 // TypeRefinementSrc computes the Section 5.3 / Figure 6 metrics over an
@@ -263,7 +295,7 @@ const TypeRefinementSrc = `
 
 notVarType(v, t)      :- varExactTypes(v, tv), !aT(t, tv).
 varSuperTypes(v, t)   :- !notVarType(v, t).
-typedVar(v)           :- varExactTypes(v, t).
+typedVar(v)           :- varExactTypes(v, _).
 refinable(v, tc)      :- vT(v, td), varSuperTypes(v, tc), aT(td, tc), !eqT(td, tc), typedVar(v).
 multiType(v)          :- varExactTypes(v, t1), varExactTypes(v, t2), !eqT(t1, t2).
 `

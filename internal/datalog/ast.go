@@ -16,179 +16,48 @@
 // quoted-name constants, and don't-cares (_). Programs must be
 // stratified; Solve evaluates strata in order with semi-naive
 // (incrementalized) iteration inside each stratum.
+//
+// The pipeline is parse (this package) → check (datalog/check, run
+// unconditionally by NewSolver and NewNaiveSolver) → stratify →
+// compile → solve. The AST lives in datalog/ast; the aliases below
+// keep the historical datalog.Program etc. names working.
 package datalog
 
-import "fmt"
+import "bddbddb/internal/datalog/ast"
 
-// RelKind classifies a relation declaration.
-type RelKind int
-
-const (
-	// RelTemp relations are computed but not reported.
-	RelTemp RelKind = iota
-	// RelInput relations are loaded before solving (the EDB).
-	RelInput
-	// RelOutput relations are results of interest.
-	RelOutput
+// Aliases re-exporting the AST, which moved to datalog/ast so that the
+// semantic checker (datalog/check) can consume it without importing
+// the solver.
+type (
+	// Program is a parsed Datalog program.
+	Program = ast.Program
+	// DomainDecl declares a value domain.
+	DomainDecl = ast.DomainDecl
+	// AttrDecl is one attribute of a relation declaration.
+	AttrDecl = ast.AttrDecl
+	// RelationDecl declares a relation's schema and kind.
+	RelationDecl = ast.RelationDecl
+	// RelKind classifies a relation declaration.
+	RelKind = ast.RelKind
+	// Term is one argument of an atom.
+	Term = ast.Term
+	// TermKind distinguishes rule argument forms.
+	TermKind = ast.TermKind
+	// Atom is a predicate applied to terms.
+	Atom = ast.Atom
+	// Literal is a possibly negated atom in a rule body.
+	Literal = ast.Literal
+	// Rule is a Datalog rule head :- body.
+	Rule = ast.Rule
 )
 
-func (k RelKind) String() string {
-	switch k {
-	case RelInput:
-		return "input"
-	case RelOutput:
-		return "output"
-	default:
-		return "temp"
-	}
-}
-
-// Program is a parsed Datalog program.
-type Program struct {
-	Domains   []*DomainDecl
-	Relations []*RelationDecl
-	Rules     []*Rule
-	// Order is the program's own variable-order declaration
-	// (.bddvarorder N_F_I_M_Z_V_C_T_H), used when the solver options do
-	// not override it — mirroring real bddbddb inputs, which carried
-	// their tuned order in the .datalog file.
-	Order []string
-}
-
-// Domain returns the declared domain or nil.
-func (p *Program) Domain(name string) *DomainDecl {
-	for _, d := range p.Domains {
-		if d.Name == name {
-			return d
-		}
-	}
-	return nil
-}
-
-// Relation returns the declared relation or nil.
-func (p *Program) Relation(name string) *RelationDecl {
-	for _, r := range p.Relations {
-		if r.Name == name {
-			return r
-		}
-	}
-	return nil
-}
-
-// DomainDecl declares a value domain with its size and an optional map
-// file naming its elements.
-type DomainDecl struct {
-	Name    string
-	Size    uint64
-	MapFile string
-	Line    int
-}
-
-// AttrDecl is one attribute of a relation declaration.
-type AttrDecl struct {
-	Name   string
-	Domain string
-}
-
-// RelationDecl declares a relation's schema and kind.
-type RelationDecl struct {
-	Name  string
-	Attrs []AttrDecl
-	Kind  RelKind
-	Line  int
-}
-
-// Arity returns the number of attributes.
-func (r *RelationDecl) Arity() int { return len(r.Attrs) }
-
-// TermKind distinguishes rule argument forms.
-type TermKind int
-
 const (
-	// TermVar is a variable, e.g. v1.
-	TermVar TermKind = iota
-	// TermConst is a numeric constant, e.g. 0.
-	TermConst
-	// TermNamedConst is a quoted constant resolved through the domain's
-	// element names, e.g. "a.java:57".
-	TermNamedConst
-	// TermWildcard is the don't-care _.
-	TermWildcard
+	RelTemp   = ast.RelTemp
+	RelInput  = ast.RelInput
+	RelOutput = ast.RelOutput
+
+	TermVar        = ast.TermVar
+	TermConst      = ast.TermConst
+	TermNamedConst = ast.TermNamedConst
+	TermWildcard   = ast.TermWildcard
 )
-
-// Term is one argument of an atom.
-type Term struct {
-	Kind TermKind
-	Var  string // TermVar
-	Val  uint64 // TermConst
-	Name string // TermNamedConst
-}
-
-func (t Term) String() string {
-	switch t.Kind {
-	case TermVar:
-		return t.Var
-	case TermConst:
-		return fmt.Sprint(t.Val)
-	case TermNamedConst:
-		return fmt.Sprintf("%q", t.Name)
-	default:
-		return "_"
-	}
-}
-
-// Atom is a predicate applied to terms.
-type Atom struct {
-	Pred string
-	Args []Term
-	Line int
-}
-
-func (a Atom) String() string {
-	s := a.Pred + "("
-	for i, t := range a.Args {
-		if i > 0 {
-			s += ","
-		}
-		s += t.String()
-	}
-	return s + ")"
-}
-
-// Literal is a possibly negated atom in a rule body.
-type Literal struct {
-	Atom    Atom
-	Negated bool
-}
-
-func (l Literal) String() string {
-	if l.Negated {
-		return "!" + l.Atom.String()
-	}
-	return l.Atom.String()
-}
-
-// Rule is a Datalog rule head :- body. A rule with an empty body is a
-// fact; its head arguments must all be constants.
-type Rule struct {
-	Head Atom
-	Body []Literal
-	Line int
-}
-
-func (r *Rule) String() string {
-	if len(r.Body) == 0 {
-		return r.Head.String() + "."
-	}
-	s := r.Head.String() + " :- "
-	for i, l := range r.Body {
-		if i > 0 {
-			s += ", "
-		}
-		s += l.String()
-	}
-	return s + "."
-}
-
-// IsFact reports whether the rule has an empty body.
-func (r *Rule) IsFact() bool { return len(r.Body) == 0 }

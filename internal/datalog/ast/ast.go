@@ -1,0 +1,201 @@
+// Package ast defines the abstract syntax tree of the bddbddb Datalog
+// dialect: domain declarations, relation declarations, a variable-order
+// directive, and rules over possibly negated atoms.
+//
+// Every node carries its source position (line and column, 1-based) so
+// that later passes — the semantic checker in datalog/check, the rule
+// compiler, and the solvers — can report file:line:col diagnostics. The
+// package deliberately has no dependencies beyond the standard library;
+// both the parser (package datalog) and the checker (package check)
+// build on it without importing each other.
+package ast
+
+import "fmt"
+
+// RelKind classifies a relation declaration.
+type RelKind int
+
+const (
+	// RelTemp relations are computed but not reported.
+	RelTemp RelKind = iota
+	// RelInput relations are loaded before solving (the EDB).
+	RelInput
+	// RelOutput relations are results of interest.
+	RelOutput
+)
+
+func (k RelKind) String() string {
+	switch k {
+	case RelInput:
+		return "input"
+	case RelOutput:
+		return "output"
+	default:
+		return "temp"
+	}
+}
+
+// Program is a parsed Datalog program.
+type Program struct {
+	// File is the name diagnostics are reported under; empty for
+	// programs parsed from in-memory sources.
+	File      string
+	Domains   []*DomainDecl
+	Relations []*RelationDecl
+	Rules     []*Rule
+	// Order is the program's own variable-order declaration
+	// (.bddvarorder N_F_I_M_Z_V_C_T_H), used when the solver options do
+	// not override it — mirroring real bddbddb inputs, which carried
+	// their tuned order in the .datalog file.
+	Order []string
+	// OrderLine/OrderCol locate the .bddvarorder directive.
+	OrderLine, OrderCol int
+}
+
+// Domain returns the declared domain or nil.
+func (p *Program) Domain(name string) *DomainDecl {
+	for _, d := range p.Domains {
+		if d.Name == name {
+			return d
+		}
+	}
+	return nil
+}
+
+// Relation returns the declared relation or nil.
+func (p *Program) Relation(name string) *RelationDecl {
+	for _, r := range p.Relations {
+		if r.Name == name {
+			return r
+		}
+	}
+	return nil
+}
+
+// DomainDecl declares a value domain with its size and an optional map
+// file naming its elements.
+type DomainDecl struct {
+	Name    string
+	Size    uint64
+	MapFile string
+	Line    int
+	Col     int
+}
+
+// AttrDecl is one attribute of a relation declaration. Line/Col point
+// at the attribute's domain name, so domain diagnostics land on the
+// offending attribute rather than the whole declaration.
+type AttrDecl struct {
+	Name   string
+	Domain string
+	Line   int
+	Col    int
+}
+
+// RelationDecl declares a relation's schema and kind.
+type RelationDecl struct {
+	Name  string
+	Attrs []AttrDecl
+	Kind  RelKind
+	Line  int
+	Col   int
+}
+
+// Arity returns the number of attributes.
+func (r *RelationDecl) Arity() int { return len(r.Attrs) }
+
+// TermKind distinguishes rule argument forms.
+type TermKind int
+
+const (
+	// TermVar is a variable, e.g. v1.
+	TermVar TermKind = iota
+	// TermConst is a numeric constant, e.g. 0.
+	TermConst
+	// TermNamedConst is a quoted constant resolved through the domain's
+	// element names, e.g. "a.java:57".
+	TermNamedConst
+	// TermWildcard is the don't-care _.
+	TermWildcard
+)
+
+// Term is one argument of an atom.
+type Term struct {
+	Kind TermKind
+	Var  string // TermVar
+	Val  uint64 // TermConst
+	Name string // TermNamedConst
+	Line int
+	Col  int
+}
+
+func (t Term) String() string {
+	switch t.Kind {
+	case TermVar:
+		return t.Var
+	case TermConst:
+		return fmt.Sprint(t.Val)
+	case TermNamedConst:
+		return fmt.Sprintf("%q", t.Name)
+	default:
+		return "_"
+	}
+}
+
+// Atom is a predicate applied to terms.
+type Atom struct {
+	Pred string
+	Args []Term
+	Line int
+	Col  int
+}
+
+func (a Atom) String() string {
+	s := a.Pred + "("
+	for i, t := range a.Args {
+		if i > 0 {
+			s += ","
+		}
+		s += t.String()
+	}
+	return s + ")"
+}
+
+// Literal is a possibly negated atom in a rule body.
+type Literal struct {
+	Atom    Atom
+	Negated bool
+}
+
+func (l Literal) String() string {
+	if l.Negated {
+		return "!" + l.Atom.String()
+	}
+	return l.Atom.String()
+}
+
+// Rule is a Datalog rule head :- body. A rule with an empty body is a
+// fact; its head arguments must all be constants.
+type Rule struct {
+	Head Atom
+	Body []Literal
+	Line int
+	Col  int
+}
+
+func (r *Rule) String() string {
+	if len(r.Body) == 0 {
+		return r.Head.String() + "."
+	}
+	s := r.Head.String() + " :- "
+	for i, l := range r.Body {
+		if i > 0 {
+			s += ", "
+		}
+		s += l.String()
+	}
+	return s + "."
+}
+
+// IsFact reports whether the rule has an empty body.
+func (r *Rule) IsFact() bool { return len(r.Body) == 0 }

@@ -1,0 +1,177 @@
+package check
+
+import (
+	"sort"
+	"strings"
+
+	"bddbddb/internal/datalog/ast"
+)
+
+// NegationCycle describes a negated dependence inside a recursive
+// cycle of the predicate graph — the reason a program fails
+// stratification. Cycle is a predicate path whose first and last
+// elements coincide; the edge closing the cycle (from Negated into
+// Cycle[0]) is the negated one. Line/Col locate the offending negated
+// literal.
+type NegationCycle struct {
+	Cycle   []string
+	Negated string
+	Line    int
+	Col     int
+}
+
+// String renders the cycle as "p -> !q -> p": the rule for p reads !q,
+// and q is (transitively) derived from p.
+func (nc *NegationCycle) String() string {
+	parts := make([]string, len(nc.Cycle))
+	for i, p := range nc.Cycle {
+		if i == len(nc.Cycle)-2 && p == nc.Negated {
+			parts[i] = "!" + p
+		} else {
+			parts[i] = p
+		}
+	}
+	return "recursion through negation: " + strings.Join(parts, " -> ")
+}
+
+type depEdge struct {
+	from, to  string // body predicate -> head predicate
+	negated   bool
+	line, col int
+}
+
+// FindNegationCycle returns a predicate cycle containing a negated
+// dependence, or nil when the program is stratifiable. The same test
+// gates stratify; this function additionally reconstructs the cycle
+// path for the diagnostic.
+func FindNegationCycle(p *ast.Program) *NegationCycle {
+	var edges []depEdge
+	nodes := make(map[string]bool)
+	for _, r := range p.Relations {
+		nodes[r.Name] = true
+	}
+	for _, rule := range p.Rules {
+		nodes[rule.Head.Pred] = true
+		for i := range rule.Body {
+			lit := &rule.Body[i]
+			nodes[lit.Atom.Pred] = true
+			edges = append(edges, depEdge{
+				from:    lit.Atom.Pred,
+				to:      rule.Head.Pred,
+				negated: lit.Negated,
+				line:    lit.Atom.Line,
+				col:     lit.Atom.Col,
+			})
+		}
+	}
+	succ := make(map[string][]string)
+	for _, e := range edges {
+		succ[e.from] = append(succ[e.from], e.to)
+	}
+	comp := sccComponents(nodes, succ)
+
+	for _, e := range edges {
+		if !e.negated || comp[e.from] != comp[e.to] {
+			continue
+		}
+		// The negated edge closes a cycle: walk e.to -> ... -> e.from
+		// inside the component, then the negated edge returns to e.to.
+		path := shortestPath(e.to, e.from, succ, comp)
+		cycle := append(path, e.to)
+		return &NegationCycle{Cycle: cycle, Negated: e.from, Line: e.line, Col: e.col}
+	}
+	return nil
+}
+
+// sccComponents assigns each node a strongly-connected-component id
+// (Tarjan, deterministic over sorted node names).
+func sccComponents(nodes map[string]bool, succ map[string][]string) map[string]int {
+	index := make(map[string]int)
+	low := make(map[string]int)
+	onStack := make(map[string]bool)
+	var stack []string
+	var counter, nextComp int
+	comp := make(map[string]int)
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		counter++
+		index[v] = counter
+		low[v] = counter
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range succ[v] {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp[w] = nextComp
+				if w == v {
+					break
+				}
+			}
+			nextComp++
+		}
+	}
+	names := make([]string, 0, len(nodes))
+	for n := range nodes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if _, seen := index[n]; !seen {
+			strongconnect(n)
+		}
+	}
+	return comp
+}
+
+// shortestPath returns a minimal predicate path from src to dst using
+// only edges inside src's component (BFS with sorted neighbors for
+// determinism). src and dst share a component, so a path exists; the
+// degenerate src == dst case yields the one-element path.
+func shortestPath(src, dst string, succ map[string][]string, comp map[string]int) []string {
+	if src == dst {
+		return []string{src}
+	}
+	parent := make(map[string]string)
+	visited := map[string]bool{src: true}
+	queue := []string{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		next := append([]string(nil), succ[v]...)
+		sort.Strings(next)
+		for _, w := range next {
+			if visited[w] || comp[w] != comp[src] {
+				continue
+			}
+			visited[w] = true
+			parent[w] = v
+			if w == dst {
+				var path []string
+				for at := dst; at != src; at = parent[at] {
+					path = append(path, at)
+				}
+				path = append(path, src)
+				for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+					path[i], path[j] = path[j], path[i]
+				}
+				return path
+			}
+			queue = append(queue, w)
+		}
+	}
+	// Unreachable for nodes in one SCC; return the endpoints so the
+	// diagnostic still names both predicates.
+	return []string{src, dst}
+}

@@ -1,0 +1,217 @@
+// Package check is the semantic-analysis and lint pass of the bddbddb
+// front end. It runs between parsing and compilation and produces
+// structured diagnostics with stable codes, so that authoring errors in
+// Datalog programs — the repo's analyses are all authored Datalog — are
+// reported as precise file:line:col messages instead of failing deep
+// inside rule compilation or evaluation.
+//
+// Diagnostic catalog:
+//
+//	DL000  syntax error (produced by the lexer/parser, same format)
+//	DL001  undefined or duplicate domain (unknown attribute domain,
+//	       duplicate .domain, zero-size domain)
+//	DL002  undefined or duplicate relation (undeclared relation in a
+//	       rule, duplicate .relation, repeated attribute name)
+//	DL003  bad .bddvarorder (unknown or repeated domain name,
+//	       duplicate directive)
+//	DL010  arity or domain mismatch between an atom and declarations
+//	DL011  constant outside its domain's range
+//	DL012  malformed term usage (don't-care in a rule head or inside a
+//	       negated literal, non-ground fact)
+//	DL020  rule safety: a head variable never bound by any body literal
+//	DL021  negation safety: a body variable appearing only in negated
+//	       literals
+//	DL030  negation inside a recursive cycle (program not stratified),
+//	       reported with the actual predicate cycle
+//	DL100  warning: relation declared but never used by any rule
+//	DL101  warning: input relation also derived by a rule
+//	DL102  warning: rule can never fire (reads a relation that is
+//	       neither an input nor ever derived)
+//	DL103  warning: single-use variable that should be _
+//
+// Head variables bound only through negated literals are deliberately
+// NOT flagged: the engine gives them finite-universe complement
+// semantics (varSuperTypes(v, t) :- !notVarType(v, t) in the paper's
+// Section 5.3 query depends on it).
+package check
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Diagnostic codes. See the package comment for the catalog.
+const (
+	CodeSyntax     = "DL000"
+	CodeDomain     = "DL001"
+	CodeRelation   = "DL002"
+	CodeVarOrder   = "DL003"
+	CodeArity      = "DL010"
+	CodeConstRange = "DL011"
+	CodeTermForm   = "DL012"
+	CodeRuleSafety = "DL020"
+	CodeNegSafety  = "DL021"
+	CodeStratify   = "DL030"
+	CodeUnusedRel  = "DL100"
+	CodeInputHead  = "DL101"
+	CodeNeverFires = "DL102"
+	CodeSingleUse  = "DL103"
+)
+
+// Severity ranks a diagnostic.
+type Severity int
+
+const (
+	// SevWarning diagnostics flag suspicious but executable programs.
+	SevWarning Severity = iota
+	// SevError diagnostics reject the program.
+	SevError
+)
+
+func (s Severity) String() string {
+	if s == SevError {
+		return "error"
+	}
+	return "warning"
+}
+
+// Diag is one structured diagnostic. Line and Col are 1-based; a zero
+// Line means the diagnostic has no source position (e.g. a bad -print
+// flag validated against the program's relation table).
+type Diag struct {
+	Code     string
+	Severity Severity
+	File     string
+	Line     int
+	Col      int
+	Message  string
+}
+
+// String renders the diagnostic as file:line:col: CODE: message, with
+// a "warning:" marker for warnings. Position parts that are unknown
+// are omitted.
+func (d Diag) String() string {
+	var b strings.Builder
+	if d.File != "" {
+		b.WriteString(d.File)
+		b.WriteString(":")
+	}
+	if d.Line > 0 {
+		fmt.Fprintf(&b, "%d:%d:", d.Line, d.Col)
+	}
+	if b.Len() > 0 {
+		b.WriteString(" ")
+	}
+	b.WriteString(d.Code)
+	b.WriteString(": ")
+	if d.Severity == SevWarning {
+		b.WriteString("warning: ")
+	}
+	b.WriteString(d.Message)
+	return b.String()
+}
+
+// Diags is a list of diagnostics.
+type Diags []Diag
+
+// HasErrors reports whether any diagnostic is an error.
+func (ds Diags) HasErrors() bool {
+	for _, d := range ds {
+		if d.Severity == SevError {
+			return true
+		}
+	}
+	return false
+}
+
+// Errors returns the error-severity diagnostics.
+func (ds Diags) Errors() Diags {
+	var out Diags
+	for _, d := range ds {
+		if d.Severity == SevError {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Warnings returns the warning-severity diagnostics.
+func (ds Diags) Warnings() Diags {
+	var out Diags
+	for _, d := range ds {
+		if d.Severity == SevWarning {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Promote returns a copy with every warning upgraded to an error
+// (the -Werror flag).
+func (ds Diags) Promote() Diags {
+	out := make(Diags, len(ds))
+	copy(out, ds)
+	for i := range out {
+		out[i].Severity = SevError
+	}
+	return out
+}
+
+// Sort orders diagnostics by position, then code, then message.
+func (ds Diags) Sort() {
+	sort.SliceStable(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Code != b.Code {
+			return a.Code < b.Code
+		}
+		return a.Message < b.Message
+	})
+}
+
+// String renders one diagnostic per line.
+func (ds Diags) String() string {
+	lines := make([]string, len(ds))
+	for i, d := range ds {
+		lines[i] = d.String()
+	}
+	return strings.Join(lines, "\n")
+}
+
+// Err converts the list into a Go error carrying all diagnostics, or
+// nil when no diagnostic is an error.
+func (ds Diags) Err() error {
+	if !ds.HasErrors() {
+		return nil
+	}
+	return &Error{Diags: ds}
+}
+
+// Error is a Go error carrying structured diagnostics; front-end and
+// solver entry points return it so callers can either print the
+// message or unwrap the individual Diags.
+type Error struct {
+	Diags Diags
+}
+
+func (e *Error) Error() string { return e.Diags.Errors().String() }
+
+// Errorf builds a single-diagnostic error — the bridge by which later
+// passes (stratify, rule compilation, fact application) report through
+// the same Diag type as the checker.
+func Errorf(code, file string, line, col int, format string, args ...any) error {
+	return &Error{Diags: Diags{{
+		Code:     code,
+		Severity: SevError,
+		File:     file,
+		Line:     line,
+		Col:      col,
+		Message:  fmt.Sprintf(format, args...),
+	}}}
+}

@@ -1,0 +1,70 @@
+package check_test
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bddbddb/internal/datalog"
+	"bddbddb/internal/datalog/check"
+)
+
+// TestGoldenDiagnostics checks every testdata/check/*.datalog program
+// against its *.diag golden file: one rendered diagnostic per line,
+// empty for clean programs. Regenerate with UPDATE_GOLDEN=1.
+func TestGoldenDiagnostics(t *testing.T) {
+	dir := filepath.Join("..", "..", "..", "testdata", "check")
+	programs, err := filepath.Glob(filepath.Join(dir, "*.datalog"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(programs) == 0 {
+		t.Fatalf("no programs under %s", dir)
+	}
+	for _, path := range programs {
+		name := strings.TrimSuffix(filepath.Base(path), ".datalog")
+		t.Run(name, func(t *testing.T) {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Diagnostics carry the base name so goldens don't depend on
+			// the checkout location.
+			got := renderAll(t, filepath.Base(path), string(src))
+			goldenPath := filepath.Join(dir, name+".diag")
+			if os.Getenv("UPDATE_GOLDEN") != "" {
+				if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("missing golden (run with UPDATE_GOLDEN=1 to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("diagnostics mismatch for %s\n--- got ---\n%s--- want ---\n%s", name, got, want)
+			}
+		})
+	}
+}
+
+// renderAll parses and checks a program, returning its diagnostics one
+// per line (including a syntax error, which is itself a diagnostic).
+func renderAll(t *testing.T, file, src string) string {
+	t.Helper()
+	_, diags, err := datalog.ParseAndCheck(file, src)
+	if err != nil {
+		var ce *check.Error
+		if !errors.As(err, &ce) {
+			t.Fatalf("non-diagnostic parse error: %v", err)
+		}
+		diags = ce.Diags
+	}
+	if len(diags) == 0 {
+		return ""
+	}
+	return diags.String() + "\n"
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"bddbddb/internal/bdd"
+	"bddbddb/internal/datalog/check"
 	"bddbddb/internal/rel"
 )
 
@@ -157,7 +158,7 @@ func (s *Solver) compileRule(rule *Rule, asn map[string]int) (*compiledRule, err
 			case TermConst, TermNamedConst:
 				v, err := s.resolveConst(t, decl.Attrs[i].Domain)
 				if err != nil {
-					return nil, fmt.Errorf("line %d: %v", lit.Atom.Line, err)
+					return nil, check.Errorf(check.CodeConstRange, s.prog.File, t.Line, t.Col, "%v", err)
 				}
 				lp.consts = append(lp.consts, constSel{attr: attr, val: v})
 				lp.drops = append(lp.drops, attr)
@@ -211,7 +212,7 @@ func (s *Solver) compileRule(rule *Rule, asn map[string]int) (*compiledRule, err
 		case TermConst, TermNamedConst:
 			v, err := s.resolveConst(t, headDecl.Attrs[i].Domain)
 			if err != nil {
-				return nil, fmt.Errorf("line %d: %v", rule.Line, err)
+				return nil, check.Errorf(check.CodeConstRange, s.prog.File, t.Line, t.Col, "%v", err)
 			}
 			cr.constJoins = append(cr.constJoins, constJoin{attr: target, val: v})
 		case TermVar:

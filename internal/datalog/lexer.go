@@ -1,9 +1,10 @@
 package datalog
 
 import (
-	"fmt"
 	"strings"
 	"unicode"
+
+	"bddbddb/internal/datalog/check"
 )
 
 type tokenKind int
@@ -61,18 +62,24 @@ type token struct {
 	kind tokenKind
 	text string
 	line int
+	col  int
 }
 
 type lexer struct {
-	src  string
-	pos  int
-	line int
+	file      string
+	src       string
+	pos       int
+	line      int
+	lineStart int // offset of the current line's first byte
 }
 
-func newLexer(src string) *lexer { return &lexer{src: src, line: 1} }
+func newLexer(file, src string) *lexer { return &lexer{file: file, src: src, line: 1} }
 
-func (lx *lexer) errorf(format string, args ...any) error {
-	return fmt.Errorf("line %d: %s", lx.line, fmt.Sprintf(format, args...))
+// col is the 1-based column of the current position.
+func (lx *lexer) col() int { return lx.pos - lx.lineStart + 1 }
+
+func (lx *lexer) errorf(col int, format string, args ...any) error {
+	return check.Errorf(check.CodeSyntax, lx.file, lx.line, col, format, args...)
 }
 
 func isIdentStart(r byte) bool {
@@ -93,6 +100,7 @@ func (lx *lexer) next() (token, error) {
 		case c == '\n':
 			lx.line++
 			lx.pos++
+			lx.lineStart = lx.pos
 		case c == ' ' || c == '\t' || c == '\r':
 			lx.pos++
 		case c == '#':
@@ -103,46 +111,47 @@ func (lx *lexer) next() (token, error) {
 			goto scan
 		}
 	}
-	return token{kind: tokEOF, line: lx.line}, nil
+	return token{kind: tokEOF, line: lx.line, col: lx.col()}, nil
 
 scan:
 	c := lx.src[lx.pos]
 	line := lx.line
+	col := lx.col()
 	switch c {
 	case '(':
 		lx.pos++
-		return token{tokLParen, "(", line}, nil
+		return token{tokLParen, "(", line, col}, nil
 	case ')':
 		lx.pos++
-		return token{tokRParen, ")", line}, nil
+		return token{tokRParen, ")", line, col}, nil
 	case ',':
 		lx.pos++
-		return token{tokComma, ",", line}, nil
+		return token{tokComma, ",", line, col}, nil
 	case '!':
 		lx.pos++
-		return token{tokBang, "!", line}, nil
+		return token{tokBang, "!", line, col}, nil
 	case ':':
 		if lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '-' {
 			lx.pos += 2
-			return token{tokTurnstile, ":-", line}, nil
+			return token{tokTurnstile, ":-", line, col}, nil
 		}
 		lx.pos++
-		return token{tokColon, ":", line}, nil
+		return token{tokColon, ":", line, col}, nil
 	case '"':
 		lx.pos++
 		start := lx.pos
 		for lx.pos < len(lx.src) && lx.src[lx.pos] != '"' {
 			if lx.src[lx.pos] == '\n' {
-				return token{}, lx.errorf("unterminated string")
+				return token{}, lx.errorf(col, "unterminated string")
 			}
 			lx.pos++
 		}
 		if lx.pos >= len(lx.src) {
-			return token{}, lx.errorf("unterminated string")
+			return token{}, lx.errorf(col, "unterminated string")
 		}
 		text := lx.src[start:lx.pos]
 		lx.pos++
-		return token{tokString, text, line}, nil
+		return token{tokString, text, line, col}, nil
 	case '.':
 		// Directive if followed by a letter at the start of a statement;
 		// otherwise a terminator dot.
@@ -152,14 +161,14 @@ scan:
 			for lx.pos < len(lx.src) && isIdentBody(lx.src[lx.pos]) && lx.src[lx.pos] != '.' {
 				lx.pos++
 			}
-			return token{tokDirective, lx.src[start:lx.pos], line}, nil
+			return token{tokDirective, lx.src[start:lx.pos], line, col}, nil
 		}
 		lx.pos++
-		return token{tokDot, ".", line}, nil
+		return token{tokDot, ".", line, col}, nil
 	}
 	if c == '_' && (lx.pos+1 >= len(lx.src) || !isIdentBody(lx.src[lx.pos+1]) || lx.src[lx.pos+1] == '.') {
 		lx.pos++
-		return token{tokUnderscore, "_", line}, nil
+		return token{tokUnderscore, "_", line, col}, nil
 	}
 	if c >= '0' && c <= '9' {
 		start := lx.pos
@@ -168,7 +177,7 @@ scan:
 		}
 		// 2^63 style sizes are written as plain integers; exponents via
 		// suffixless digits only.
-		return token{tokNumber, lx.src[start:lx.pos], line}, nil
+		return token{tokNumber, lx.src[start:lx.pos], line, col}, nil
 	}
 	if isIdentStart(c) {
 		start := lx.pos
@@ -182,14 +191,14 @@ scan:
 			}
 			lx.pos++
 		}
-		return token{tokIdent, lx.src[start:lx.pos], line}, nil
+		return token{tokIdent, lx.src[start:lx.pos], line, col}, nil
 	}
-	return token{}, lx.errorf("unexpected character %q", string(rune(c)))
+	return token{}, lx.errorf(col, "unexpected character %q", string(rune(c)))
 }
 
 // lexAll tokenizes the whole input (convenience for the parser).
-func lexAll(src string) ([]token, error) {
-	lx := newLexer(src)
+func lexAll(file, src string) ([]token, error) {
+	lx := newLexer(file, src)
 	var toks []token
 	for {
 		t, err := lx.next()

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"bddbddb/internal/datalog/check"
 )
 
 // NaiveSolver evaluates the same Datalog dialect over explicit tuple
@@ -59,8 +61,13 @@ func (t *tupleTable) has(vals []uint64) bool {
 func (t *tupleTable) len() int { return len(t.rows) }
 
 // NewNaiveSolver prepares an explicit-representation evaluation of prog.
-// Only DomainSizes and ElemNames are honoured from opts.
+// Only DomainSizes and ElemNames are honoured from opts. Like NewSolver,
+// it runs the semantic checker first.
 func NewNaiveSolver(prog *Program, opts Options) (*NaiveSolver, error) {
+	diags := check.ProgramOpts(prog, check.Options{DomainSizes: opts.DomainSizes})
+	if err := diags.Err(); err != nil {
+		return nil, err
+	}
 	strata, err := stratify(prog)
 	if err != nil {
 		return nil, err
@@ -162,7 +169,7 @@ func (ns *NaiveSolver) Solve() error {
 		for i, t := range rule.Head.Args {
 			v, err := ns.resolveConst(t, decl.Attrs[i].Domain)
 			if err != nil {
-				return fmt.Errorf("line %d: %v", rule.Line, err)
+				return check.Errorf(check.CodeConstRange, ns.prog.File, t.Line, t.Col, "%v", err)
 			}
 			vals[i] = v
 		}

@@ -1,38 +1,59 @@
 package datalog
 
 import (
-	"fmt"
 	"strconv"
 	"strings"
+
+	"bddbddb/internal/datalog/check"
 )
 
-// Parse parses a Datalog program in the dialect used throughout the
-// paper (see the package comment for the grammar).
-func Parse(src string) (*Program, error) {
-	toks, err := lexAll(src)
+// Parse parses and checks a Datalog program in the dialect used
+// throughout the paper (see the package comment for the grammar). It is
+// ParseFile with no file name; diagnostics have no file prefix.
+func Parse(src string) (*Program, error) { return ParseFile("", src) }
+
+// ParseFile parses and checks a program, attributing diagnostics to
+// file. Checker warnings are discarded; callers that want them use
+// ParseAndCheck.
+func ParseFile(file, src string) (*Program, error) {
+	prog, diags, err := ParseAndCheck(file, src)
 	if err != nil {
 		return nil, err
 	}
-	p := &parser{toks: toks}
-	prog := &Program{}
+	if err := diags.Err(); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// ParseAndCheck parses a program and runs the semantic checker
+// (datalog/check) over it. A non-nil error reports a syntax failure —
+// there is no AST to analyze — and is itself a *check.Error carrying a
+// DL000 diagnostic. Otherwise the returned diagnostics hold everything
+// the checker found, warnings and errors both; the program is safe to
+// solve only when diags.HasErrors() is false.
+func ParseAndCheck(file, src string) (*Program, check.Diags, error) {
+	toks, err := lexAll(file, src)
+	if err != nil {
+		return nil, nil, err
+	}
+	p := &parser{file: file, toks: toks}
+	prog := &Program{File: file}
 	for !p.at(tokEOF) {
 		switch {
 		case p.at(tokDirective):
 			if err := p.directive(prog); err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 		default:
 			r, err := p.rule()
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			prog.Rules = append(prog.Rules, r)
 		}
 	}
-	if err := check(prog); err != nil {
-		return nil, err
-	}
-	return prog, nil
+	return prog, check.Program(prog), nil
 }
 
 // MustParse is Parse for programs embedded in source; it panics on error.
@@ -45,6 +66,7 @@ func MustParse(src string) *Program {
 }
 
 type parser struct {
+	file string
 	toks []token
 	pos  int
 }
@@ -60,10 +82,14 @@ func (p *parser) advance() token {
 	return t
 }
 
+func (p *parser) errorf(t token, format string, args ...any) error {
+	return check.Errorf(check.CodeSyntax, p.file, t.line, t.col, format, args...)
+}
+
 func (p *parser) expect(k tokenKind) (token, error) {
 	if !p.at(k) {
-		return token{}, fmt.Errorf("line %d: expected %v, found %v %q",
-			p.cur().line, k, p.cur().kind, p.cur().text)
+		return token{}, p.errorf(p.cur(), "expected %v, found %v %q",
+			k, p.cur().kind, p.cur().text)
 	}
 	return p.advance(), nil
 }
@@ -82,9 +108,9 @@ func (p *parser) directive(prog *Program) error {
 		}
 		size, err := strconv.ParseUint(sizeTok.text, 10, 64)
 		if err != nil {
-			return fmt.Errorf("line %d: bad domain size %q", sizeTok.line, sizeTok.text)
+			return p.errorf(sizeTok, "bad domain size %q", sizeTok.text)
 		}
-		decl := &DomainDecl{Name: cleanIdent(name.text), Size: size, Line: d.line}
+		decl := &DomainDecl{Name: cleanIdent(name.text), Size: size, Line: d.line, Col: d.col}
 		// Optional map file.
 		if p.at(tokIdent) || p.at(tokString) {
 			decl.MapFile = p.advance().text
@@ -99,7 +125,7 @@ func (p *parser) directive(prog *Program) error {
 		if _, err := p.expect(tokLParen); err != nil {
 			return err
 		}
-		decl := &RelationDecl{Name: cleanIdent(name.text), Line: d.line}
+		decl := &RelationDecl{Name: cleanIdent(name.text), Line: d.line, Col: d.col}
 		for {
 			an, err := p.expect(tokIdent)
 			if err != nil {
@@ -112,7 +138,7 @@ func (p *parser) directive(prog *Program) error {
 			if err != nil {
 				return err
 			}
-			decl.Attrs = append(decl.Attrs, AttrDecl{Name: an.text, Domain: dn.text})
+			decl.Attrs = append(decl.Attrs, AttrDecl{Name: an.text, Domain: dn.text, Line: dn.line, Col: dn.col})
 			if p.at(tokComma) {
 				p.advance()
 				continue
@@ -138,12 +164,14 @@ func (p *parser) directive(prog *Program) error {
 			return err
 		}
 		if prog.Order != nil {
-			return fmt.Errorf("line %d: .bddvarorder declared twice", d.line)
+			return check.Errorf(check.CodeVarOrder, p.file, d.line, d.col,
+				".bddvarorder declared twice")
 		}
 		prog.Order = strings.Split(tok.text, "_")
+		prog.OrderLine, prog.OrderCol = d.line, d.col
 		return nil
 	default:
-		return fmt.Errorf("line %d: unknown directive .%s", d.line, d.text)
+		return p.errorf(d, "unknown directive .%s", d.text)
 	}
 }
 
@@ -152,7 +180,7 @@ func (p *parser) rule() (*Rule, error) {
 	if err != nil {
 		return nil, err
 	}
-	r := &Rule{Head: head, Line: head.Line}
+	r := &Rule{Head: head, Line: head.Line, Col: head.Col}
 	if p.at(tokDot) {
 		p.advance()
 		return r, nil
@@ -188,7 +216,7 @@ func (p *parser) atom() (Atom, error) {
 	if err != nil {
 		return Atom{}, err
 	}
-	a := Atom{Pred: cleanIdent(name.text), Line: name.line}
+	a := Atom{Pred: cleanIdent(name.text), Line: name.line, Col: name.col}
 	if _, err := p.expect(tokLParen); err != nil {
 		return Atom{}, err
 	}
@@ -196,19 +224,19 @@ func (p *parser) atom() (Atom, error) {
 		t := p.advance()
 		switch t.kind {
 		case tokIdent:
-			a.Args = append(a.Args, Term{Kind: TermVar, Var: t.text})
+			a.Args = append(a.Args, Term{Kind: TermVar, Var: t.text, Line: t.line, Col: t.col})
 		case tokUnderscore:
-			a.Args = append(a.Args, Term{Kind: TermWildcard})
+			a.Args = append(a.Args, Term{Kind: TermWildcard, Line: t.line, Col: t.col})
 		case tokNumber:
 			v, err := strconv.ParseUint(t.text, 10, 64)
 			if err != nil {
-				return Atom{}, fmt.Errorf("line %d: bad constant %q", t.line, t.text)
+				return Atom{}, p.errorf(t, "bad constant %q", t.text)
 			}
-			a.Args = append(a.Args, Term{Kind: TermConst, Val: v})
+			a.Args = append(a.Args, Term{Kind: TermConst, Val: v, Line: t.line, Col: t.col})
 		case tokString:
-			a.Args = append(a.Args, Term{Kind: TermNamedConst, Name: t.text})
+			a.Args = append(a.Args, Term{Kind: TermNamedConst, Name: t.text, Line: t.line, Col: t.col})
 		default:
-			return Atom{}, fmt.Errorf("line %d: expected argument, found %v %q", t.line, t.kind, t.text)
+			return Atom{}, p.errorf(t, "expected argument, found %v %q", t.kind, t.text)
 		}
 		if p.at(tokComma) {
 			p.advance()
@@ -220,109 +248,4 @@ func (p *parser) atom() (Atom, error) {
 		return Atom{}, err
 	}
 	return a, nil
-}
-
-// check performs the semantic analysis that does not need domain
-// contents: declarations resolve, arities match, variables are typed
-// consistently, heads are well-formed, facts are ground.
-func check(prog *Program) error {
-	domains := make(map[string]*DomainDecl)
-	for _, d := range prog.Domains {
-		if domains[d.Name] != nil {
-			return fmt.Errorf("line %d: domain %s declared twice", d.Line, d.Name)
-		}
-		if d.Size == 0 {
-			return fmt.Errorf("line %d: domain %s has zero size", d.Line, d.Name)
-		}
-		domains[d.Name] = d
-	}
-	rels := make(map[string]*RelationDecl)
-	for _, r := range prog.Relations {
-		if rels[r.Name] != nil {
-			return fmt.Errorf("line %d: relation %s declared twice", r.Line, r.Name)
-		}
-		seen := make(map[string]bool)
-		for _, a := range r.Attrs {
-			if domains[a.Domain] == nil {
-				return fmt.Errorf("line %d: relation %s: unknown domain %s", r.Line, r.Name, a.Domain)
-			}
-			if seen[a.Name] {
-				return fmt.Errorf("line %d: relation %s repeats attribute %s", r.Line, r.Name, a.Name)
-			}
-			seen[a.Name] = true
-		}
-		rels[r.Name] = r
-	}
-	for _, rule := range prog.Rules {
-		if err := checkRule(rule, rels); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-func checkRule(rule *Rule, rels map[string]*RelationDecl) error {
-	checkAtom := func(a Atom) (*RelationDecl, error) {
-		decl := rels[a.Pred]
-		if decl == nil {
-			return nil, fmt.Errorf("line %d: undeclared relation %s", a.Line, a.Pred)
-		}
-		if len(a.Args) != decl.Arity() {
-			return nil, fmt.Errorf("line %d: %s has arity %d, used with %d arguments",
-				a.Line, a.Pred, decl.Arity(), len(a.Args))
-		}
-		return decl, nil
-	}
-	varDomain := make(map[string]string)
-	bindVar := func(a Atom, i int, decl *RelationDecl) error {
-		t := a.Args[i]
-		if t.Kind != TermVar {
-			return nil
-		}
-		dom := decl.Attrs[i].Domain
-		if prev, ok := varDomain[t.Var]; ok && prev != dom {
-			return fmt.Errorf("line %d: variable %s used with domains %s and %s",
-				a.Line, t.Var, prev, dom)
-		}
-		varDomain[t.Var] = dom
-		return nil
-	}
-	headDecl, err := checkAtom(rule.Head)
-	if err != nil {
-		return err
-	}
-	if rule.IsFact() {
-		for _, t := range rule.Head.Args {
-			if t.Kind == TermVar || t.Kind == TermWildcard {
-				return fmt.Errorf("line %d: fact %s must be ground", rule.Line, rule.Head.Pred)
-			}
-		}
-		return nil
-	}
-	for _, t := range rule.Head.Args {
-		if t.Kind == TermWildcard {
-			return fmt.Errorf("line %d: don't-care in rule head", rule.Line)
-		}
-	}
-	for i := range rule.Head.Args {
-		if err := bindVar(rule.Head, i, headDecl); err != nil {
-			return err
-		}
-	}
-	for _, lit := range rule.Body {
-		decl, err := checkAtom(lit.Atom)
-		if err != nil {
-			return err
-		}
-		for i := range lit.Atom.Args {
-			if err := bindVar(lit.Atom, i, decl); err != nil {
-				return err
-			}
-			if lit.Negated && lit.Atom.Args[i].Kind == TermWildcard {
-				return fmt.Errorf("line %d: don't-care inside negated literal %s (project first)",
-					lit.Atom.Line, lit.Atom.Pred)
-			}
-		}
-	}
-	return nil
 }

@@ -179,7 +179,14 @@ func TestStratifyRejectsNegativeCycle(t *testing.T) {
 p(x) :- e(x), !q(x).
 q(x) :- p(x).
 `
-	prog, err := Parse(src)
+	// Parse itself rejects the program (the checker's DL030)...
+	if _, err := Parse(src); err == nil {
+		t.Fatal("unstratified program accepted by Parse")
+	} else if !strings.Contains(err.Error(), "not stratified") {
+		t.Fatalf("unexpected Parse error %v", err)
+	}
+	// ...and stratify independently reports the same cycle path.
+	prog, _, err := ParseAndCheck("", src)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,6 +194,8 @@ q(x) :- p(x).
 		t.Fatal("unstratified program accepted")
 	} else if !strings.Contains(err.Error(), "not stratified") {
 		t.Fatalf("unexpected error %v", err)
+	} else if !strings.Contains(err.Error(), "p -> !q -> p") {
+		t.Fatalf("error %v does not show the predicate cycle", err)
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"math/big"
 	"time"
 
+	"bddbddb/internal/datalog/check"
 	"bddbddb/internal/rel"
 )
 
@@ -107,7 +108,14 @@ func satAddInt64(dst *int64, v *big.Int) {
 }
 
 // NewSolver builds the universe, relations, and rule plans for prog.
+// The semantic checker runs first (against the domain sizes the solver
+// will actually use), so hand-built or MustParse'd programs are
+// validated even when the caller skipped ParseAndCheck.
 func NewSolver(prog *Program, opts Options) (*Solver, error) {
+	diags := check.ProgramOpts(prog, check.Options{DomainSizes: opts.DomainSizes})
+	if err := diags.Err(); err != nil {
+		return nil, err
+	}
 	strata, err := stratify(prog)
 	if err != nil {
 		return nil, err
@@ -290,7 +298,7 @@ func (s *Solver) applyFacts() error {
 		for i, t := range rule.Head.Args {
 			v, err := s.resolveConst(t, decl.Attrs[i].Domain)
 			if err != nil {
-				return fmt.Errorf("line %d: %v", rule.Line, err)
+				return check.Errorf(check.CodeConstRange, s.prog.File, t.Line, t.Col, "%v", err)
 			}
 			vals[i] = v
 		}

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"reflect"
 	"sort"
+	"strings"
 	"testing"
 )
 
@@ -295,7 +296,10 @@ q(x, 2) :- p(x).
 }
 
 func TestUnboundHeadVariable(t *testing.T) {
-	// p(x, y) :- q(x): y ranges over its whole domain.
+	// p(x, y) :- q(x): y is bound by no body literal. The checker
+	// rejects this (DL020) everywhere — at parse and at both solver
+	// entry points — instead of silently expanding y to its whole
+	// domain.
 	src := `
 .domain V 4
 .domain W 3
@@ -303,12 +307,21 @@ func TestUnboundHeadVariable(t *testing.T) {
 .relation p (v : V, w : W) output
 p(x, y) :- q(x).
 `
-	inputs := map[string][][]uint64{"q": {{1}}}
-	s := solveBoth(t, src, Options{}, inputs)
-	got := sortedTuples(s.Relation("p").Tuples())
-	want := [][]uint64{{1, 0}, {1, 1}, {1, 2}}
-	if !reflect.DeepEqual(got, want) {
-		t.Fatalf("p = %v", got)
+	if _, err := Parse(src); err == nil || !strings.Contains(err.Error(), "DL020") {
+		t.Fatalf("Parse error = %v, want DL020", err)
+	}
+	prog, diags, err := ParseAndCheck("", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !diags.HasErrors() {
+		t.Fatalf("checker accepted unbound head variable: %v", diags)
+	}
+	if _, err := NewSolver(prog, Options{}); err == nil || !strings.Contains(err.Error(), "DL020") {
+		t.Fatalf("NewSolver error = %v, want DL020", err)
+	}
+	if _, err := NewNaiveSolver(prog, Options{}); err == nil || !strings.Contains(err.Error(), "DL020") {
+		t.Fatalf("NewNaiveSolver error = %v, want DL020", err)
 	}
 }
 

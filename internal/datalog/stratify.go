@@ -3,6 +3,8 @@ package datalog
 import (
 	"fmt"
 	"sort"
+
+	"bddbddb/internal/datalog/check"
 )
 
 // stratum is one evaluation unit: a strongly connected component of the
@@ -92,9 +94,14 @@ func stratify(prog *Program) ([]*stratum, error) {
 		}
 	}
 
-	// Reject negation within a component.
+	// Reject negation within a component, reporting the actual predicate
+	// cycle (the checker's DL030 analysis reconstructs the path).
 	for _, e := range edges {
 		if e.negated && comp[e.from] == comp[e.to] {
+			if nc := check.FindNegationCycle(prog); nc != nil {
+				return nil, check.Errorf(check.CodeStratify, prog.File, nc.Line, nc.Col,
+					"program is not stratified: %s", nc)
+			}
 			return nil, fmt.Errorf("program is not stratified: %s is defined through its own negation (via %s)",
 				e.to, e.from)
 		}

@@ -296,8 +296,10 @@ func (s *Suite) Figure6(names []string) ([]Figure6Row, error) {
 			f   func() (*analysis.Result, error)
 		}{
 			{&row.CINoFilter, func() (*analysis.Result, error) {
+				// Algorithm 1 declares no type inputs; the refinement
+				// query needs vT/hT/aT, so prepend their declarations.
 				return analysis.RunContextInsensitive(p.Facts, false,
-					analysis.Config{ExtraSrc: analysis.TypeRefinementQuerySrc(analysis.RefineCIPointer)})
+					analysis.Config{ExtraSrc: analysis.TypeFilterInputsSrc + analysis.TypeRefinementQuerySrc(analysis.RefineCIPointer)})
 			}},
 			{&row.CIFilter, func() (*analysis.Result, error) {
 				return analysis.RunContextInsensitive(p.Facts, true,
