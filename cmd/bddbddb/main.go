@@ -16,6 +16,11 @@
 // comments). Missing files leave the relation empty. After solving,
 // the sizes of all output relations are printed; -print additionally
 // dumps the named relations' tuples.
+//
+// Observability: -trace writes a Chrome trace-event file of the solve
+// (stratum → iteration → rule spans), -metrics a flat metrics JSON,
+// -v logs solver progress to stderr, and -cpuprofile/-memprofile write
+// runtime/pprof profiles.
 package main
 
 import (
@@ -31,6 +36,7 @@ import (
 
 	"bddbddb/internal/datalog"
 	"bddbddb/internal/datalog/check"
+	"bddbddb/internal/obs"
 )
 
 func main() {
@@ -42,18 +48,32 @@ func main() {
 	nodes := flag.Int("nodes", 0, "initial BDD node table size")
 	cache := flag.Int("cache", 0, "BDD operation cache size")
 	ruleStats := flag.Bool("rulestats", false, "print per-rule applications, time, and derived tuples")
+	var oflags obs.Flags
+	oflags.Register(flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: bddbddb [flags] program.dl")
 		flag.Usage()
 		os.Exit(2)
 	}
-	os.Exit(run(flag.Arg(0), *checkOnly, *wError, *orderFlag, *printFlag, *factsDir, *nodes, *cache, *ruleStats))
+	sess, err := oflags.Start("bddbddb")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bddbddb:", err)
+		os.Exit(1)
+	}
+	status := run(sess, flag.Arg(0), *checkOnly, *wError, *orderFlag, *printFlag, *factsDir, *nodes, *cache, *ruleStats)
+	if err := sess.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "bddbddb:", err)
+		if status == 0 {
+			status = 1
+		}
+	}
+	os.Exit(status)
 }
 
 // run executes the tool and returns the process exit status: 0 on
 // success, 1 when the program is rejected or evaluation fails.
-func run(path string, checkOnly, wError bool, order, printRels, factsDir string, nodes, cache int, ruleStats bool) int {
+func run(sess *obs.Session, path string, checkOnly, wError bool, order, printRels, factsDir string, nodes, cache int, ruleStats bool) int {
 	src, err := os.ReadFile(path)
 	if err != nil {
 		return fail(err)
@@ -97,7 +117,13 @@ func run(path string, checkOnly, wError bool, order, printRels, factsDir string,
 		return 0
 	}
 
-	opts := datalog.Options{NodeSize: nodes, CacheSize: cache, CountRuleTuples: ruleStats}
+	opts := datalog.Options{
+		NodeSize:        nodes,
+		CacheSize:       cache,
+		CountRuleTuples: ruleStats,
+		Tracer:          sess.Tracer,
+		Metrics:         sess.Metrics,
+	}
 	if order != "" {
 		opts.Order = strings.Split(order, "_")
 	}

@@ -5,6 +5,12 @@
 //	experiments -figure 3            # Figure 3 on all 21 benchmarks
 //	experiments -figure 4 -benches freetts,jetty
 //	experiments -figure all -small   # every figure on the small subset
+//	experiments -figure 4 -json BENCH_figure4.json
+//
+// -json writes the figure tables as flat metrics JSON (the BENCH_*.json
+// trajectory format) with keys like figure4.<bench>.cs_pointer.time_sec.
+// The shared observability flags (-trace, -metrics, -v, -cpuprofile,
+// -memprofile) instrument the analysis runs themselves.
 package main
 
 import (
@@ -16,6 +22,7 @@ import (
 
 	"bddbddb/internal/analysis"
 	"bddbddb/internal/experiments"
+	"bddbddb/internal/obs"
 	"bddbddb/internal/order"
 )
 
@@ -25,12 +32,28 @@ func main() {
 	small := flag.Bool("small", false, "restrict every figure to the small subset")
 	search := flag.String("ordersearch", "", "run the Section 2.4.2 empirical variable-order search for Algorithm 5 on this benchmark")
 	trials := flag.Int("trials", 12, "order-search trial budget")
+	jsonPath := flag.String("json", "", "write the figure tables as metrics JSON to this file")
+	var oflags obs.Flags
+	oflags.Register(flag.CommandLine)
 	flag.Parse()
+
+	sess, err := oflags.Start("experiments")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	fatal := func(err error) {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		sess.Close()
+		os.Exit(1)
+	}
 
 	if *search != "" {
 		if err := runOrderSearch(*search, *trials); err != nil {
+			fatal(err)
+		}
+		if err := sess.Close(); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
 		}
 		return
 	}
@@ -46,6 +69,8 @@ func main() {
 		names = strings.Split(*benches, ",")
 	}
 	s := experiments.NewSuite()
+	s.SetObs(sess.Tracer)
+	table := make(map[string]float64) // accumulated -json figure metrics
 	run := func(fig string) error {
 		switch fig {
 		case "3":
@@ -55,6 +80,7 @@ func main() {
 			}
 			fmt.Println("Figure 3: benchmark vital statistics (measured | paper)")
 			experiments.WriteFigure3(os.Stdout, rows)
+			merge(table, experiments.Figure3Metrics(rows))
 		case "4":
 			rows, err := s.Figure4(pick(*benches, names, defaultSubset()))
 			if err != nil {
@@ -62,6 +88,7 @@ func main() {
 			}
 			fmt.Println("Figure 4: analysis times and peak live BDD memory")
 			experiments.WriteFigure4(os.Stdout, rows)
+			merge(table, experiments.Figure4Metrics(rows))
 		case "5":
 			rows, err := s.Figure5(pick(*benches, names, defaultSubset()))
 			if err != nil {
@@ -69,6 +96,7 @@ func main() {
 			}
 			fmt.Println("Figure 5: escape analysis results")
 			experiments.WriteFigure5(os.Stdout, rows)
+			merge(table, experiments.Figure5Metrics(rows))
 		case "6":
 			rows, err := s.Figure6(pick(*benches, names, defaultSubset()))
 			if err != nil {
@@ -76,6 +104,7 @@ func main() {
 			}
 			fmt.Println("Figure 6: type refinement precision (multi-typed % / refinable %)")
 			experiments.WriteFigure6(os.Stdout, rows)
+			merge(table, experiments.Figure6Metrics(rows))
 		default:
 			return fmt.Errorf("unknown figure %q", fig)
 		}
@@ -88,10 +117,37 @@ func main() {
 	}
 	for _, fig := range figs {
 		if err := run(fig); err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 	}
+	if *jsonPath != "" {
+		if err := writeTable(*jsonPath, table); err != nil {
+			fatal(err)
+		}
+	}
+	if err := sess.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func merge(dst, src map[string]float64) {
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+// writeTable writes the accumulated figure metrics as BENCH-style JSON.
+func writeTable(path string, table map[string]float64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteMetricsJSON(f, "experiments", table); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // pick returns explicit names when given, otherwise the default set.

@@ -8,6 +8,13 @@
 // (Algorithm 3, on-the-fly call graph), cs (Algorithm 5,
 // context-sensitive), type (Algorithm 6), threads (Algorithm 7 with
 // escape analysis). -var prints the points-to set of one variable.
+//
+// Observability: -trace writes a Chrome trace-event file of the whole
+// pipeline (parse → extract → analyze → query, with nested
+// stratum/iteration/rule spans under each solve), -metrics a flat
+// metrics JSON (solve time, peak live BDD nodes, GC count, per-cache
+// hit ratios, relation cardinalities), -v logs phase progress to
+// stderr, and -cpuprofile/-memprofile write runtime/pprof profiles.
 package main
 
 import (
@@ -18,57 +25,79 @@ import (
 	"bddbddb/internal/analysis"
 	"bddbddb/internal/callgraph"
 	"bddbddb/internal/extract"
+	"bddbddb/internal/obs"
 	"bddbddb/internal/program"
 )
 
 func main() {
 	algo := flag.String("algo", "otf", "analysis: ci|cif|otf|cs|type|threads")
 	varName := flag.String("var", "", "print the points-to set of this variable (Class.method/v)")
+	var oflags obs.Flags
+	oflags.Register(flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: pointsto [flags] program.jp")
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *algo, *varName); err != nil {
+	sess, err := oflags.Start("pointsto")
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "pointsto:", err)
+		os.Exit(1)
+	}
+	runErr := run(sess, flag.Arg(0), *algo, *varName)
+	if err := sess.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "pointsto:", err)
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "pointsto:", runErr)
 		os.Exit(1)
 	}
 }
 
-func run(path, algo, varName string) error {
+func run(sess *obs.Session, path, algo, varName string) error {
+	tr := sess.Tracer
 	src, err := os.ReadFile(path)
 	if err != nil {
 		return err
 	}
+	obs.Begin(tr, "pointsto.parse")
 	prog, err := program.Parse(string(src))
+	obs.End(tr)
 	if err != nil {
 		return err
 	}
+	obs.Begin(tr, "pointsto.extract")
 	f, err := extract.Extract(prog, extract.Options{})
+	obs.End(tr)
 	if err != nil {
 		return err
 	}
+	cfg := analysis.Config{Tracer: tr, Metrics: sess.Metrics}
 	var res *analysis.Result
+	obs.Begin(tr, "pointsto.analyze", obs.A("algo", algo))
 	switch algo {
 	case "ci":
-		res, err = analysis.RunContextInsensitive(f, false, analysis.Config{})
+		res, err = analysis.RunContextInsensitive(f, false, cfg)
 	case "cif":
-		res, err = analysis.RunContextInsensitive(f, true, analysis.Config{})
+		res, err = analysis.RunContextInsensitive(f, true, cfg)
 	case "otf":
-		res, err = analysis.RunOnTheFly(f, analysis.Config{})
+		res, err = analysis.RunOnTheFly(f, cfg)
 	case "cs":
-		res, err = analysis.RunContextSensitive(f, nil, analysis.Config{})
+		res, err = analysis.RunContextSensitive(f, nil, cfg)
 	case "type":
-		res, err = analysis.RunTypeAnalysis(f, nil, analysis.Config{})
+		res, err = analysis.RunTypeAnalysis(f, nil, cfg)
 	case "threads":
-		res, err = analysis.RunThreadEscape(f, nil, analysis.Config{})
+		res, err = analysis.RunThreadEscape(f, nil, cfg)
 	default:
-		return fmt.Errorf("unknown algorithm %q", algo)
+		err = fmt.Errorf("unknown algorithm %q", algo)
 	}
+	obs.End(tr)
 	if err != nil {
 		return err
 	}
+	obs.Begin(tr, "pointsto.query")
+	defer obs.End(tr)
 	st := res.Stats()
 	fmt.Printf("%s: solved in %v, %d iterations, peak %d live BDD nodes\n",
 		algo, st.SolveTime, st.Iterations, st.PeakLiveNodes)

@@ -13,6 +13,7 @@ import (
 	"os"
 
 	"bddbddb/internal/callgraph"
+	"bddbddb/internal/obs"
 	"bddbddb/internal/program"
 	"bddbddb/internal/synth"
 )
@@ -20,7 +21,14 @@ import (
 func main() {
 	list := flag.Bool("list", false, "list benchmark configurations")
 	bench := flag.String("bench", "", "benchmark to generate")
+	var oflags obs.Flags
+	oflags.Register(flag.CommandLine)
 	flag.Parse()
+	sess, err := oflags.Start("synthgen")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "synthgen:", err)
+		os.Exit(1)
+	}
 	switch {
 	case *list:
 		fmt.Printf("%-10s %-8s %-7s %-7s %-8s %s\n", "name", "classes", "layers", "width", "threads", "paper c.s. paths")
@@ -35,9 +43,19 @@ func main() {
 			fmt.Fprintf(os.Stderr, "synthgen: unknown benchmark %q (try -list)\n", *bench)
 			os.Exit(1)
 		}
-		fmt.Print(program.Format(synth.Generate(b.Params)))
+		obs.Begin(sess.Tracer, "synthgen.generate", obs.A("bench", b.Params.Name))
+		p := synth.Generate(b.Params)
+		obs.End(sess.Tracer)
+		obs.Begin(sess.Tracer, "synthgen.format")
+		out := program.Format(p)
+		obs.End(sess.Tracer)
+		fmt.Print(out)
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+	if err := sess.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "synthgen:", err)
+		os.Exit(1)
 	}
 }

@@ -6,10 +6,19 @@ import (
 	"bddbddb/internal/callgraph"
 	"bddbddb/internal/datalog"
 	"bddbddb/internal/extract"
+	"bddbddb/internal/obs"
 )
 
 // Config tunes an analysis run.
 type Config struct {
+	// Tracer receives one span per pipeline phase (CHA, call graph
+	// discovery, numbering, materialization, fill, solve) plus the
+	// solver's and BDD manager's nested spans. Nil traces nothing.
+	Tracer obs.Tracer
+	// Metrics, when set, receives the solver's flat summary (solve
+	// time, peak live nodes, GC count, per-cache hit ratios, relation
+	// cardinalities) at the end of each solve.
+	Metrics *obs.Metrics
 	// Order overrides the BDD variable order (logical domain names,
 	// topmost first). Defaults to the paper-informed order with the
 	// context domain on top.
@@ -103,6 +112,8 @@ func baseOptions(f *extract.Facts, cfg Config, order []string) datalog.Options {
 			"M": f.Methods,
 		},
 		NoIncrementalization: cfg.NoIncrementalization,
+		Tracer:               cfg.Tracer,
+		Metrics:              cfg.Metrics,
 	}
 }
 
@@ -159,17 +170,29 @@ func RunContextInsensitive(f *extract.Facts, typeFilter bool, cfg Config) (*Resu
 	if err != nil {
 		return nil, err
 	}
-	s, err := datalog.NewSolver(prog, baseOptions(f, cfg, ciOrder))
+	s, err := compileTraced(prog, baseOptions(f, cfg, ciOrder), cfg.Tracer)
 	if err != nil {
 		return nil, err
 	}
+	obs.Begin(cfg.Tracer, "analysis.cha")
 	g := CHACallGraph(f)
+	obs.End(cfg.Tracer)
+	obs.Begin(cfg.Tracer, "analysis.fill")
 	fillCommon(s, f)
 	fill(s, "assign", AssignEdges(f, g, false))
+	obs.End(cfg.Tracer)
 	if err := s.Solve(); err != nil {
 		return nil, err
 	}
 	return &Result{Solver: s, Facts: f, Graph: g}, nil
+}
+
+// compileTraced wraps solver construction (rule compilation, universe
+// finalization) in an "analysis.compile" span.
+func compileTraced(prog *datalog.Program, opts datalog.Options, tr obs.Tracer) (*datalog.Solver, error) {
+	obs.Begin(tr, "analysis.compile", obs.A("rules", len(prog.Rules)))
+	defer obs.End(tr)
+	return datalog.NewSolver(prog, opts)
 }
 
 // RunOnTheFly runs Algorithm 3: context-insensitive points-to with call
@@ -179,12 +202,14 @@ func RunOnTheFly(f *extract.Facts, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	s, err := datalog.NewSolver(prog, baseOptions(f, cfg, ciOrder))
+	s, err := compileTraced(prog, baseOptions(f, cfg, ciOrder), cfg.Tracer)
 	if err != nil {
 		return nil, err
 	}
+	obs.Begin(cfg.Tracer, "analysis.fill")
 	fillCommon(s, f)
 	fill(s, "assign0", f.Assign)
+	obs.End(cfg.Tracer)
 	if err := s.Solve(); err != nil {
 		return nil, err
 	}
@@ -196,9 +221,14 @@ func RunOnTheFly(f *extract.Facts, cfg Config) (*Result, error) {
 // using a context-insensitive points-to analysis" that Algorithm 5
 // assumes.
 func DiscoverCallGraph(f *extract.Facts, cfg Config) (*callgraph.Graph, error) {
+	obs.Begin(cfg.Tracer, "analysis.discover")
+	defer obs.End(cfg.Tracer)
 	// Note: cfg.Order is not forwarded — it describes the context-
 	// sensitive program's domains, and Algorithm 3 has no C domain.
-	r, err := RunOnTheFly(f, Config{NodeSize: cfg.NodeSize, CacheSize: cfg.CacheSize})
+	r, err := RunOnTheFly(f, Config{
+		NodeSize: cfg.NodeSize, CacheSize: cfg.CacheSize,
+		Tracer: cfg.Tracer, Metrics: cfg.Metrics,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -209,7 +239,9 @@ func DiscoverCallGraph(f *extract.Facts, cfg Config) (*callgraph.Graph, error) {
 // the cloned call graph: Algorithm 4 numbering materialized into IEC
 // and hC, then the context-insensitive rules over the expanded graph.
 func runCloned(f *extract.Facts, g *callgraph.Graph, cfg Config, src string) (*Result, error) {
-	n, err := callgraph.Number(g)
+	obs.Begin(cfg.Tracer, "analysis.numbering")
+	n, err := callgraph.NumberTraced(g, cfg.Tracer)
+	obs.End(cfg.Tracer)
 	if err != nil {
 		return nil, err
 	}
@@ -219,29 +251,39 @@ func runCloned(f *extract.Facts, g *callgraph.Graph, cfg Config, src string) (*R
 	}
 	opts := baseOptions(f, cfg, csOrder)
 	opts.DomainSizes["C"] = n.ContextDomainSize(cfg.contextLimit())
-	s, err := datalog.NewSolver(prog, opts)
+	s, err := compileTraced(prog, opts, cfg.Tracer)
 	if err != nil {
 		return nil, err
 	}
-	iecDecl := s.Relation("IEC").Attrs()
-	iec, err := n.MaterializeIEC(s.Universe(), "IEC", iecDecl[0], iecDecl[1], iecDecl[2], iecDecl[3])
+	obs.Begin(cfg.Tracer, "analysis.materialize")
+	err = func() error {
+		iecDecl := s.Relation("IEC").Attrs()
+		iec, err := n.MaterializeIEC(s.Universe(), "IEC", iecDecl[0], iecDecl[1], iecDecl[2], iecDecl[3])
+		if err != nil {
+			return err
+		}
+		s.ReplaceRelation("IEC", iec)
+		hcDecl := s.Relation("hC").Attrs()
+		allocMethod := make([]int, len(f.AllocMethod))
+		copy(allocMethod, f.AllocMethod)
+		hc := n.MaterializeHC(s.Universe(), "hC", hcDecl[0], hcDecl[1], allocMethod)
+		s.ReplaceRelation("hC", hc)
+		// domC holds every context — programs bind the paper's implicitly
+		// universal head contexts against it (Algorithm 6 rule (23), the
+		// mod-ref query's mVC base case).
+		if s.HasRelation("domC") {
+			attr := s.Relation("domC").Attrs()[0]
+			s.ReplaceRelation("domC", s.Universe().FullDomain("domC", attr))
+		}
+		return nil
+	}()
+	obs.End(cfg.Tracer)
 	if err != nil {
 		return nil, err
 	}
-	s.ReplaceRelation("IEC", iec)
-	hcDecl := s.Relation("hC").Attrs()
-	allocMethod := make([]int, len(f.AllocMethod))
-	copy(allocMethod, f.AllocMethod)
-	hc := n.MaterializeHC(s.Universe(), "hC", hcDecl[0], hcDecl[1], allocMethod)
-	s.ReplaceRelation("hC", hc)
-	// domC holds every context — programs bind the paper's implicitly
-	// universal head contexts against it (Algorithm 6 rule (23), the
-	// mod-ref query's mVC base case).
-	if s.HasRelation("domC") {
-		attr := s.Relation("domC").Attrs()[0]
-		s.ReplaceRelation("domC", s.Universe().FullDomain("domC", attr))
-	}
+	obs.Begin(cfg.Tracer, "analysis.fill")
 	fillCommon(s, f)
+	obs.End(cfg.Tracer)
 	if err := s.Solve(); err != nil {
 		return nil, err
 	}
@@ -277,13 +319,17 @@ func RunTypeAnalysisCI(f *extract.Facts, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	s, err := datalog.NewSolver(prog, baseOptions(f, cfg, ciOrder))
+	s, err := compileTraced(prog, baseOptions(f, cfg, ciOrder), cfg.Tracer)
 	if err != nil {
 		return nil, err
 	}
+	obs.Begin(cfg.Tracer, "analysis.cha")
 	g := CHACallGraph(f)
+	obs.End(cfg.Tracer)
+	obs.Begin(cfg.Tracer, "analysis.fill")
 	fillCommon(s, f)
 	fill(s, "assign", AssignEdges(f, g, false))
+	obs.End(cfg.Tracer)
 	if err := s.Solve(); err != nil {
 		return nil, err
 	}

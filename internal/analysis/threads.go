@@ -7,6 +7,7 @@ import (
 	"bddbddb/internal/callgraph"
 	"bddbddb/internal/datalog"
 	"bddbddb/internal/extract"
+	"bddbddb/internal/obs"
 )
 
 // ThreadContexts is the Section 5.6 context scheme: context 0 holds the
@@ -116,7 +117,9 @@ func RunThreadEscape(f *extract.Facts, g *callgraph.Graph, cfg Config) (*Result,
 			return nil, fmt.Errorf("analysis: call graph discovery: %w", err)
 		}
 	}
+	obs.Begin(cfg.Tracer, "analysis.thread_contexts")
 	tc := AssignThreadContexts(f, g)
+	obs.End(cfg.Tracer, obs.A("contexts", tc.NumContexts))
 
 	prog, err := datalog.Parse(Algorithm7Src + cfg.ExtraSrc)
 	if err != nil {
@@ -124,10 +127,11 @@ func RunThreadEscape(f *extract.Facts, g *callgraph.Graph, cfg Config) (*Result,
 	}
 	opts := baseOptions(f, cfg, ctOrder)
 	opts.DomainSizes["CT"] = tc.NumContexts
-	s, err := datalog.NewSolver(prog, opts)
+	s, err := compileTraced(prog, opts, cfg.Tracer)
 	if err != nil {
 		return nil, err
 	}
+	obs.Begin(cfg.Tracer, "analysis.fill")
 	fillCommon(s, f)
 	fill(s, "assign", AssignEdges(f, g, true))
 
@@ -198,6 +202,8 @@ func RunThreadEscape(f *extract.Facts, g *callgraph.Graph, cfg Config) (*Result,
 			}
 		}
 	}
+
+	obs.End(cfg.Tracer) // analysis.fill
 
 	if err := s.Solve(); err != nil {
 		return nil, err

@@ -16,6 +16,9 @@ package bdd
 import (
 	"fmt"
 	"math/big"
+	"time"
+
+	"bddbddb/internal/obs"
 )
 
 // Node is a handle to a BDD node: an index into its Manager's arena.
@@ -45,16 +48,40 @@ type node struct {
 
 const freeMark Node = -1
 
+// CacheStats is the hit/miss count of one operation cache.
+type CacheStats struct {
+	Hits, Misses int64
+}
+
+// HitRatio returns hits/(hits+misses), or 0 before any lookup.
+func (c CacheStats) HitRatio() float64 {
+	total := c.Hits + c.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.Hits) / float64(total)
+}
+
 // Stats reports cumulative Manager activity, used by the benchmark
 // harness to reproduce the paper's Figure 4 memory column (peak live
-// BDD nodes).
+// BDD nodes). CacheHits/CacheMiss aggregate the five per-operation
+// caches, which are also reported individually — the cost model of
+// DESIGN.md (and the paper's Section 6.4 tuning loop) is driven by
+// exactly these hit ratios.
 type Stats struct {
-	Produced  int64 // nodes ever allocated from the free list
-	GCs       int64 // garbage collections run
-	PeakLive  int   // maximum live nodes observed at a GC or measurement
-	TableSize int   // current arena size in nodes
-	CacheHits int64
+	Produced  int64         // nodes ever allocated from the free list
+	GCs       int64         // garbage collections run
+	GCTime    time.Duration // total time spent in GC pauses
+	PeakLive  int           // maximum live nodes observed at a GC or measurement
+	TableSize int           // current arena size in nodes
+	Grows     int64         // arena doublings
+	CacheHits int64         // totals across all op caches
 	CacheMiss int64
+
+	// Per-cache hit/miss counts: binary apply (and/or/diff), not, the
+	// quantifier cache (exist), the apply+exist cache (relprod and ite),
+	// and replace (rename).
+	Apply, Not, Quant, AppEx, Replace CacheStats
 }
 
 // Manager owns a universe of BDD nodes over a fixed set of variables.
@@ -75,7 +102,8 @@ type Manager struct {
 	domains []*Domain
 	varSets map[string]Node // interned varsets by key, kept referenced
 
-	stats Stats
+	stats  Stats
+	tracer obs.Tracer
 
 	// minFreeAfterGC: if a GC leaves fewer free slots than this fraction
 	// of the table (in percent), the next allocation failure grows the
@@ -144,13 +172,51 @@ func (m *Manager) AddVars(n int) int32 {
 // NumVars returns the number of declared variables.
 func (m *Manager) NumVars() int { return int(m.nvars) }
 
+// SetTracer attaches a tracer to the manager. GC pauses become spans,
+// arena growth becomes instant events, and live-node counts are
+// sampled at every GC. A nil tracer (the default) costs nothing on any
+// path: per-operation work never touches the tracer, and the rare
+// events guard with one nil check.
+func (m *Manager) SetTracer(t obs.Tracer) { m.tracer = t }
+
 // Stats returns a snapshot of cumulative manager statistics.
 func (m *Manager) Stats() Stats {
 	s := m.stats
 	if live := m.LiveNodes(); live > s.PeakLive {
 		s.PeakLive = live
 	}
+	s.Apply = CacheStats{m.applyCache.hits, m.applyCache.misses}
+	s.Not = CacheStats{m.notCache.hits, m.notCache.misses}
+	s.Quant = CacheStats{m.quantCache.hits, m.quantCache.misses}
+	s.AppEx = CacheStats{m.appexCache.hits, m.appexCache.misses}
+	s.Replace = CacheStats{m.replCache.hits, m.replCache.misses}
+	for _, c := range []CacheStats{s.Apply, s.Not, s.Quant, s.AppEx, s.Replace} {
+		s.CacheHits += c.Hits
+		s.CacheMiss += c.Misses
+	}
 	return s
+}
+
+// AddTo publishes the snapshot into a metrics registry under the
+// "bdd." prefix — the flat keys the -metrics exporter writes.
+func (s Stats) AddTo(reg *obs.Metrics) {
+	reg.Set("bdd.produced_nodes", float64(s.Produced))
+	reg.Set("bdd.gcs", float64(s.GCs))
+	reg.Set("bdd.gc_pause_sec", s.GCTime.Seconds())
+	reg.Set("bdd.peak_live_nodes", float64(s.PeakLive))
+	reg.Set("bdd.table_size", float64(s.TableSize))
+	reg.Set("bdd.grows", float64(s.Grows))
+	for _, c := range []struct {
+		name string
+		cs   CacheStats
+	}{
+		{"apply", s.Apply}, {"not", s.Not}, {"quant", s.Quant},
+		{"appex", s.AppEx}, {"replace", s.Replace},
+	} {
+		reg.Set("bdd.cache."+c.name+".hits", float64(c.cs.Hits))
+		reg.Set("bdd.cache."+c.name+".misses", float64(c.cs.Misses))
+		reg.Set("bdd.cache."+c.name+".hit_ratio", c.cs.HitRatio())
+	}
 }
 
 // LiveNodes counts nodes currently allocated (not on the free list),
@@ -240,6 +306,10 @@ func (m *Manager) makeNode(level int32, low, high Node) Node {
 // stable across growth, so operation caches stay valid.
 func (m *Manager) grow() {
 	old := len(m.nodes)
+	m.stats.Grows++
+	if t := m.tracer; t != nil {
+		t.Instant("bdd.grow", obs.A("from", old), obs.A("to", old*2))
+	}
 	nn := make([]node, old*2)
 	copy(nn, m.nodes)
 	m.nodes = nn
@@ -277,6 +347,11 @@ func (m *Manager) grow() {
 func (m *Manager) GC() int {
 	m.notePeak()
 	m.stats.GCs++
+	liveBefore := m.LiveNodes()
+	start := time.Now()
+	if t := m.tracer; t != nil {
+		t.Begin("bdd.gc", obs.A("live_before", liveBefore))
+	}
 	// Mark phase: from every externally referenced node.
 	marked := make([]bool, len(m.nodes))
 	var mark func(n Node)
@@ -322,6 +397,14 @@ func (m *Manager) GC() int {
 		m.nodes[b].hash = int32(i)
 	}
 	m.clearCaches()
+	m.stats.GCTime += time.Since(start)
+	if t := m.tracer; t != nil {
+		t.End(obs.A("live_after", live+2))
+		t.Counter("bdd.live_nodes", map[string]float64{
+			"live":  float64(live + 2),
+			"table": float64(len(m.nodes)),
+		})
+	}
 	return live + 2
 }
 

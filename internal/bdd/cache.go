@@ -13,8 +13,10 @@ type entry1 struct {
 }
 
 type cache1 struct {
-	tab  []entry1
-	mask uint64
+	tab    []entry1
+	mask   uint64
+	hits   int64
+	misses int64
 }
 
 func (c *cache1) init(n int) {
@@ -39,13 +41,13 @@ func mix(xs ...uint64) uint64 {
 	return h
 }
 
-func (c *cache1) lookup(m *Manager, a Node) (Node, bool) {
+func (c *cache1) lookup(a Node) (Node, bool) {
 	e := &c.tab[mix(uint64(a))&c.mask]
 	if e.a == a {
-		m.stats.CacheHits++
+		c.hits++
 		return e.res, true
 	}
-	m.stats.CacheMiss++
+	c.misses++
 	return 0, false
 }
 
@@ -60,8 +62,10 @@ type entry2 struct {
 }
 
 type cache2 struct {
-	tab  []entry2
-	mask uint64
+	tab    []entry2
+	mask   uint64
+	hits   int64
+	misses int64
 }
 
 func (c *cache2) init(n int) {
@@ -76,13 +80,13 @@ func (c *cache2) clear() {
 	}
 }
 
-func (c *cache2) lookup(m *Manager, a, b Node) (Node, bool) {
+func (c *cache2) lookup(a, b Node) (Node, bool) {
 	e := &c.tab[mix(uint64(a), uint64(b))&c.mask]
 	if e.a == a && e.b == b {
-		m.stats.CacheHits++
+		c.hits++
 		return e.res, true
 	}
-	m.stats.CacheMiss++
+	c.misses++
 	return 0, false
 }
 
@@ -98,8 +102,10 @@ type entry3 struct {
 }
 
 type cache3 struct {
-	tab  []entry3
-	mask uint64
+	tab    []entry3
+	mask   uint64
+	hits   int64
+	misses int64
 }
 
 func (c *cache3) init(n int) {
@@ -114,13 +120,13 @@ func (c *cache3) clear() {
 	}
 }
 
-func (c *cache3) lookup(m *Manager, a, b Node, op int32) (Node, bool) {
+func (c *cache3) lookup(a, b Node, op int32) (Node, bool) {
 	e := &c.tab[mix(uint64(a), uint64(b), uint64(op))&c.mask]
 	if e.a == a && e.b == b && e.op == op {
-		m.stats.CacheHits++
+		c.hits++
 		return e.res, true
 	}
-	m.stats.CacheMiss++
+	c.misses++
 	return 0, false
 }
 
@@ -136,8 +142,10 @@ type entry4 struct {
 }
 
 type cache4 struct {
-	tab  []entry4
-	mask uint64
+	tab    []entry4
+	mask   uint64
+	hits   int64
+	misses int64
 }
 
 func (c *cache4) init(n int) {
@@ -152,13 +160,13 @@ func (c *cache4) clear() {
 	}
 }
 
-func (c *cache4) lookup(m *Manager, a, b, v Node, op int32) (Node, bool) {
+func (c *cache4) lookup(a, b, v Node, op int32) (Node, bool) {
 	e := &c.tab[mix(uint64(a), uint64(b), uint64(v), uint64(op))&c.mask]
 	if e.a == a && e.b == b && e.v == v && e.op == op {
-		m.stats.CacheHits++
+		c.hits++
 		return e.res, true
 	}
-	m.stats.CacheMiss++
+	c.misses++
 	return 0, false
 }
 

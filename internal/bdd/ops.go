@@ -147,7 +147,7 @@ func (m *Manager) apply(a, b Node, op int32) Node {
 			a, b = b, a
 		}
 	}
-	if r, ok := m.applyCache.lookup(m, a, b, op); ok {
+	if r, ok := m.applyCache.lookup(a, b, op); ok {
 		return r
 	}
 	la, lb := m.nodes[a].level, m.nodes[b].level
@@ -181,7 +181,7 @@ func (m *Manager) not(a Node) Node {
 	if a == True {
 		return False
 	}
-	if r, ok := m.notCache.lookup(m, a); ok {
+	if r, ok := m.notCache.lookup(a); ok {
 		return r
 	}
 	low := m.not(m.nodes[a].low)
@@ -204,7 +204,7 @@ func (m *Manager) ite(f, g, h Node) Node {
 	case g == False && h == True:
 		return m.not(f)
 	}
-	if r, ok := m.appexCache.lookup(m, f, g, h, opITE); ok {
+	if r, ok := m.appexCache.lookup(f, g, h, opITE); ok {
 		return r
 	}
 	lv := m.nodes[f].level
@@ -261,7 +261,7 @@ func (m *Manager) exist(a, vs Node) Node {
 	if vs == True {
 		return a
 	}
-	if r, ok := m.quantCache.lookup(m, a, vs, opExist); ok {
+	if r, ok := m.quantCache.lookup(a, vs, opExist); ok {
 		return r
 	}
 	var res Node
@@ -313,7 +313,7 @@ func (m *Manager) andExist(a, b, vs Node) Node {
 	if vs == True {
 		return m.apply(a, b, opAnd)
 	}
-	if r, ok := m.appexCache.lookup(m, a, b, vs, opAppexAnd); ok {
+	if r, ok := m.appexCache.lookup(a, b, vs, opAppexAnd); ok {
 		return r
 	}
 	cof := func(n Node, high bool) Node {

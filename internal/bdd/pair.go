@@ -67,7 +67,7 @@ func (m *Manager) replace(a Node, p *Pair) Node {
 	if a <= 1 {
 		return a
 	}
-	if r, ok := m.replCache.lookup(m, a, p.id); ok {
+	if r, ok := m.replCache.lookup(a, p.id); ok {
 		return r
 	}
 	nd := m.nodes[a]

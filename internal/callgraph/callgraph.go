@@ -12,6 +12,8 @@ package callgraph
 import (
 	"fmt"
 	"math/big"
+
+	"bddbddb/internal/obs"
 )
 
 // Edge is one invocation edge: invocation site Invoke (an I index) in
@@ -151,10 +153,15 @@ func (n *Numbering) MethodContexts(m int) *big.Int { return n.Counts[n.Comp[m]] 
 
 // Number runs Algorithm 4: SCC collapse, topological walk, contiguous
 // context ranges per incoming edge.
-func Number(g *Graph) (*Numbering, error) {
+func Number(g *Graph) (*Numbering, error) { return NumberTraced(g, nil) }
+
+// NumberTraced is Number with its two phases — SCC reduction and the
+// numbering walk — emitted as spans on tr (nil tr traces nothing).
+func NumberTraced(g *Graph, tr obs.Tracer) (*Numbering, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
+	obs.Begin(tr, "callgraph.scc", obs.A("methods", g.NumMethods), obs.A("edges", len(g.Edges)))
 	comp := g.SCC()
 	nComp := 0
 	for _, c := range comp {
@@ -162,6 +169,9 @@ func Number(g *Graph) (*Numbering, error) {
 			nComp = c + 1
 		}
 	}
+	obs.End(tr, obs.A("components", nComp))
+	obs.Begin(tr, "callgraph.number")
+	defer obs.End(tr)
 	// Incoming cross-component edges per component, in edge order
 	// ("we shall visit the invocation edges from left to right").
 	incoming := make([][]int, nComp)

@@ -11,13 +11,18 @@ import (
 // reads the delta relation instead of the stored one (semi-naive). The
 // result has the head relation's schema; the caller owns it.
 func (s *Solver) applyRule(cr *compiledRule, deltaPos int, delta *rel.Relation) *rel.Relation {
+	ro := s.ruleObs[cr.rule]
 	start := time.Now()
+	if s.tr != nil {
+		s.tr.Begin(ro.span)
+	}
 	defer func() {
-		st := s.ruleStat(cr.rule)
-		st.Applications++
-		st.Time += time.Since(start)
+		ro.timer.Observe(time.Since(start))
+		if s.tr != nil {
+			s.tr.End()
+		}
 	}()
-	s.stats.RuleApplications++
+	s.cApps.Inc()
 	emptyResult := func() *rel.Relation {
 		return s.u.NewRelation("res:"+cr.rule.Head.Pred, cr.headSchema...)
 	}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"bddbddb/internal/datalog/check"
+	"bddbddb/internal/obs"
 	"bddbddb/internal/rel"
 )
 
@@ -37,10 +38,23 @@ type Options struct {
 	// satcount per derivation, so it costs a little; rule applications
 	// and times are always collected.
 	CountRuleTuples bool
+	// Tracer receives solve/stratum/iteration/rule spans plus the BDD
+	// manager's GC and growth events. Nil (the default) emits nothing
+	// and costs one branch per rule application.
+	Tracer obs.Tracer
+	// Metrics, when set, receives a flat summary at the end of Solve:
+	// solve time, iteration and rule-application counts, per-rule
+	// timings, BDD stats (peak live nodes, GCs, per-cache hit ratios),
+	// and final relation cardinalities. Values are written as gauges, so
+	// a registry shared across several solves keeps the last solve's
+	// numbers per key.
+	Metrics *obs.Metrics
 }
 
 // SolverStats reports the work a Solve performed; the benchmark harness
-// uses PeakLiveNodes for the paper's Figure 4 memory column.
+// uses PeakLiveNodes for the paper's Figure 4 memory column. It is a
+// view assembled from the solver's obs metrics registry — the registry
+// is the single counting path.
 type SolverStats struct {
 	RuleApplications int64
 	Iterations       int
@@ -51,6 +65,15 @@ type SolverStats struct {
 	// Rules holds per-rule measurements in program order — the data
 	// behind the paper's Section 6.4 tuning loop.
 	Rules []RuleStats
+	// Relations reports each declared relation's final cardinality
+	// (exact satcount), valid after Solve — the paper's size columns.
+	Relations []RelationCard
+}
+
+// RelationCard is one relation's final tuple count.
+type RelationCard struct {
+	Name   string
+	Tuples *big.Int
 }
 
 // RuleStats is the cost of one rule across the whole evaluation.
@@ -62,49 +85,63 @@ type RuleStats struct {
 	DeltaTuples int64
 }
 
+// Registry key names used by the solver's counting path.
+const (
+	keySolve    = "datalog.solve"
+	keyRuleApps = "datalog.rule_applications"
+	keyIters    = "datalog.iterations"
+)
+
 // Solver evaluates one Datalog program over BDD relations.
 type Solver struct {
-	prog      *Program
-	opts      Options
-	u         *rel.Universe
-	rels      map[string]*rel.Relation
-	strata    []*stratum
-	compiled  map[*Rule]*compiledRule
-	elemIdx   map[string]map[string]uint64
-	solved    bool
-	stats     SolverStats
-	ruleStats map[*Rule]*RuleStats
+	prog     *Program
+	opts     Options
+	u        *rel.Universe
+	rels     map[string]*rel.Relation
+	strata   []*stratum
+	compiled map[*Rule]*compiledRule
+	elemIdx  map[string]map[string]uint64
+	solved   bool
+
+	// reg is the solver's private metrics registry: every count the
+	// solver keeps (rule applications, iterations, per-rule timers,
+	// solve time, BDD stats) lives here, and SolverStats is derived
+	// from it. opts.Metrics, if set, gets a flattened copy at the end
+	// of Solve.
+	reg      *obs.Metrics
+	tr       obs.Tracer
+	cApps    *obs.Counter
+	cIters   *obs.Counter
+	ruleObs  map[*Rule]*ruleObs
+	relCards []RelationCard
 }
 
-// ruleStat returns (creating on demand) the stats bucket of a rule.
-func (s *Solver) ruleStat(r *Rule) *RuleStats {
-	if s.ruleStats == nil {
-		s.ruleStats = make(map[*Rule]*RuleStats)
-	}
-	st := s.ruleStats[r]
-	if st == nil {
-		st = &RuleStats{Rule: r.String()}
-		s.ruleStats[r] = st
-	}
-	return st
+// ruleObs bundles one rule's metric handles: the timer's count is the
+// rule's application count, its total the cumulative evaluation time.
+type ruleObs struct {
+	text   string // the rule, for reports
+	span   string // stable trace-span name, e.g. "rule 3: vP"
+	timer  *obs.Timer
+	tuples *obs.Counter
 }
 
 func (s *Solver) countDelta(r *Rule, fresh *rel.Relation) {
 	if !s.opts.CountRuleTuples {
 		return
 	}
-	satAddInt64(&s.ruleStat(r).DeltaTuples, fresh.Size())
+	ro := s.ruleObs[r]
+	n := satInt64(fresh.Size())
+	ro.tuples.Add(n)
+	if s.tr != nil {
+		s.tr.Counter("datalog.delta_tuples", map[string]float64{r.Head.Pred: float64(n)})
+	}
 }
 
-func satAddInt64(dst *int64, v *big.Int) {
+func satInt64(v *big.Int) int64 {
 	if v.IsInt64() {
-		sum := *dst + v.Int64()
-		if sum >= *dst {
-			*dst = sum
-			return
-		}
+		return v.Int64()
 	}
-	*dst = math.MaxInt64
+	return math.MaxInt64
 }
 
 // NewSolver builds the universe, relations, and rule plans for prog.
@@ -132,6 +169,23 @@ func NewSolver(prog *Program, opts Options) (*Solver, error) {
 		strata:   strata,
 		compiled: make(map[*Rule]*compiledRule),
 		elemIdx:  make(map[string]map[string]uint64),
+		reg:      obs.New(),
+		tr:       opts.Tracer,
+		ruleObs:  make(map[*Rule]*ruleObs),
+	}
+	s.cApps = s.reg.Counter(keyRuleApps)
+	s.cIters = s.reg.Counter(keyIters)
+	for i, rule := range prog.Rules {
+		if rule.IsFact() {
+			continue
+		}
+		key := fmt.Sprintf("datalog.rule.%03d", i)
+		s.ruleObs[rule] = &ruleObs{
+			text:   rule.String(),
+			span:   fmt.Sprintf("rule %d: %s", i, rule.Head.Pred),
+			timer:  s.reg.Timer(key),
+			tuples: s.reg.Counter(key + ".tuples"),
+		}
 	}
 	// Declare logical domains.
 	for _, d := range prog.Domains {
@@ -177,6 +231,7 @@ func NewSolver(prog *Program, opts Options) (*Solver, error) {
 	}); err != nil {
 		return nil, err
 	}
+	s.u.M.SetTracer(opts.Tracer)
 	// Materialize declared relations on their natural instances.
 	for _, rd := range prog.Relations {
 		attrs := make([]rel.Attr, len(rd.Attrs))
@@ -233,17 +288,37 @@ func (s *Solver) ReplaceRelation(name string, r *rel.Relation) {
 	s.rels[name] = r
 }
 
-// Stats returns evaluation statistics (valid after Solve). Rules are
-// reported in program order.
+// Stats returns evaluation statistics (valid after Solve), assembled
+// from the solver's metrics registry. Rules are reported in program
+// order.
 func (s *Solver) Stats() SolverStats {
-	out := s.stats
+	out := SolverStats{
+		RuleApplications: s.cApps.Value(),
+		Iterations:       int(s.cIters.Value()),
+		SolveTime:        s.reg.Timer(keySolve).Total(),
+		PeakLiveNodes:    int(s.reg.Gauge("bdd.peak_live_nodes").Value()),
+		NodesAllocated:   int64(s.reg.Gauge("bdd.produced_nodes").Value()),
+		GCs:              int64(s.reg.Gauge("bdd.gcs").Value()),
+		Relations:        s.relCards,
+	}
 	for _, r := range s.prog.Rules {
-		if st := s.ruleStats[r]; st != nil {
-			out.Rules = append(out.Rules, *st)
+		ro := s.ruleObs[r]
+		if ro == nil || ro.timer.Count() == 0 {
+			continue
 		}
+		out.Rules = append(out.Rules, RuleStats{
+			Rule:         ro.text,
+			Applications: ro.timer.Count(),
+			Time:         ro.timer.Total(),
+			DeltaTuples:  ro.tuples.Value(),
+		})
 	}
 	return out
 }
+
+// Metrics exposes the solver's private registry (the single counting
+// path behind Stats) for callers that want raw access.
+func (s *Solver) Metrics() *obs.Metrics { return s.reg }
 
 // resolveConst turns a term into a concrete domain value.
 func (s *Solver) resolveConst(t Term, domain string) (uint64, error) {
@@ -272,23 +347,51 @@ func (s *Solver) Solve() error {
 	}
 	s.solved = true
 	start := time.Now()
+	if s.tr != nil {
+		s.tr.Begin("datalog.solve",
+			obs.A("rules", len(s.prog.Rules)), obs.A("strata", len(s.strata)))
+		defer func() { s.tr.End() }()
+	}
 	if err := s.applyFacts(); err != nil {
 		return err
 	}
-	for _, st := range s.strata {
-		if err := s.solveStratum(st); err != nil {
+	for i, st := range s.strata {
+		if err := s.solveStratum(i, st); err != nil {
 			return err
 		}
 	}
-	s.stats.SolveTime = time.Since(start)
-	ms := s.u.M.Stats()
-	s.stats.PeakLiveNodes = ms.PeakLive
-	s.stats.NodesAllocated = ms.Produced
-	s.stats.GCs = ms.GCs
+	s.reg.Timer(keySolve).Observe(time.Since(start))
+	s.u.M.Stats().AddTo(s.reg)
+	s.collectRelationCards()
+	if s.opts.Metrics != nil {
+		for k, v := range s.reg.Snapshot() {
+			s.opts.Metrics.Set(k, v)
+		}
+	}
 	return nil
 }
 
+// collectRelationCards records every declared relation's final exact
+// cardinality — the paper's relation-size columns — into the stats and
+// the registry (as "relation.<name>.tuples").
+func (s *Solver) collectRelationCards() {
+	for _, rd := range s.prog.Relations {
+		r := s.rels[rd.Name]
+		if r == nil {
+			continue
+		}
+		size := r.Size()
+		s.relCards = append(s.relCards, RelationCard{Name: rd.Name, Tuples: size})
+		f, _ := new(big.Float).SetInt(size).Float64()
+		s.reg.Set("relation."+rd.Name+".tuples", f)
+	}
+}
+
 func (s *Solver) applyFacts() error {
+	if s.tr != nil {
+		s.tr.Begin("datalog.facts")
+		defer func() { s.tr.End() }()
+	}
 	for _, rule := range s.prog.Rules {
 		if !rule.IsFact() {
 			continue
@@ -307,7 +410,11 @@ func (s *Solver) applyFacts() error {
 	return nil
 }
 
-func (s *Solver) solveStratum(st *stratum) error {
+func (s *Solver) solveStratum(idx int, st *stratum) error {
+	if s.tr != nil {
+		s.tr.Begin(fmt.Sprintf("stratum %d", idx), obs.A("rules", len(st.rules)))
+		defer func() { s.tr.End() }()
+	}
 	inStratum := make(map[string]bool)
 	for _, p := range st.preds {
 		inStratum[p] = true
@@ -338,7 +445,10 @@ func (s *Solver) solveStratum(st *stratum) error {
 	}
 	if s.opts.NoIncrementalization {
 		for {
-			s.stats.Iterations++
+			s.cIters.Inc()
+			if s.tr != nil {
+				s.tr.Begin(fmt.Sprintf("iteration %d", s.cIters.Value()))
+			}
 			changed := false
 			for _, cr := range recur {
 				head := s.rels[cr.rule.Head.Pred]
@@ -353,6 +463,9 @@ func (s *Solver) solveStratum(st *stratum) error {
 				fresh.Free()
 			}
 			s.maybeGC()
+			if s.tr != nil {
+				s.tr.End(obs.A("changed", changed))
+			}
 			if !changed {
 				return nil
 			}
@@ -366,7 +479,10 @@ func (s *Solver) solveStratum(st *stratum) error {
 		}
 	}
 	for {
-		s.stats.Iterations++
+		s.cIters.Inc()
+		if s.tr != nil {
+			s.tr.Begin(fmt.Sprintf("iteration %d", s.cIters.Value()))
+		}
 		newDelta := make(map[string]*rel.Relation)
 		changed := false
 		for _, cr := range recur {
@@ -400,6 +516,9 @@ func (s *Solver) solveStratum(st *stratum) error {
 		}
 		delta = newDelta
 		s.maybeGC()
+		if s.tr != nil {
+			s.tr.End(obs.A("changed", changed))
+		}
 		if !changed {
 			for _, d := range delta {
 				d.Free()

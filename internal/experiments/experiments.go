@@ -16,6 +16,7 @@ import (
 	"bddbddb/internal/analysis"
 	"bddbddb/internal/callgraph"
 	"bddbddb/internal/extract"
+	"bddbddb/internal/obs"
 	"bddbddb/internal/synth"
 )
 
@@ -31,6 +32,7 @@ func MB(nodes int) float64 { return float64(nodes) * bytesPerNode / (1 << 20) }
 type Suite struct {
 	mu    sync.Mutex
 	cache map[string]*Prepared
+	tr    obs.Tracer // forwarded to every analysis run; see SetObs
 }
 
 // NewSuite returns an empty suite.
@@ -65,7 +67,7 @@ func (s *Suite) Load(name string) (*Prepared, error) {
 	if err != nil {
 		return nil, err
 	}
-	r, err := analysis.RunOnTheFly(f, analysis.Config{})
+	r, err := analysis.RunOnTheFly(f, s.cfg(""))
 	if err != nil {
 		return nil, err
 	}
@@ -180,28 +182,28 @@ func (s *Suite) Figure4(names []string) ([]Figure4Row, error) {
 			return nil, err
 		}
 		row := Figure4Row{Name: name}
-		ci, err := analysis.RunContextInsensitive(p.Facts, false, analysis.Config{})
+		ci, err := analysis.RunContextInsensitive(p.Facts, false, s.cfg(""))
 		if err != nil {
 			return nil, fmt.Errorf("%s ci: %w", name, err)
 		}
 		row.CINoFilter = toMeasure(ci)
-		cif, err := analysis.RunContextInsensitive(p.Facts, true, analysis.Config{})
+		cif, err := analysis.RunContextInsensitive(p.Facts, true, s.cfg(""))
 		if err != nil {
 			return nil, fmt.Errorf("%s cif: %w", name, err)
 		}
 		row.CIFilter = toMeasure(cif)
 		row.Discovery = Measure{Time: p.DiscoverTime, Peak: p.DiscoverPeak, Iters: p.DiscoverIters}
-		cs, err := analysis.RunContextSensitive(p.Facts, p.Graph, analysis.Config{})
+		cs, err := analysis.RunContextSensitive(p.Facts, p.Graph, s.cfg(""))
 		if err != nil {
 			return nil, fmt.Errorf("%s cs: %w", name, err)
 		}
 		row.CSPointer = toMeasure(cs)
-		ty, err := analysis.RunTypeAnalysis(p.Facts, p.Graph, analysis.Config{})
+		ty, err := analysis.RunTypeAnalysis(p.Facts, p.Graph, s.cfg(""))
 		if err != nil {
 			return nil, fmt.Errorf("%s type: %w", name, err)
 		}
 		row.CSType = toMeasure(ty)
-		th, err := analysis.RunThreadEscape(p.Facts, p.Graph, analysis.Config{})
+		th, err := analysis.RunThreadEscape(p.Facts, p.Graph, s.cfg(""))
 		if err != nil {
 			return nil, fmt.Errorf("%s thread: %w", name, err)
 		}
@@ -246,7 +248,7 @@ func (s *Suite) Figure5(names []string) ([]Figure5Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		r, err := analysis.RunThreadEscape(p.Facts, p.Graph, analysis.Config{})
+		r, err := analysis.RunThreadEscape(p.Facts, p.Graph, s.cfg(""))
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", name, err)
 		}
@@ -299,27 +301,27 @@ func (s *Suite) Figure6(names []string) ([]Figure6Row, error) {
 				// Algorithm 1 declares no type inputs; the refinement
 				// query needs vT/hT/aT, so prepend their declarations.
 				return analysis.RunContextInsensitive(p.Facts, false,
-					analysis.Config{ExtraSrc: analysis.TypeFilterInputsSrc + analysis.TypeRefinementQuerySrc(analysis.RefineCIPointer)})
+					s.cfg(analysis.TypeFilterInputsSrc+analysis.TypeRefinementQuerySrc(analysis.RefineCIPointer)))
 			}},
 			{&row.CIFilter, func() (*analysis.Result, error) {
 				return analysis.RunContextInsensitive(p.Facts, true,
-					analysis.Config{ExtraSrc: analysis.TypeRefinementQuerySrc(analysis.RefineCIPointer)})
+					s.cfg(analysis.TypeRefinementQuerySrc(analysis.RefineCIPointer)))
 			}},
 			{&row.ProjectedCSPointer, func() (*analysis.Result, error) {
 				return analysis.RunContextSensitive(p.Facts, p.Graph,
-					analysis.Config{ExtraSrc: analysis.TypeRefinementQuerySrc(analysis.RefineProjectedCSPointer)})
+					s.cfg(analysis.TypeRefinementQuerySrc(analysis.RefineProjectedCSPointer)))
 			}},
 			{&row.ProjectedCSType, func() (*analysis.Result, error) {
 				return analysis.RunTypeAnalysis(p.Facts, p.Graph,
-					analysis.Config{ExtraSrc: analysis.TypeRefinementQuerySrc(analysis.RefineProjectedCSType)})
+					s.cfg(analysis.TypeRefinementQuerySrc(analysis.RefineProjectedCSType)))
 			}},
 			{&row.CSPointer, func() (*analysis.Result, error) {
 				return analysis.RunContextSensitive(p.Facts, p.Graph,
-					analysis.Config{ExtraSrc: analysis.TypeRefinementQuerySrc(analysis.RefineCSPointer)})
+					s.cfg(analysis.TypeRefinementQuerySrc(analysis.RefineCSPointer)))
 			}},
 			{&row.CSType, func() (*analysis.Result, error) {
 				return analysis.RunTypeAnalysis(p.Facts, p.Graph,
-					analysis.Config{ExtraSrc: analysis.TypeRefinementQuerySrc(analysis.RefineCSType)})
+					s.cfg(analysis.TypeRefinementQuerySrc(analysis.RefineCSType)))
 			}},
 		}
 		for _, st := range steps {

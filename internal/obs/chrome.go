@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ChromeTrace is a Tracer that buffers events and writes them as a
+// Chrome trace-event JSON file (the "JSON Array Format" with a
+// traceEvents wrapper), loadable in Perfetto and chrome://tracing.
+// Timestamps are microseconds from the tracer's creation, taken from
+// the monotonic clock, so they are non-decreasing by construction.
+type ChromeTrace struct {
+	mu     sync.Mutex
+	events []chromeEvent
+	open   []string // names of open spans, innermost last
+	clock  func() time.Duration
+	lastUS int64
+}
+
+type chromeEvent struct {
+	name  string
+	phase byte // 'B', 'E', 'i', 'C'
+	us    int64
+	args  []Arg
+}
+
+// NewChromeTrace returns a ChromeTrace on the real monotonic clock.
+func NewChromeTrace() *ChromeTrace {
+	start := time.Now()
+	return &ChromeTrace{clock: func() time.Duration { return time.Since(start) }}
+}
+
+// NewChromeTraceClock returns a ChromeTrace reading time from clock
+// (elapsed time since trace start). Tests inject a deterministic clock
+// to make traces byte-for-byte reproducible.
+func NewChromeTraceClock(clock func() time.Duration) *ChromeTrace {
+	return &ChromeTrace{clock: clock}
+}
+
+// now returns a non-decreasing microsecond timestamp. Must be called
+// with mu held.
+func (t *ChromeTrace) now() int64 {
+	us := t.clock().Microseconds()
+	if us < t.lastUS {
+		us = t.lastUS
+	}
+	t.lastUS = us
+	return us
+}
+
+// Begin implements Tracer.
+func (t *ChromeTrace) Begin(name string, args ...Arg) {
+	t.mu.Lock()
+	t.open = append(t.open, name)
+	t.events = append(t.events, chromeEvent{name: name, phase: 'B', us: t.now(), args: args})
+	t.mu.Unlock()
+}
+
+// End implements Tracer. An End with no matching Begin is dropped.
+func (t *ChromeTrace) End(args ...Arg) {
+	t.mu.Lock()
+	if n := len(t.open); n > 0 {
+		name := t.open[n-1]
+		t.open = t.open[:n-1]
+		t.events = append(t.events, chromeEvent{name: name, phase: 'E', us: t.now(), args: args})
+	}
+	t.mu.Unlock()
+}
+
+// Instant implements Tracer.
+func (t *ChromeTrace) Instant(name string, args ...Arg) {
+	t.mu.Lock()
+	t.events = append(t.events, chromeEvent{name: name, phase: 'i', us: t.now(), args: args})
+	t.mu.Unlock()
+}
+
+// Counter implements Tracer.
+func (t *ChromeTrace) Counter(name string, values map[string]float64) {
+	args := make([]Arg, 0, len(values))
+	for k, v := range values {
+		args = append(args, Arg{Key: k, Value: v})
+	}
+	sort.Slice(args, func(i, j int) bool { return args[i].Key < args[j].Key })
+	t.mu.Lock()
+	t.events = append(t.events, chromeEvent{name: name, phase: 'C', us: t.now(), args: args})
+	t.mu.Unlock()
+}
+
+// Len returns the number of buffered events.
+func (t *ChromeTrace) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// WriteTo writes the buffered events as Chrome trace-event JSON. Spans
+// still open are closed at the current timestamp so the file is always
+// well formed. The tracer remains usable afterwards.
+func (t *ChromeTrace) WriteTo(w io.Writer) (int64, error) {
+	t.mu.Lock()
+	events := make([]chromeEvent, len(t.events), len(t.events)+len(t.open))
+	copy(events, t.events)
+	for i := len(t.open) - 1; i >= 0; i-- {
+		events = append(events, chromeEvent{name: t.open[i], phase: 'E', us: t.now()})
+	}
+	t.mu.Unlock()
+
+	cw := &countWriter{w: bufio.NewWriter(w)}
+	fmt.Fprintf(cw, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n")
+	for i, e := range events {
+		sep := ","
+		if i == len(events)-1 {
+			sep = ""
+		}
+		line, err := e.marshal()
+		if err != nil {
+			return cw.n, err
+		}
+		fmt.Fprintf(cw, "%s%s\n", line, sep)
+	}
+	fmt.Fprintf(cw, "]}\n")
+	if err := cw.w.(*bufio.Writer).Flush(); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+// marshal renders one event as a single JSON object. Keys are emitted
+// in a fixed order so traces diff cleanly.
+func (e chromeEvent) marshal() (string, error) {
+	nameJSON, err := json.Marshal(e.name)
+	if err != nil {
+		return "", err
+	}
+	s := fmt.Sprintf("{\"name\":%s,\"ph\":\"%c\",\"ts\":%d,\"pid\":1,\"tid\":1", nameJSON, e.phase, e.us)
+	if e.phase == 'i' {
+		s += ",\"s\":\"t\"" // thread-scoped instant
+	}
+	if len(e.args) > 0 {
+		s += ",\"args\":{"
+		for i, a := range e.args {
+			kj, err := json.Marshal(a.Key)
+			if err != nil {
+				return "", err
+			}
+			vj, err := json.Marshal(a.Value)
+			if err != nil {
+				return "", err
+			}
+			if i > 0 {
+				s += ","
+			}
+			s += string(kj) + ":" + string(vj)
+		}
+		s += "}"
+	}
+	return s + "}", nil
+}
+
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}

@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// LogTracer is a Tracer that prints human-readable phase progress, one
+// line per span open/close with nesting shown by indentation — the
+// sink behind the commands' -v flag. Counter samples are dropped;
+// instants print inline.
+type LogTracer struct {
+	mu     sync.Mutex
+	w      io.Writer
+	starts []time.Time
+	names  []string
+}
+
+// NewLogTracer returns a LogTracer writing to w (typically stderr).
+func NewLogTracer(w io.Writer) *LogTracer { return &LogTracer{w: w} }
+
+func (l *LogTracer) indent() string {
+	const pad = "  "
+	s := ""
+	for range l.names {
+		s += pad
+	}
+	return s
+}
+
+// Begin implements Tracer.
+func (l *LogTracer) Begin(name string, args ...Arg) {
+	l.mu.Lock()
+	fmt.Fprintf(l.w, "%s> %s%s\n", l.indent(), name, formatArgs(args))
+	l.names = append(l.names, name)
+	l.starts = append(l.starts, time.Now())
+	l.mu.Unlock()
+}
+
+// End implements Tracer.
+func (l *LogTracer) End(args ...Arg) {
+	l.mu.Lock()
+	if n := len(l.names); n > 0 {
+		name := l.names[n-1]
+		d := time.Since(l.starts[n-1])
+		l.names = l.names[:n-1]
+		l.starts = l.starts[:n-1]
+		fmt.Fprintf(l.w, "%s< %s %s%s\n", l.indent(), name, d.Round(10*time.Microsecond), formatArgs(args))
+	}
+	l.mu.Unlock()
+}
+
+// Instant implements Tracer.
+func (l *LogTracer) Instant(name string, args ...Arg) {
+	l.mu.Lock()
+	fmt.Fprintf(l.w, "%s* %s%s\n", l.indent(), name, formatArgs(args))
+	l.mu.Unlock()
+}
+
+// Counter implements Tracer; samples are not logged (they are too
+// frequent for line output — use -trace for them).
+func (l *LogTracer) Counter(string, map[string]float64) {}
+
+func formatArgs(args []Arg) string {
+	if len(args) == 0 {
+		return ""
+	}
+	s := " ("
+	for i, a := range args {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%s=%v", a.Key, a.Value)
+	}
+	return s + ")"
+}
