@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	bddbddb [-check] [-Werror] [-order C_I_V] [-print rel1,rel2] [-facts dir] program.dl
+//	bddbddb [-check] [-Werror] [-explain] [-noopt] [-order C_I_V] [-print rel1,rel2] [-facts dir] program.dl
 //
 // Programs are parsed and semantically checked first; diagnostics are
 // reported as file:line:col: DLxxx: message (see the DL-code catalog in
@@ -17,8 +17,13 @@
 // the sizes of all output relations are printed; -print additionally
 // dumps the named relations' tuples.
 //
+// -explain prints every rule's relational-algebra plan before and
+// after the optimizer's rewrites (join reordering, projection
+// push-down, dead-op elimination, normalization hoisting) and exits
+// without solving; -noopt pins the legacy textual-order execution.
+//
 // Observability: -trace writes a Chrome trace-event file of the solve
-// (stratum → iteration → rule spans), -metrics a flat metrics JSON,
+// (stratum → iteration → rule → op spans), -metrics a flat metrics JSON,
 // -v logs solver progress to stderr, and -cpuprofile/-memprofile write
 // runtime/pprof profiles.
 package main
@@ -48,6 +53,8 @@ func main() {
 	nodes := flag.Int("nodes", 0, "initial BDD node table size")
 	cache := flag.Int("cache", 0, "BDD operation cache size")
 	ruleStats := flag.Bool("rulestats", false, "print per-rule applications, time, and derived tuples")
+	explain := flag.Bool("explain", false, "print each rule's execution plan before/after optimization and exit without solving")
+	noOpt := flag.Bool("noopt", false, "disable the plan optimizer (pinned textual-order execution)")
 	var oflags obs.Flags
 	oflags.Register(flag.CommandLine)
 	flag.Parse()
@@ -61,7 +68,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "bddbddb:", err)
 		os.Exit(1)
 	}
-	status := run(sess, flag.Arg(0), *checkOnly, *wError, *orderFlag, *printFlag, *factsDir, *nodes, *cache, *ruleStats)
+	status := run(sess, flag.Arg(0), *checkOnly, *wError, *explain, *noOpt, *orderFlag, *printFlag, *factsDir, *nodes, *cache, *ruleStats)
 	if err := sess.Close(); err != nil {
 		fmt.Fprintln(os.Stderr, "bddbddb:", err)
 		if status == 0 {
@@ -73,7 +80,7 @@ func main() {
 
 // run executes the tool and returns the process exit status: 0 on
 // success, 1 when the program is rejected or evaluation fails.
-func run(sess *obs.Session, path string, checkOnly, wError bool, order, printRels, factsDir string, nodes, cache int, ruleStats bool) int {
+func run(sess *obs.Session, path string, checkOnly, wError, explain, noOpt bool, order, printRels, factsDir string, nodes, cache int, ruleStats bool) int {
 	src, err := os.ReadFile(path)
 	if err != nil {
 		return fail(err)
@@ -124,6 +131,9 @@ func run(sess *obs.Session, path string, checkOnly, wError bool, order, printRel
 		Tracer:          sess.Tracer,
 		Metrics:         sess.Metrics,
 	}
+	if noOpt {
+		opts.Plan = datalog.LegacyPlan()
+	}
 	if order != "" {
 		opts.Order = strings.Split(order, "_")
 	}
@@ -149,6 +159,12 @@ func run(sess *obs.Session, path string, checkOnly, wError bool, order, printRel
 		if err := loadTuples(s, factsDir, rd.Name); err != nil {
 			return fail(err)
 		}
+	}
+	if explain {
+		// Facts are loaded, so the plans print with the cardinalities
+		// the planner would actually see at stratum 0.
+		s.Explain(os.Stdout)
+		return 0
 	}
 	if err := s.Solve(); err != nil {
 		return fail(err)

@@ -24,6 +24,7 @@ import (
 
 	"bddbddb/internal/analysis"
 	"bddbddb/internal/callgraph"
+	"bddbddb/internal/datalog"
 	"bddbddb/internal/extract"
 	"bddbddb/internal/obs"
 	"bddbddb/internal/program"
@@ -32,6 +33,7 @@ import (
 func main() {
 	algo := flag.String("algo", "otf", "analysis: ci|cif|otf|cs|type|threads")
 	varName := flag.String("var", "", "print the points-to set of this variable (Class.method/v)")
+	noOpt := flag.Bool("noopt", false, "disable the Datalog plan optimizer (pinned textual-order execution)")
 	var oflags obs.Flags
 	oflags.Register(flag.CommandLine)
 	flag.Parse()
@@ -45,7 +47,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "pointsto:", err)
 		os.Exit(1)
 	}
-	runErr := run(sess, flag.Arg(0), *algo, *varName)
+	runErr := run(sess, flag.Arg(0), *algo, *varName, *noOpt)
 	if err := sess.Close(); err != nil {
 		fmt.Fprintln(os.Stderr, "pointsto:", err)
 	}
@@ -55,7 +57,7 @@ func main() {
 	}
 }
 
-func run(sess *obs.Session, path, algo, varName string) error {
+func run(sess *obs.Session, path, algo, varName string, noOpt bool) error {
 	tr := sess.Tracer
 	src, err := os.ReadFile(path)
 	if err != nil {
@@ -74,6 +76,9 @@ func run(sess *obs.Session, path, algo, varName string) error {
 		return err
 	}
 	cfg := analysis.Config{Tracer: tr, Metrics: sess.Metrics}
+	if noOpt {
+		cfg.Plan = datalog.LegacyPlan()
+	}
 	var res *analysis.Result
 	obs.Begin(tr, "pointsto.analyze", obs.A("algo", algo))
 	switch algo {

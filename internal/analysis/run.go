@@ -32,6 +32,11 @@ type Config struct {
 	ExtraSrc string
 	// NoIncrementalization disables semi-naive evaluation (ablation).
 	NoIncrementalization bool
+	// Plan configures the solver's rule planner (join reordering,
+	// projection push-down, normalization hoisting, dead-op
+	// elimination). The zero value runs the full optimizer;
+	// datalog.LegacyPlan() pins the pre-planner execution path.
+	Plan datalog.PlanConfig
 }
 
 func (c Config) contextLimit() uint64 {
@@ -112,6 +117,7 @@ func baseOptions(f *extract.Facts, cfg Config, order []string) datalog.Options {
 			"M": f.Methods,
 		},
 		NoIncrementalization: cfg.NoIncrementalization,
+		Plan:                 cfg.Plan,
 		Tracer:               cfg.Tracer,
 		Metrics:              cfg.Metrics,
 	}
@@ -227,7 +233,7 @@ func DiscoverCallGraph(f *extract.Facts, cfg Config) (*callgraph.Graph, error) {
 	// sensitive program's domains, and Algorithm 3 has no C domain.
 	r, err := RunOnTheFly(f, Config{
 		NodeSize: cfg.NodeSize, CacheSize: cfg.CacheSize,
-		Tracer: cfg.Tracer, Metrics: cfg.Metrics,
+		Plan: cfg.Plan, Tracer: cfg.Tracer, Metrics: cfg.Metrics,
 	})
 	if err != nil {
 		return nil, err

@@ -5,58 +5,86 @@ import (
 
 	"bddbddb/internal/bdd"
 	"bddbddb/internal/datalog/check"
+	"bddbddb/internal/datalog/plan"
 	"bddbddb/internal/rel"
 )
 
-// constSel selects a constant value on one attribute of a body atom.
-type constSel struct {
-	attr string
-	val  uint64
-}
-
-// litPlan is the compiled form of one body literal: how to normalize
-// the stored relation into "attributes named after rule variables,
-// bound to the variables' physical instances".
-type litPlan struct {
-	pred    string
-	negated bool
-	consts  []constSel
-	dupEqs  [][2]string // attribute pairs equated (variable repeated in one atom)
-	drops   []string    // attributes projected away (wildcards, constants, duplicates)
-	reshape map[string]rel.Remap
-}
-
-// dupJoin equates a head attribute with the head attribute carrying the
-// first occurrence of the same variable.
-type dupJoin struct {
-	joinAttr rel.Attr // first occurrence: name+phys in the head schema
-	newAttr  rel.Attr // duplicate position: name+phys in the head schema
-}
-
-// constJoin binds a head attribute to a constant.
-type constJoin struct {
-	attr rel.Attr
-	val  uint64
-}
-
-// compiledRule is the executable plan for one rule.
+// compiledRule is the executable form of one rule: the canonical
+// lowered plan, the per-stratum optimized variants, the
+// iteration-invariant helper relations the head ops join with, and the
+// per-literal normalization cache the interpreter hoists work into.
 type compiledRule struct {
-	rule       *Rule
-	lits       []litPlan  // positives (textual order) then negatives
-	dropAfter  [][]string // variables whose last use is literal i and that are not in the head
-	unbound    []rel.Attr // head variables never bound in the body
-	headMoves  map[string]rel.Remap
-	dupJoins   []dupJoin
-	constJoins []constJoin
-	headSchema []rel.Attr
+	rule *Rule
+	// naive is the lowered plan in canonical literal order (positives
+	// textual, then negatives) with identity join order — it reproduces
+	// the historical executor and is the "before" side of -explain.
+	naive *plan.Plan
+	// plans holds the variants solveStratum plans against live
+	// cardinalities: key -1 is the base (no delta) variant, key i the
+	// semi-naive variant reading the delta at canonical position i.
+	plans map[int]*plan.Plan
+	// full, singles, and dups cache the helper relations head ops join
+	// with (FullDomain per unbound variable, Singleton per constant
+	// head attribute, Equals per duplicated head attribute) — they only
+	// depend on the rule, so they are built once here instead of on
+	// every application. Keyed by the op's distinguishing attribute
+	// name, which survives plan rewrites.
+	full    map[string]*rel.Relation
+	singles map[string]*rel.Relation
+	dups    map[string]*rel.Relation
+	// cache hoists normalized non-delta literals out of the fixpoint
+	// loop, indexed by canonical literal position (shared by all plan
+	// variants, which never reorder Lits — only Order).
+	cache []*litCache
 }
 
-// recursivePositions lists the body positions that read predicates of
-// the given stratum (candidates for the semi-naive delta).
+// litCache holds one literal's hoisted normalized form. srcRoot is the
+// source relation's root at normalization time, kept referenced so the
+// node id cannot be recycled — root equality is then a sound validity
+// check (BDDs are canonical).
+type litCache struct {
+	srcRoot bdd.Node
+	norm    *rel.Relation
+}
+
+// clear drops the cached form and its guard reference.
+func (c *litCache) clear(m *bdd.Manager) {
+	if c.norm == nil {
+		return
+	}
+	c.norm.Free()
+	m.Deref(c.srcRoot)
+	c.norm = nil
+}
+
+// clearCaches drops every hoisted normalization the rule holds.
+func (cr *compiledRule) clearCaches(m *bdd.Manager) {
+	for _, c := range cr.cache {
+		c.clear(m)
+	}
+}
+
+// orderHasFreedom reports whether the greedy planner can actually move
+// anything: after the delta (or anchor) literal is pinned first, at
+// least two positive literals must remain to permute.
+func (cr *compiledRule) orderHasFreedom() bool {
+	n := 0
+	for i := range cr.naive.Lits {
+		if !cr.naive.Lits[i].Negated {
+			n++
+		}
+	}
+	return n >= 3
+}
+
+// recursivePositions lists the canonical body positions that read
+// predicates of the given stratum (candidates for the semi-naive
+// delta).
 func (cr *compiledRule) recursivePositions(inStratum map[string]bool) []int {
 	var out []int
-	for i, lp := range cr.lits {
-		if !lp.negated && inStratum[lp.pred] {
+	for i := range cr.naive.Lits {
+		l := &cr.naive.Lits[i]
+		if !l.Negated && inStratum[l.Pred] {
 			out = append(out, i)
 		}
 	}
@@ -75,8 +103,9 @@ func naturalInstance(decl *RelationDecl, i int) int {
 	return n
 }
 
-// orderedLiterals returns the rule's body in processing order: positive
-// literals first (textual order), then negated ones.
+// orderedLiterals returns the rule's body in canonical order: positive
+// literals first (textual order), then negated ones. Plan literal
+// indices — delta positions, cache slots — are relative to this order.
 func orderedLiterals(rule *Rule) []Literal {
 	var out []Literal
 	for _, l := range rule.Body {
@@ -135,11 +164,18 @@ func assignInstances(prog *Program, rule *Rule) (map[string]int, map[string]int)
 	return asn, need
 }
 
-// compileRule builds the executable plan. Must run after Finalize (it
-// captures physical domain pointers).
+// compileRule lowers a rule to its canonical plan and builds the
+// iteration-invariant helpers. Must run after Finalize and relation
+// materialization (it captures physical domains and live schemas).
 func (s *Solver) compileRule(rule *Rule, asn map[string]int) (*compiledRule, error) {
 	prog := s.prog
-	cr := &compiledRule{rule: rule, headMoves: make(map[string]rel.Remap)}
+	cr := &compiledRule{
+		rule:    rule,
+		plans:   make(map[int]*plan.Plan),
+		full:    make(map[string]*rel.Relation),
+		singles: make(map[string]*rel.Relation),
+		dups:    make(map[string]*rel.Relation),
+	}
 	instPhys := func(v string) *bdd.Domain {
 		// Every rule variable has a domain (checked in parsing) and an
 		// assigned instance.
@@ -147,10 +183,19 @@ func (s *Solver) compileRule(rule *Rule, asn map[string]int) (*compiledRule, err
 		return s.u.Phys(dom, asn[v])
 	}
 
+	p := &plan.Plan{Rule: rule.String(), Head: rule.Head.Pred, DeltaPos: -1}
+
+	// Body literals: lower each to its normalization pipeline. The
+	// lowering keeps identity Reshape entries on purpose — the pinned
+	// legacy configuration must reproduce the historical executor,
+	// which applied them; Optimize prunes them as dead ops.
 	lits := orderedLiterals(rule)
 	for _, lit := range lits {
 		decl := prog.Relation(lit.Atom.Pred)
-		lp := litPlan{pred: lit.Atom.Pred, negated: lit.Negated, reshape: make(map[string]rel.Remap)}
+		schema := append([]rel.Attr(nil), s.rels[lit.Atom.Pred].Attrs()...)
+		ops := []plan.Op{&plan.Load{Pred: lit.Atom.Pred, Out: schema}}
+		var drops []string
+		reshape := make(map[string]rel.Remap)
 		firstAttr := make(map[string]string) // var -> attr of first occurrence in this atom
 		for i, t := range lit.Atom.Args {
 			attr := decl.Attrs[i].Name
@@ -160,74 +205,141 @@ func (s *Solver) compileRule(rule *Rule, asn map[string]int) (*compiledRule, err
 				if err != nil {
 					return nil, check.Errorf(check.CodeConstRange, s.prog.File, t.Line, t.Col, "%v", err)
 				}
-				lp.consts = append(lp.consts, constSel{attr: attr, val: v})
-				lp.drops = append(lp.drops, attr)
+				ops = append(ops, &plan.SelectConst{Attr: attr, Val: v, Out: schema})
+				drops = append(drops, attr)
 			case TermWildcard:
-				lp.drops = append(lp.drops, attr)
+				drops = append(drops, attr)
 			case TermVar:
 				if fa, dup := firstAttr[t.Var]; dup {
-					lp.dupEqs = append(lp.dupEqs, [2]string{fa, attr})
-					lp.drops = append(lp.drops, attr)
+					ops = append(ops, &plan.EquateAttrs{A: fa, B: attr, Out: schema})
+					drops = append(drops, attr)
 					continue
 				}
 				firstAttr[t.Var] = attr
-				lp.reshape[attr] = rel.Remap{NewName: t.Var, NewPhys: instPhys(t.Var)}
+				reshape[attr] = rel.Remap{NewName: t.Var, NewPhys: instPhys(t.Var)}
 			}
 		}
-		cr.lits = append(cr.lits, lp)
+		if len(drops) > 0 {
+			schema = dropFromSchema(schema, drops)
+			ops = append(ops, &plan.Project{Drop: drops, Out: schema})
+		}
+		if len(reshape) > 0 {
+			schema = reshapeSchema(schema, reshape)
+			ops = append(ops, &plan.Reshape{Spec: reshape, Out: schema})
+		}
+		if lit.Negated {
+			ops = append(ops, &plan.Complement{Out: schema})
+		}
+		p.Lits = append(p.Lits, plan.Lit{Pred: lit.Atom.Pred, Negated: lit.Negated, Ops: ops})
 	}
 
-	// Last-use positions drive early projection.
-	headVars := make(map[string]bool)
-	for _, t := range rule.Head.Args {
-		if t.Kind == TermVar {
-			headVars[t.Var] = true
-		}
-	}
-	lastUse := make(map[string]int)
-	for i, lit := range lits {
+	// The joins must preserve each head variable through to the end.
+	bodyBinds := make(map[string]bool)
+	for _, lit := range lits {
 		for _, t := range lit.Atom.Args {
 			if t.Kind == TermVar {
-				lastUse[t.Var] = i
+				bodyBinds[t.Var] = true
 			}
 		}
 	}
-	cr.dropAfter = make([][]string, len(lits))
-	for v, i := range lastUse {
-		if !headVars[v] {
-			cr.dropAfter[i] = append(cr.dropAfter[i], v)
+	seenKeep := make(map[string]bool)
+	for _, t := range rule.Head.Args {
+		if t.Kind == TermVar && !seenKeep[t.Var] && bodyBinds[t.Var] {
+			seenKeep[t.Var] = true
+			p.Keep = append(p.Keep, t.Var)
 		}
 	}
 
-	// Head construction.
+	// Head construction: bind unconstrained variables to their full
+	// domains, move first occurrences into the head schema, then equate
+	// duplicates and bind constants.
 	headDecl := prog.Relation(rule.Head.Pred)
-	cr.headSchema = make([]rel.Attr, headDecl.Arity())
-	for i, a := range headDecl.Attrs {
-		cr.headSchema[i] = s.u.A(a.Name, a.Domain, naturalInstance(headDecl, i))
-	}
+	p.HeadSchema = append([]rel.Attr(nil), s.rels[rule.Head.Pred].Attrs()...)
 	firstPos := make(map[string]int)
+	headMoves := make(map[string]rel.Remap)
+	var bindOps, dupOps, constOps []plan.Op
 	for i, t := range rule.Head.Args {
-		target := cr.headSchema[i]
+		target := p.HeadSchema[i]
 		switch t.Kind {
 		case TermConst, TermNamedConst:
 			v, err := s.resolveConst(t, headDecl.Attrs[i].Domain)
 			if err != nil {
 				return nil, check.Errorf(check.CodeConstRange, s.prog.File, t.Line, t.Col, "%v", err)
 			}
-			cr.constJoins = append(cr.constJoins, constJoin{attr: target, val: v})
+			constOps = append(constOps, &plan.ConstHead{Attr: target, Val: v})
+			cr.singles[target.Name] = s.u.Singleton("const:"+target.Name, target, v)
 		case TermVar:
 			if fp, dup := firstPos[t.Var]; dup {
-				cr.dupJoins = append(cr.dupJoins, dupJoin{joinAttr: cr.headSchema[fp], newAttr: target})
+				first := p.HeadSchema[fp]
+				dupOps = append(dupOps, &plan.DupHead{JoinAttr: first, NewAttr: target})
+				eq, err := s.u.M.Equals(first.Phys, target.Phys)
+				if err != nil {
+					return nil, fmt.Errorf("datalog: head duplicate in %s: %v", rule, err)
+				}
+				cr.dups[target.Name] = s.u.NewRelationFromBDD("dup:"+target.Name, eq, first, target)
 				continue
 			}
 			firstPos[t.Var] = i
-			cr.headMoves[t.Var] = rel.Remap{NewName: target.Name, NewPhys: target.Phys}
-			if _, bound := lastUse[t.Var]; !bound {
-				cr.unbound = append(cr.unbound, rel.Attr{Name: t.Var, Dom: target.Dom, Phys: instPhys(t.Var)})
+			headMoves[t.Var] = rel.Remap{NewName: target.Name, NewPhys: target.Phys}
+			if !bodyBinds[t.Var] {
+				a := rel.Attr{Name: t.Var, Dom: target.Dom, Phys: instPhys(t.Var)}
+				bindOps = append(bindOps, &plan.BindFull{Attr: a})
+				cr.full[t.Var] = s.u.FullDomain("full:"+t.Var, a)
 			}
 		}
 	}
+	p.HeadOps = append(p.HeadOps, bindOps...)
+	if len(headMoves) > 0 {
+		p.HeadOps = append(p.HeadOps, &plan.Reshape{Spec: headMoves})
+	}
+	p.HeadOps = append(p.HeadOps, dupOps...)
+	p.HeadOps = append(p.HeadOps, constOps...)
+
+	plan.Finish(p)
+	cr.naive = p
+	cr.cache = make([]*litCache, len(p.Lits))
+	for i := range cr.cache {
+		cr.cache[i] = &litCache{}
+	}
 	return cr, nil
+}
+
+// dropFromSchema removes the named attributes (schema bookkeeping for
+// lowering; mirrors Relation.ProjectOut).
+func dropFromSchema(s []rel.Attr, drop []string) []rel.Attr {
+	out := make([]rel.Attr, 0, len(s))
+	for _, a := range s {
+		dropped := false
+		for _, d := range drop {
+			if a.Name == d {
+				dropped = true
+				break
+			}
+		}
+		if !dropped {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// reshapeSchema applies a Reshape spec to a schema (mirrors
+// Relation.Reshape).
+func reshapeSchema(s []rel.Attr, spec map[string]rel.Remap) []rel.Attr {
+	out := append([]rel.Attr(nil), s...)
+	for i := range out {
+		mv, ok := spec[out[i].Name]
+		if !ok {
+			continue
+		}
+		if mv.NewPhys != nil {
+			out[i].Phys = mv.NewPhys
+		}
+		if mv.NewName != "" {
+			out[i].Name = mv.NewName
+		}
+	}
+	return out
 }
 
 // varDomainOf returns the domain of a rule variable (established during

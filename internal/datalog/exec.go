@@ -4,13 +4,22 @@ import (
 	"fmt"
 	"time"
 
+	"bddbddb/internal/datalog/plan"
 	"bddbddb/internal/rel"
 )
 
-// applyRule evaluates one rule. If deltaPos >= 0, that body position
-// reads the delta relation instead of the stored one (semi-naive). The
-// result has the head relation's schema; the caller owns it.
-func (s *Solver) applyRule(cr *compiledRule, deltaPos int, delta *rel.Relation) *rel.Relation {
+// execPlan interprets one plan variant: literal pipelines feed
+// JoinProject steps in the plan's join order, then the head ops build
+// the result in the head relation's schema. The caller owns the
+// result. delta is the relation the variant's delta literal reads
+// (nil for the base variant).
+//
+// Ownership: evalLit may return a borrowed relation — the stored
+// source itself (trivial pipeline) or a cached normalized form
+// (hoisting) — flagged owned=false; borrowed relations are never
+// freed here, and a still-borrowed final accumulator is cloned (a
+// reference bump) so the caller's Free stays safe.
+func (s *Solver) execPlan(cr *compiledRule, p *plan.Plan, delta *rel.Relation) *rel.Relation {
 	ro := s.ruleObs[cr.rule]
 	start := time.Now()
 	if s.tr != nil {
@@ -23,106 +32,156 @@ func (s *Solver) applyRule(cr *compiledRule, deltaPos int, delta *rel.Relation) 
 		}
 	}()
 	s.cApps.Inc()
-	emptyResult := func() *rel.Relation {
-		return s.u.NewRelation("res:"+cr.rule.Head.Pred, cr.headSchema...)
-	}
 
 	var acc *rel.Relation
-	for i := range cr.lits {
-		lp := &cr.lits[i]
-		src := s.rels[lp.pred]
-		if i == deltaPos {
-			src = delta
-		}
-		cur := s.loadLiteral(lp, src)
-		if lp.negated {
-			c := cur.Complement("¬" + lp.pred)
-			cur.Free()
-			cur = c
+	accOwned := false
+	for k, idx := range p.Order {
+		cur, curOwned := s.evalLit(cr, p, idx, delta)
+		jp := p.Joins[k]
+		s.countOp(jp)
+		if s.tr != nil {
+			s.tr.Begin("op.JoinProject")
 		}
 		if acc == nil {
-			acc = cur
-			if len(cr.dropAfter[i]) > 0 {
-				n := acc.ProjectOut("acc", cr.dropAfter[i]...)
-				acc.Free()
-				acc = n
+			if len(jp.Drop) > 0 {
+				next := cur.ProjectOut("acc", jp.Drop...)
+				if curOwned {
+					cur.Free()
+				}
+				acc, accOwned = next, true
+			} else {
+				acc, accOwned = cur, curOwned
 			}
 		} else {
-			next := acc.JoinProject("acc", cur, cr.dropAfter[i]...)
-			acc.Free()
-			cur.Free()
-			acc = next
+			next := acc.JoinProject("acc", cur, jp.Drop...)
+			if accOwned {
+				acc.Free()
+			}
+			if curOwned {
+				cur.Free()
+			}
+			acc, accOwned = next, true
+		}
+		if s.tr != nil {
+			s.tr.End()
 		}
 		if acc.IsEmpty() {
 			// Everything downstream is a join; empty stays empty.
+			if accOwned {
+				acc.Free()
+			}
+			return s.u.NewRelation("res:"+p.Head, p.HeadSchema...)
+		}
+	}
+	for _, o := range p.HeadOps {
+		s.countOp(o)
+		if s.tr != nil {
+			s.tr.Begin("op." + o.Kind())
+		}
+		var next *rel.Relation
+		switch o := o.(type) {
+		case *plan.BindFull:
+			next = acc.Join("acc", cr.full[o.Attr.Name])
+		case *plan.Reshape:
+			next = acc.Reshape("acc", o.Spec)
+		case *plan.DupHead:
+			next = acc.Join("acc", cr.dups[o.NewAttr.Name])
+		case *plan.ConstHead:
+			next = acc.Join("acc", cr.singles[o.Attr.Name])
+		default:
+			panic(fmt.Sprintf("datalog: unexpected head op %T in %s", o, cr.rule))
+		}
+		if s.tr != nil {
+			s.tr.End()
+		}
+		if accOwned {
 			acc.Free()
-			return emptyResult()
 		}
+		acc, accOwned = next, true
 	}
-
-	// Bind head variables that never appeared in the body to their full
-	// domains (finite-universe semantics).
-	for _, a := range cr.unbound {
-		full := s.u.FullDomain("full:"+a.Name, a)
-		next := acc.Join("acc", full)
-		acc.Free()
-		full.Free()
-		acc = next
-	}
-	// Move first occurrences into the head schema.
-	if len(cr.headMoves) > 0 {
-		next := acc.Reshape("acc", cr.headMoves)
-		acc.Free()
-		acc = next
-	}
-	// Duplicate head variables: equate with the first occurrence.
-	for _, dj := range cr.dupJoins {
-		eq, err := s.u.M.Equals(dj.joinAttr.Phys, dj.newAttr.Phys)
-		if err != nil {
-			panic(fmt.Sprintf("datalog: head duplicate in %s: %v", cr.rule, err))
-		}
-		eqRel := s.u.NewRelationFromBDD("dup", eq, dj.joinAttr, dj.newAttr)
-		next := acc.Join("acc", eqRel)
-		acc.Free()
-		eqRel.Free()
-		acc = next
-	}
-	// Constant head arguments.
-	for _, cj := range cr.constJoins {
-		single := s.u.Singleton("const", cj.attr, cj.val)
-		next := acc.Join("acc", single)
-		acc.Free()
-		single.Free()
-		acc = next
+	if !accOwned {
+		acc = acc.Clone("res:" + p.Head)
 	}
 	return acc
 }
 
-// loadLiteral normalizes a stored relation for one body literal:
-// constants selected and projected, wildcards projected, repeated
-// variables equated, attributes renamed to rule variables on their
-// assigned physical instances.
-func (s *Solver) loadLiteral(lp *litPlan, src *rel.Relation) *rel.Relation {
-	cur := src.Clone("lit:" + lp.pred)
-	for _, cs := range lp.consts {
-		n := cur.SelectEq(cur.Name, cs.attr, cs.val)
-		cur.Free()
-		cur = n
+// evalLit produces the normalized relation for the literal at
+// canonical position idx. The second result reports ownership: false
+// means the relation is borrowed (the stored source or a cache entry)
+// and must not be freed by the caller.
+//
+// Non-delta literals with real normalization work are hoisted: the
+// result is cached per compiled rule and revalidated by comparing the
+// source relation's BDD root (canonical, and guarded by a held
+// reference so the id cannot be recycled). Within a stratum the
+// sources of non-recursive literals never change, so the fixpoint loop
+// pays for normalization once instead of every iteration.
+func (s *Solver) evalLit(cr *compiledRule, p *plan.Plan, idx int, delta *rel.Relation) (*rel.Relation, bool) {
+	l := &p.Lits[idx]
+	src := s.rels[l.Pred]
+	if l.Delta() {
+		src = delta
 	}
-	for _, eq := range lp.dupEqs {
-		n := cur.SelectEqualAttrs(cur.Name, eq[0], eq[1])
-		cur.Free()
-		cur = n
+	s.countOp(l.Ops[0])
+	if l.Trivial() {
+		// No normalization needed: reference the source without copying.
+		return src, false
 	}
-	if len(lp.drops) > 0 {
-		n := cur.ProjectOut(cur.Name, lp.drops...)
-		cur.Free()
-		cur = n
+	if l.Delta() || s.opts.Plan.NoHoist {
+		return s.runPipeline(l, src), true
 	}
-	if len(lp.reshape) > 0 {
-		n := cur.Reshape(cur.Name, lp.reshape)
-		cur.Free()
-		cur = n
+	c := cr.cache[idx]
+	if c.norm != nil && c.srcRoot == src.Root() {
+		s.cHoistHits.Inc()
+		return c.norm, false
+	}
+	s.cHoistMisses.Inc()
+	norm := s.runPipeline(l, src)
+	c.clear(s.u.M)
+	c.srcRoot = s.u.M.Ref(src.Root())
+	c.norm = norm
+	return norm, false
+}
+
+// runPipeline applies a literal's normalization ops (everything after
+// the Load) to src, which it borrows. The caller owns the result.
+func (s *Solver) runPipeline(l *plan.Lit, src *rel.Relation) *rel.Relation {
+	name := "lit:" + l.Pred
+	cur, owned := src, false
+	for _, o := range l.Ops[1:] {
+		s.countOp(o)
+		if s.tr != nil {
+			s.tr.Begin("op." + o.Kind())
+		}
+		var next *rel.Relation
+		switch o := o.(type) {
+		case *plan.SelectConst:
+			next = cur.SelectEq(name, o.Attr, o.Val)
+		case *plan.EquateAttrs:
+			next = cur.SelectEqualAttrs(name, o.A, o.B)
+		case *plan.Project:
+			next = cur.ProjectOut(name, o.Drop...)
+		case *plan.Reshape:
+			next = cur.Reshape(name, o.Spec)
+		case *plan.Complement:
+			next = cur.Complement("¬" + l.Pred)
+		default:
+			panic(fmt.Sprintf("datalog: unexpected literal op %T for %s", o, l.Pred))
+		}
+		if s.tr != nil {
+			s.tr.End()
+		}
+		if owned {
+			cur.Free()
+		}
+		cur, owned = next, true
 	}
 	return cur
+}
+
+// countOp bumps the op's datalog.op.* counter.
+func (s *Solver) countOp(o plan.Op) {
+	if c := s.opCounters[o.Kind()]; c != nil {
+		c.Inc()
+	}
 }

@@ -1,0 +1,212 @@
+// Package plan defines the typed relational-algebra operation IR that
+// Datalog rules compile to, and the optimizing planner that rewrites
+// it. This is the architecture of the paper's bddbddb: rules are not
+// interpreted over their syntax but translated into sequences of BDD
+// relational operations (Section 2.3), and the translation is where the
+// Section 2.4 optimizations — join ordering, early projection,
+// incrementalization support — happen.
+//
+// A Plan is a straight-line program over one implicit accumulator:
+// each body literal contributes a normalization pipeline (Load,
+// SelectConst*, EquateAttrs*, Project?, Reshape?, Complement?) whose
+// result is merged into the accumulator by one JoinProject (a fused
+// BDD relprod); head-construction ops (BindFull, Reshape, DupHead,
+// ConstHead) then move the accumulator into the head relation's
+// schema. Every op carries its output schema and has a stable string
+// form, golden-tested through the solver's -explain output.
+//
+// The package is pure IR + rewrites: it never touches a BDD. The
+// interpreter lives in internal/datalog (exec.go) where the live
+// relations are.
+package plan
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"bddbddb/internal/rel"
+)
+
+// Op is one relational-algebra operation. Ops are immutable once
+// built; plan rewrites replace them rather than mutating.
+type Op interface {
+	// Kind is the op's short name ("JoinProject", ...), used for
+	// metric keys and trace span names.
+	Kind() string
+	// Schema is the op's output schema.
+	Schema() []rel.Attr
+	// String is the op's stable one-line form (without the schema).
+	String() string
+}
+
+// Load starts a literal pipeline: it names the stored relation the
+// pipeline reads. Delta marks the semi-naive variant that reads the
+// iteration's delta relation instead.
+type Load struct {
+	Pred  string
+	Delta bool
+	Out   []rel.Attr
+}
+
+func (o *Load) Kind() string       { return "Load" }
+func (o *Load) Schema() []rel.Attr { return o.Out }
+func (o *Load) String() string {
+	if o.Delta {
+		return "Load Δ" + o.Pred
+	}
+	return "Load " + o.Pred
+}
+
+// SelectConst keeps the tuples whose attribute equals a constant (the
+// attribute itself is dropped by a later Project).
+type SelectConst struct {
+	Attr string
+	Val  uint64
+	Out  []rel.Attr
+}
+
+func (o *SelectConst) Kind() string       { return "SelectConst" }
+func (o *SelectConst) Schema() []rel.Attr { return o.Out }
+func (o *SelectConst) String() string     { return fmt.Sprintf("SelectConst %s=%d", o.Attr, o.Val) }
+
+// EquateAttrs keeps the tuples where two attributes are equal (a rule
+// variable repeated inside one atom).
+type EquateAttrs struct {
+	A, B string
+	Out  []rel.Attr
+}
+
+func (o *EquateAttrs) Kind() string       { return "EquateAttrs" }
+func (o *EquateAttrs) Schema() []rel.Attr { return o.Out }
+func (o *EquateAttrs) String() string     { return fmt.Sprintf("EquateAttrs %s=%s", o.A, o.B) }
+
+// Project existentially quantifies attributes away (wildcards,
+// selected constants, equated duplicates).
+type Project struct {
+	Drop []string
+	Out  []rel.Attr
+}
+
+func (o *Project) Kind() string       { return "Project" }
+func (o *Project) Schema() []rel.Attr { return o.Out }
+func (o *Project) String() string     { return "Project -[" + strings.Join(o.Drop, ",") + "]" }
+
+// Reshape renames attributes to rule variables and rebinds them to the
+// variables' assigned physical instances in one BDD replace.
+type Reshape struct {
+	Spec map[string]rel.Remap
+	Out  []rel.Attr
+}
+
+func (o *Reshape) Kind() string       { return "Reshape" }
+func (o *Reshape) Schema() []rel.Attr { return o.Out }
+func (o *Reshape) String() string {
+	keys := make([]string, 0, len(o.Spec))
+	for k := range o.Spec {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		mv := o.Spec[k]
+		name := mv.NewName
+		if name == "" {
+			name = k
+		}
+		if mv.NewPhys != nil {
+			parts[i] = fmt.Sprintf("%s->%s@%s", k, name, mv.NewPhys.Name)
+		} else {
+			parts[i] = fmt.Sprintf("%s->%s", k, name)
+		}
+	}
+	return "Reshape " + strings.Join(parts, ", ")
+}
+
+// Complement replaces a negated literal's relation with its complement
+// over the finite universe of its schema.
+type Complement struct {
+	Out []rel.Attr
+}
+
+func (o *Complement) Kind() string       { return "Complement" }
+func (o *Complement) Schema() []rel.Attr { return o.Out }
+func (o *Complement) String() string     { return "Complement" }
+
+// JoinProject merges the current literal into the accumulator and
+// projects the dropped attributes away in one fused BDD relprod
+// (AndExist) — the workhorse op. On the first literal (empty
+// accumulator) it degenerates to adopting the literal, projecting if
+// Drop is non-empty.
+type JoinProject struct {
+	Drop []string
+	Out  []rel.Attr
+}
+
+func (o *JoinProject) Kind() string       { return "JoinProject" }
+func (o *JoinProject) Schema() []rel.Attr { return o.Out }
+func (o *JoinProject) String() string {
+	if len(o.Drop) == 0 {
+		return "JoinProject"
+	}
+	return "JoinProject -[" + strings.Join(o.Drop, ",") + "]"
+}
+
+// BindFull joins the accumulator with a full domain, binding a head
+// variable no body literal constrains (finite-universe semantics).
+type BindFull struct {
+	Attr rel.Attr
+	Out  []rel.Attr
+}
+
+func (o *BindFull) Kind() string       { return "BindFull" }
+func (o *BindFull) Schema() []rel.Attr { return o.Out }
+func (o *BindFull) String() string     { return "BindFull " + attrSig(o.Attr) }
+
+// ConstHead binds a head attribute to a constant (a join with a
+// singleton relation).
+type ConstHead struct {
+	Attr rel.Attr
+	Val  uint64
+	Out  []rel.Attr
+}
+
+func (o *ConstHead) Kind() string       { return "ConstHead" }
+func (o *ConstHead) Schema() []rel.Attr { return o.Out }
+func (o *ConstHead) String() string     { return fmt.Sprintf("ConstHead %s=%d", o.Attr.Name, o.Val) }
+
+// DupHead equates a duplicated head variable's attribute with the
+// attribute carrying its first occurrence (a join with an equality
+// relation).
+type DupHead struct {
+	JoinAttr, NewAttr rel.Attr
+	Out               []rel.Attr
+}
+
+func (o *DupHead) Kind() string       { return "DupHead" }
+func (o *DupHead) Schema() []rel.Attr { return o.Out }
+func (o *DupHead) String() string {
+	return fmt.Sprintf("DupHead %s=%s", o.NewAttr.Name, o.JoinAttr.Name)
+}
+
+// attrSig renders one attribute as name:Domain@Phys.
+func attrSig(a rel.Attr) string {
+	dom, phys := "?", "?"
+	if a.Dom != nil {
+		dom = a.Dom.Name
+	}
+	if a.Phys != nil {
+		phys = a.Phys.Name
+	}
+	return a.Name + ":" + dom + "@" + phys
+}
+
+// SchemaSig renders a schema as (a:V@V0, b:H@H0) — the suffix every
+// plan line carries in -explain output.
+func SchemaSig(attrs []rel.Attr) string {
+	parts := make([]string, len(attrs))
+	for i, a := range attrs {
+		parts[i] = attrSig(a)
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}

@@ -1,0 +1,259 @@
+package datalog
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// ptSrc is the paper's Algorithm 1 scaled down — multi-literal joins
+// over several domains, the richest plan shapes in the test corpus.
+const ptSrc = `
+.domain V 16
+.domain H 8
+.domain F 4
+
+.relation vP0 (variable : V, heap : H) input
+.relation store (base : V, field : F, source : V) input
+.relation load (base : V, field : F, dest : V) input
+.relation assign (dest : V, source : V) input
+.relation vP (variable : V, heap : H) output
+.relation hP (base : H, field : F, target : H) output
+
+vP(v, h) :- vP0(v, h).
+vP(v1, h) :- assign(v1, v2), vP(v2, h).
+hP(h1, f, h2) :- store(v1, f, v2), vP(v1, h1), vP(v2, h2).
+vP(v2, h2) :- load(v1, f, v2), vP(v1, h1), hP(h1, f, h2).
+`
+
+var ptInputs = map[string][][]uint64{
+	"vP0":    {{0, 0}, {3, 1}},
+	"assign": {{1, 0}, {2, 1}, {4, 2}},
+	"store":  {{1, 0, 3}, {2, 1, 1}},
+	"load":   {{1, 0, 5}, {4, 1, 6}},
+}
+
+// negSrc exercises stratified negation (Complement plans).
+const negSrc = `
+.domain N 16
+.relation node (a : N) input
+.relation e (a : N, b : N) input
+.relation tc (a : N, b : N) output
+.relation ntc (a : N, b : N) output
+
+tc(a, b) :- e(a, b).
+tc(a, c) :- tc(a, b), e(b, c).
+ntc(a, b) :- node(a), node(b), !tc(a, b).
+`
+
+var negInputs = map[string][][]uint64{
+	"node": {{0}, {1}, {2}, {3}},
+	"e":    {{0, 1}, {1, 2}},
+}
+
+// featSrc exercises the remaining op kinds: in-atom constants
+// (SelectConst), repeated variables (EquateAttrs), wildcards,
+// duplicated head variables (DupHead), and constant heads (ConstHead).
+const featSrc = `
+.domain V 8
+.domain H 4
+.relation r (a : V, b : V, c : H) input
+.relation s (x : V, y : V) input
+.relation dup (x : V, y : V, z : V) output
+.relation sel (x : V, h : H) output
+
+dup(x, x, y) :- s(x, y).
+sel(x, 2) :- r(x, x, _).
+sel(x, h) :- r(x, _, h), s(x, 1).
+`
+
+var featInputs = map[string][][]uint64{
+	"r": {{0, 0, 1}, {0, 2, 3}, {5, 5, 0}, {6, 1, 2}},
+	"s": {{0, 1}, {6, 1}, {3, 4}},
+}
+
+// planConfigs are the optimizer settings the differential runs sweep.
+func planConfigs() map[string]PlanConfig {
+	return map[string]PlanConfig{
+		"default":    {},
+		"legacy":     LegacyPlan(),
+		"all-off":    {NoReorder: true, NoPushdown: true, NoHoist: true, NoDeadOps: true},
+		"no-reorder": {NoReorder: true},
+		"no-hoist":   {NoHoist: true},
+		"no-pushdn":  {NoPushdown: true},
+	}
+}
+
+func solveWithPlan(t *testing.T, src string, cfg PlanConfig, inputs map[string][][]uint64) *Solver {
+	t.Helper()
+	s, err := NewSolver(MustParse(src), Options{Plan: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, rows := range inputs {
+		for _, row := range rows {
+			s.Relation(name).AddTuple(row...)
+		}
+	}
+	if err := s.Solve(); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestPlanConfigDifferential solves each program under every planner
+// configuration — including the pinned pre-refactor path — and demands
+// identical cardinalities and tuple sets for every declared relation.
+// The naive-oracle comparison rides along via solveBoth.
+func TestPlanConfigDifferential(t *testing.T) {
+	programs := []struct {
+		name   string
+		src    string
+		inputs map[string][][]uint64
+	}{
+		{"tc", tcSrc, map[string][][]uint64{"e": {{0, 1}, {1, 2}, {2, 3}, {3, 1}}}},
+		{"pointsto", ptSrc, ptInputs},
+		{"negation", negSrc, negInputs},
+		{"features", featSrc, featInputs},
+	}
+	for _, pr := range programs {
+		t.Run(pr.name, func(t *testing.T) {
+			base := solveBoth(t, pr.src, Options{}, pr.inputs)
+			for cfgName, cfg := range planConfigs() {
+				if cfgName == "default" {
+					continue
+				}
+				s := solveWithPlan(t, pr.src, cfg, pr.inputs)
+				for _, rel := range s.RelationNames() {
+					want := base.Relation(rel)
+					got := s.Relation(rel)
+					if want.Size().Cmp(got.Size()) != 0 {
+						t.Errorf("%s/%s: %s tuples under %s, %s under default",
+							cfgName, rel, got.Size(), cfgName, want.Size())
+						continue
+					}
+					if !reflect.DeepEqual(sortedTuples(got.Tuples()), sortedTuples(want.Tuples())) {
+						t.Errorf("%s/%s: tuple sets differ", cfgName, rel)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestExplainGolden pins the -explain output for the Algorithm 1
+// program byte-for-byte. Regenerate after intended planner changes:
+//
+//	go test ./internal/datalog -run TestExplainGolden -update
+func TestExplainGolden(t *testing.T) {
+	s, err := NewSolver(MustParse(ptSrc), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, rows := range ptInputs {
+		for _, row := range rows {
+			s.Relation(name).AddTuple(row...)
+		}
+	}
+	var buf bytes.Buffer
+	s.Explain(&buf)
+	got := buf.Bytes()
+	golden := filepath.Join("testdata", "explain_golden.txt")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("explain output differs from %s (rerun with -update after intended changes)\ngot:\n%s", golden, got)
+	}
+}
+
+// TestExplainDeterministic guards the map-heavy formatting paths.
+func TestExplainDeterministic(t *testing.T) {
+	render := func() string {
+		s, err := NewSolver(MustParse(featSrc), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		s.Explain(&buf)
+		return buf.String()
+	}
+	first := render()
+	for i := 0; i < 5; i++ {
+		if render() != first {
+			t.Fatal("Explain output is not deterministic")
+		}
+	}
+}
+
+// TestOpCountersAndHoisting asserts the per-op counting path: executed
+// plan ops show up under datalog.op.*, and the fixpoint loop actually
+// reuses hoisted normalizations on a recursive program.
+func TestOpCountersAndHoisting(t *testing.T) {
+	inputs := map[string][][]uint64{"e": {{0, 1}, {1, 2}, {2, 3}, {3, 4}}}
+	s := solveWithPlan(t, tcSrc, PlanConfig{}, inputs)
+	snap := s.Metrics().Snapshot()
+	for _, key := range []string{"datalog.op.load", "datalog.op.join_project", "datalog.op.reshape"} {
+		if snap[key] <= 0 {
+			t.Errorf("%s = %v, want > 0", key, snap[key])
+		}
+	}
+	// The e literal in the recursive rule normalizes once per stratum,
+	// then hits the cache on every later iteration.
+	if snap["datalog.op.norm_cache_hits"] <= 0 {
+		t.Errorf("norm_cache_hits = %v, want > 0", snap["datalog.op.norm_cache_hits"])
+	}
+	// All counter keys exist even when the op kind never ran.
+	for kind, key := range opMetricKeys {
+		if _, ok := snap[key]; !ok {
+			t.Errorf("metric key %s (op %s) missing from snapshot", key, kind)
+		}
+	}
+
+	// With hoisting disabled the cache is never consulted.
+	s2 := solveWithPlan(t, tcSrc, PlanConfig{NoHoist: true}, inputs)
+	snap2 := s2.Metrics().Snapshot()
+	if snap2["datalog.op.norm_cache_hits"] != 0 || snap2["datalog.op.norm_cache_misses"] != 0 {
+		t.Errorf("NoHoist touched the cache: hits=%v misses=%v",
+			snap2["datalog.op.norm_cache_hits"], snap2["datalog.op.norm_cache_misses"])
+	}
+	// Hoisting must strictly reduce executed normalization work.
+	if snap["datalog.op.reshape"] >= snap2["datalog.op.reshape"] {
+		t.Errorf("hoisting did not reduce reshapes: %v (hoisted) vs %v (not)",
+			snap["datalog.op.reshape"], snap2["datalog.op.reshape"])
+	}
+}
+
+// TestWastedCloneEliminated checks the borrowed-source path: a literal
+// needing no normalization must not copy the stored relation. The
+// observable proxy is that solving a program whose literals are all
+// trivial performs zero normalization ops.
+func TestWastedCloneEliminated(t *testing.T) {
+	src := `
+.domain N 8
+.relation e (a : N, b : N) input
+.relation out (a : N, b : N) output
+out(a, b) :- e(a, b).
+`
+	s := solveWithPlan(t, src, PlanConfig{}, map[string][][]uint64{"e": {{0, 1}, {2, 3}}})
+	snap := s.Metrics().Snapshot()
+	for _, key := range []string{"datalog.op.select_const", "datalog.op.equate_attrs", "datalog.op.project", "datalog.op.reshape", "datalog.op.complement"} {
+		if snap[key] != 0 {
+			t.Errorf("trivial literal ran %s %v times", key, snap[key])
+		}
+	}
+	if got := s.Relation("out").Size().Int64(); got != 2 {
+		t.Errorf("out has %d tuples, want 2", got)
+	}
+}

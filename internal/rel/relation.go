@@ -397,6 +397,13 @@ func (r *Relation) Size() *big.Int {
 	return r.u.M.SatCountIn(r.root, r.supportVars())
 }
 
+// SizeFloat returns the tuple count as a float64 — the lossy form the
+// Datalog planner's cost model consumes. Use Size for exact counts.
+func (r *Relation) SizeFloat() float64 {
+	f, _ := new(big.Float).SetInt(r.Size()).Float64()
+	return f
+}
+
 func (r *Relation) supportVars() []int32 {
 	var vars []int32
 	for _, a := range r.attrs {
