@@ -9,9 +9,11 @@
 package bddbddb_test
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 	"testing"
+	"time"
 
 	"bddbddb/internal/analysis"
 	"bddbddb/internal/bdd"
@@ -19,6 +21,7 @@ import (
 	"bddbddb/internal/datalog"
 	"bddbddb/internal/experiments"
 	"bddbddb/internal/extract"
+	"bddbddb/internal/resilience"
 	"bddbddb/internal/synth"
 )
 
@@ -531,6 +534,42 @@ func BenchmarkAblationPlanner(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				_, err := analysis.RunContextSensitive(p.Facts, p.Graph, analysis.Config{Plan: mode.plan})
 				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBudgetOverhead isolates the resilience layer's cost: the
+// same context-sensitive pointer analysis with no controller (nil
+// checks only) against a fully armed one — cancelable context, node and
+// iteration budgets, and a deadline, which together enable the
+// strided polls in every BDD recursion, the budget checks at table
+// growth/GC, and the per-rule cancellation checks. The limits sit far
+// above the workload's needs so both arms do identical work; the
+// acceptance bar is <2% overhead (BENCH_resilience.json records it).
+func BenchmarkBudgetOverhead(b *testing.B) {
+	p := load(b, "sshdaemon")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	for _, mode := range []struct {
+		name string
+		cfg  analysis.Config
+	}{
+		{"baseline", analysis.Config{}},
+		{"budgeted", analysis.Config{
+			Context: ctx,
+			Budget: resilience.Budget{
+				MaxLiveNodes:  1 << 30,
+				Timeout:       time.Hour,
+				MaxIterations: 1 << 40,
+			},
+		}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := analysis.RunContextSensitive(p.Facts, p.Graph, mode.cfg); err != nil {
 					b.Fatal(err)
 				}
 			}

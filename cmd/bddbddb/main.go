@@ -26,14 +26,20 @@
 // (stratum → iteration → rule → op spans), -metrics a flat metrics JSON,
 // -v logs solver progress to stderr, and -cpuprofile/-memprofile write
 // runtime/pprof profiles.
+//
+// Resilience: -timeout and -max-nodes bound the run (exit code 3 on
+// exhaustion), Ctrl-C cancels it cleanly (exit code 4), and
+// -checkpoint-dir/-resume save and restore the solve across runs.
 package main
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strconv"
 	"strings"
@@ -42,6 +48,7 @@ import (
 	"bddbddb/internal/datalog"
 	"bddbddb/internal/datalog/check"
 	"bddbddb/internal/obs"
+	"bddbddb/internal/resilience"
 )
 
 func main() {
@@ -57,6 +64,8 @@ func main() {
 	noOpt := flag.Bool("noopt", false, "disable the plan optimizer (pinned textual-order execution)")
 	var oflags obs.Flags
 	oflags.Register(flag.CommandLine)
+	var rflags resilience.Flags
+	rflags.Register(flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: bddbddb [flags] program.dl")
@@ -68,7 +77,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "bddbddb:", err)
 		os.Exit(1)
 	}
-	status := run(sess, flag.Arg(0), *checkOnly, *wError, *explain, *noOpt, *orderFlag, *printFlag, *factsDir, *nodes, *cache, *ruleStats)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	status := run(ctx, sess, rflags, flag.Arg(0), *checkOnly, *wError, *explain, *noOpt, *orderFlag, *printFlag, *factsDir, *nodes, *cache, *ruleStats)
+	stop()
 	if err := sess.Close(); err != nil {
 		fmt.Fprintln(os.Stderr, "bddbddb:", err)
 		if status == 0 {
@@ -79,8 +90,10 @@ func main() {
 }
 
 // run executes the tool and returns the process exit status: 0 on
-// success, 1 when the program is rejected or evaluation fails.
-func run(sess *obs.Session, path string, checkOnly, wError, explain, noOpt bool, order, printRels, factsDir string, nodes, cache int, ruleStats bool) int {
+// success, 1 when the program is rejected or evaluation fails, 3 when a
+// -timeout/-max-nodes budget is exhausted, 4 on Ctrl-C, 5 on an
+// internal solver failure.
+func run(ctx context.Context, sess *obs.Session, rflags resilience.Flags, path string, checkOnly, wError, explain, noOpt bool, order, printRels, factsDir string, nodes, cache int, ruleStats bool) int {
 	src, err := os.ReadFile(path)
 	if err != nil {
 		return fail(err)
@@ -130,6 +143,9 @@ func run(sess *obs.Session, path string, checkOnly, wError, explain, noOpt bool,
 		CountRuleTuples: ruleStats,
 		Tracer:          sess.Tracer,
 		Metrics:         sess.Metrics,
+		Control:         rflags.Controller(ctx),
+		Checkpoint:      rflags.Checkpoint(),
+		ResumeFrom:      rflags.Resume,
 	}
 	if noOpt {
 		opts.Plan = datalog.LegacyPlan()
@@ -156,7 +172,12 @@ func run(sess *obs.Session, path string, checkOnly, wError, explain, noOpt bool,
 		if rd.Kind != datalog.RelInput {
 			continue
 		}
-		if err := loadTuples(s, factsDir, rd.Name); err != nil {
+		if err := loadTuples(s, prog, factsDir, rd.Name); err != nil {
+			var ce *check.Error
+			if errors.As(err, &ce) {
+				reportDiags(ce.Diags)
+				return 1
+			}
 			return fail(err)
 		}
 	}
@@ -200,7 +221,7 @@ func run(sess *obs.Session, path string, checkOnly, wError, explain, noOpt bool,
 
 func fail(err error) int {
 	fmt.Fprintln(os.Stderr, "bddbddb:", err)
-	return 1
+	return resilience.ExitCode(err)
 }
 
 func reportDiags(ds check.Diags) {
@@ -209,8 +230,14 @@ func reportDiags(ds check.Diags) {
 	}
 }
 
-func loadTuples(s *datalog.Solver, dir, name string) error {
-	f, err := os.Open(filepath.Join(dir, name+".tuples"))
+// loadTuples fills one input relation from <dir>/<name>.tuples. Rows
+// are fully validated against the relation's declared schema before
+// they reach the BDD layer, so malformed user input surfaces as a
+// positioned DL110 diagnostic (file:line within the .tuples file)
+// instead of a panic out of rel.AddTuple.
+func loadTuples(s *datalog.Solver, prog *datalog.Program, dir, name string) error {
+	path := filepath.Join(dir, name+".tuples")
+	f, err := os.Open(path)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return nil
@@ -218,6 +245,11 @@ func loadTuples(s *datalog.Solver, dir, name string) error {
 		return err
 	}
 	defer f.Close()
+	decl := prog.Relation(name)
+	sizes := make([]uint64, len(decl.Attrs))
+	for i, a := range decl.Attrs {
+		sizes[i] = prog.Domain(a.Domain).Size
+	}
 	rel := s.Relation(name)
 	sc := bufio.NewScanner(f)
 	line := 0
@@ -228,11 +260,21 @@ func loadTuples(s *datalog.Solver, dir, name string) error {
 			continue
 		}
 		fields := strings.Fields(text)
+		if len(fields) != len(decl.Attrs) {
+			return check.Errorf(check.CodeTupleInput, path, line, 1,
+				"%s has arity %d, row has %d fields", name, len(decl.Attrs), len(fields))
+		}
 		vals := make([]uint64, len(fields))
 		for i, fstr := range fields {
 			v, err := strconv.ParseUint(fstr, 10, 64)
 			if err != nil {
-				return fmt.Errorf("%s.tuples:%d: bad value %q", name, line, fstr)
+				return check.Errorf(check.CodeTupleInput, path, line, 1,
+					"bad value %q for attribute %s", fstr, decl.Attrs[i].Name)
+			}
+			if v >= sizes[i] {
+				return check.Errorf(check.CodeTupleInput, path, line, 1,
+					"value %d out of range for attribute %s (domain %s has size %d)",
+					v, decl.Attrs[i].Name, decl.Attrs[i].Domain, sizes[i])
 			}
 			vals[i] = v
 		}

@@ -11,12 +11,20 @@
 // trajectory format) with keys like figure4.<bench>.cs_pointer.time_sec.
 // The shared observability flags (-trace, -metrics, -v, -cpuprofile,
 // -memprofile) instrument the analysis runs themselves.
+//
+// Resilience: -timeout and -max-nodes bound the whole regeneration
+// (exit code 3 on exhaustion) and Ctrl-C cancels it (exit code 4).
+// -checkpoint-dir/-resume are rejected here: a figure runs many solves
+// against one directory; use cmd/pointsto or cmd/bddbddb to checkpoint
+// a single solve.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -24,6 +32,7 @@ import (
 	"bddbddb/internal/experiments"
 	"bddbddb/internal/obs"
 	"bddbddb/internal/order"
+	"bddbddb/internal/resilience"
 )
 
 func main() {
@@ -35,17 +44,26 @@ func main() {
 	jsonPath := flag.String("json", "", "write the figure tables as metrics JSON to this file")
 	var oflags obs.Flags
 	oflags.Register(flag.CommandLine)
+	var rflags resilience.Flags
+	rflags.Register(flag.CommandLine)
 	flag.Parse()
+	if rflags.CheckpointDir != "" || rflags.Resume != "" {
+		fmt.Fprintln(os.Stderr, "experiments: -checkpoint-dir/-resume need a single solve; use cmd/pointsto or cmd/bddbddb")
+		os.Exit(2)
+	}
 
 	sess, err := oflags.Start("experiments")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	fatal := func(err error) {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		sess.Close()
-		os.Exit(1)
+		stop()
+		os.Exit(resilience.ExitCode(err))
 	}
 
 	if *search != "" {
@@ -70,6 +88,7 @@ func main() {
 	}
 	s := experiments.NewSuite()
 	s.SetObs(sess.Tracer)
+	s.SetControl(ctx, rflags.Budget())
 	table := make(map[string]float64) // accumulated -json figure metrics
 	run := func(fig string) error {
 		switch fig {

@@ -15,12 +15,20 @@
 // metrics JSON (solve time, peak live BDD nodes, GC count, per-cache
 // hit ratios, relation cardinalities), -v logs phase progress to
 // stderr, and -cpuprofile/-memprofile write runtime/pprof profiles.
+//
+// Resilience: -timeout and -max-nodes bound the run (exit code 3 on
+// exhaustion), Ctrl-C cancels it cleanly (exit code 4), -checkpoint-dir
+// and -resume save/restore the solve across runs. Context-sensitive
+// runs that blow their budget degrade to the context-insensitive
+// result (noted on stderr) instead of failing.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"bddbddb/internal/analysis"
 	"bddbddb/internal/callgraph"
@@ -28,6 +36,7 @@ import (
 	"bddbddb/internal/extract"
 	"bddbddb/internal/obs"
 	"bddbddb/internal/program"
+	"bddbddb/internal/resilience"
 )
 
 func main() {
@@ -36,6 +45,8 @@ func main() {
 	noOpt := flag.Bool("noopt", false, "disable the Datalog plan optimizer (pinned textual-order execution)")
 	var oflags obs.Flags
 	oflags.Register(flag.CommandLine)
+	var rflags resilience.Flags
+	rflags.Register(flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: pointsto [flags] program.jp")
@@ -47,17 +58,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, "pointsto:", err)
 		os.Exit(1)
 	}
-	runErr := run(sess, flag.Arg(0), *algo, *varName, *noOpt)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	runErr := run(ctx, sess, rflags, flag.Arg(0), *algo, *varName, *noOpt)
+	stop()
 	if err := sess.Close(); err != nil {
 		fmt.Fprintln(os.Stderr, "pointsto:", err)
 	}
 	if runErr != nil {
 		fmt.Fprintln(os.Stderr, "pointsto:", runErr)
-		os.Exit(1)
+		os.Exit(resilience.ExitCode(runErr))
 	}
 }
 
-func run(sess *obs.Session, path, algo, varName string, noOpt bool) error {
+func run(ctx context.Context, sess *obs.Session, rflags resilience.Flags, path, algo, varName string, noOpt bool) error {
 	tr := sess.Tracer
 	src, err := os.ReadFile(path)
 	if err != nil {
@@ -75,7 +88,11 @@ func run(sess *obs.Session, path, algo, varName string, noOpt bool) error {
 	if err != nil {
 		return err
 	}
-	cfg := analysis.Config{Tracer: tr, Metrics: sess.Metrics}
+	cfg := analysis.Config{
+		Tracer: tr, Metrics: sess.Metrics,
+		Context: ctx, Budget: rflags.Budget(),
+		CheckpointDir: rflags.CheckpointDir, Resume: rflags.Resume,
+	}
 	if noOpt {
 		cfg.Plan = datalog.LegacyPlan()
 	}
@@ -100,6 +117,9 @@ func run(sess *obs.Session, path, algo, varName string, noOpt bool) error {
 	obs.End(tr)
 	if err != nil {
 		return err
+	}
+	if res.Degraded {
+		fmt.Fprintf(os.Stderr, "pointsto: degraded to context-insensitive result: %v\n", res.DegradedCause)
 	}
 	obs.Begin(tr, "pointsto.query")
 	defer obs.End(tr)

@@ -1,12 +1,15 @@
 package analysis
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"bddbddb/internal/callgraph"
 	"bddbddb/internal/datalog"
 	"bddbddb/internal/extract"
 	"bddbddb/internal/obs"
+	"bddbddb/internal/resilience"
 )
 
 // Config tunes an analysis run.
@@ -37,6 +40,29 @@ type Config struct {
 	// elimination). The zero value runs the full optimizer;
 	// datalog.LegacyPlan() pins the pre-planner execution path.
 	Plan datalog.PlanConfig
+	// Context cancels the run cooperatively: every Run* entry point
+	// polls it throughout the pipeline (BDD operations included) and
+	// returns a resilience.CancelError once it is done. Nil means
+	// context.Background().
+	Context context.Context
+	// Budget bounds the run's resources (live BDD nodes, wall clock,
+	// fixpoint iterations); violations surface as
+	// resilience.BudgetError. The zero value is unlimited.
+	Budget resilience.Budget
+	// CheckpointDir, when set, saves the primary solve's state there at
+	// fixpoint-iteration boundaries. Only the entry point's main solve
+	// checkpoints — auxiliary solves (call-graph discovery inside a
+	// context-sensitive run) do not, so the directory always holds one
+	// unambiguous program's state.
+	CheckpointDir string
+	// Resume restores the primary solve from a checkpoint directory
+	// written by a previous run of the same program.
+	Resume string
+
+	// ctl is the pipeline's one controller, built by the outermost
+	// entry point and shared by every nested phase so budgets are
+	// accounted globally rather than per solve.
+	ctl *resilience.Controller
 }
 
 func (c Config) contextLimit() uint64 {
@@ -44,6 +70,41 @@ func (c Config) contextLimit() uint64 {
 		return 1 << 62
 	}
 	return c.ContextLimit
+}
+
+// withControl returns cfg carrying a live controller, building one from
+// Context + Budget on first use. Entry points call it before anything
+// else; nested Run* calls inherit the already-built controller.
+func (c Config) withControl() Config {
+	if c.ctl == nil {
+		ctx := c.Context
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		c.ctl = resilience.NewController(ctx, c.Budget)
+	}
+	return c
+}
+
+// checkpointOpts applies the checkpoint/resume configuration to the
+// primary solve's options.
+func (c Config) checkpointOpts(opts *datalog.Options) {
+	if c.CheckpointDir != "" {
+		opts.Checkpoint = &resilience.CheckpointConfig{Dir: c.CheckpointDir}
+	}
+	opts.ResumeFrom = c.Resume
+}
+
+// auxConfig strips the checkpoint/resume settings for an auxiliary
+// solve (e.g. call-graph discovery) while keeping the shared controller
+// and observability sinks. Order is dropped too: it describes the
+// primary program's domains.
+func (c Config) auxConfig() Config {
+	return Config{
+		NodeSize: c.NodeSize, CacheSize: c.CacheSize,
+		Plan: c.Plan, Tracer: c.Tracer, Metrics: c.Metrics,
+		Context: c.Context, Budget: c.Budget, ctl: c.ctl,
+	}
 }
 
 func (c Config) order(def []string) []string {
@@ -73,6 +134,14 @@ type Result struct {
 	Facts     *extract.Facts
 	Graph     *callgraph.Graph     // the call graph used (nil for Algorithm 3)
 	Numbering *callgraph.Numbering // context numbering (context-sensitive runs)
+
+	// Degraded marks a graceful degradation: the context-sensitive
+	// analysis ran out of budget (or was canceled) and the result is
+	// the context-insensitive approximation (Algorithm 3) instead —
+	// still sound, just less precise. DegradedCause holds the typed
+	// error that tripped the downgrade.
+	Degraded      bool
+	DegradedCause error
 
 	threadContexts *ThreadContexts
 }
@@ -120,6 +189,7 @@ func baseOptions(f *extract.Facts, cfg Config, order []string) datalog.Options {
 		Plan:                 cfg.Plan,
 		Tracer:               cfg.Tracer,
 		Metrics:              cfg.Metrics,
+		Control:              cfg.ctl,
 	}
 }
 
@@ -167,7 +237,9 @@ func fillCommon(s *datalog.Solver, f *extract.Facts) {
 
 // RunContextInsensitive runs Algorithm 1 (typeFilter=false) or
 // Algorithm 2 (typeFilter=true) over the CHA-precomputed call graph.
-func RunContextInsensitive(f *extract.Facts, typeFilter bool, cfg Config) (*Result, error) {
+func RunContextInsensitive(f *extract.Facts, typeFilter bool, cfg Config) (_ *Result, err error) {
+	cfg = cfg.withControl()
+	defer resilience.Recover(&err)
 	src := Algorithm1Src
 	if typeFilter {
 		src = Algorithm2Src
@@ -176,7 +248,9 @@ func RunContextInsensitive(f *extract.Facts, typeFilter bool, cfg Config) (*Resu
 	if err != nil {
 		return nil, err
 	}
-	s, err := compileTraced(prog, baseOptions(f, cfg, ciOrder), cfg.Tracer)
+	opts := baseOptions(f, cfg, ciOrder)
+	cfg.checkpointOpts(&opts)
+	s, err := compileTraced(prog, opts, cfg.Tracer)
 	if err != nil {
 		return nil, err
 	}
@@ -203,12 +277,16 @@ func compileTraced(prog *datalog.Program, opts datalog.Options, tr obs.Tracer) (
 
 // RunOnTheFly runs Algorithm 3: context-insensitive points-to with call
 // graph discovery.
-func RunOnTheFly(f *extract.Facts, cfg Config) (*Result, error) {
+func RunOnTheFly(f *extract.Facts, cfg Config) (_ *Result, err error) {
+	cfg = cfg.withControl()
+	defer resilience.Recover(&err)
 	prog, err := datalog.Parse(Algorithm3Src + cfg.ExtraSrc)
 	if err != nil {
 		return nil, err
 	}
-	s, err := compileTraced(prog, baseOptions(f, cfg, ciOrder), cfg.Tracer)
+	opts := baseOptions(f, cfg, ciOrder)
+	cfg.checkpointOpts(&opts)
+	s, err := compileTraced(prog, opts, cfg.Tracer)
 	if err != nil {
 		return nil, err
 	}
@@ -226,19 +304,63 @@ func RunOnTheFly(f *extract.Facts, cfg Config) (*Result, error) {
 // call graph — the "pre-computed call graph created, for example, by
 // using a context-insensitive points-to analysis" that Algorithm 5
 // assumes.
-func DiscoverCallGraph(f *extract.Facts, cfg Config) (*callgraph.Graph, error) {
-	obs.Begin(cfg.Tracer, "analysis.discover")
-	defer obs.End(cfg.Tracer)
-	// Note: cfg.Order is not forwarded — it describes the context-
-	// sensitive program's domains, and Algorithm 3 has no C domain.
-	r, err := RunOnTheFly(f, Config{
-		NodeSize: cfg.NodeSize, CacheSize: cfg.CacheSize,
-		Plan: cfg.Plan, Tracer: cfg.Tracer, Metrics: cfg.Metrics,
-	})
+func DiscoverCallGraph(f *extract.Facts, cfg Config) (_ *callgraph.Graph, err error) {
+	cfg = cfg.withControl()
+	defer resilience.Recover(&err)
+	r, err := discoverResult(f, cfg)
 	if err != nil {
 		return nil, err
 	}
-	return GraphFromIE(f, r.Solver.Relation("IE")), nil
+	return r.Graph, nil
+}
+
+// discoverResult runs Algorithm 3 under an auxiliary config (cfg.Order
+// is not forwarded — it describes the context-sensitive program's
+// domains, and Algorithm 3 has no C domain) and keeps the whole Result,
+// graph attached, so context-sensitive callers can reuse it as their
+// degradation fallback.
+func discoverResult(f *extract.Facts, cfg Config) (*Result, error) {
+	obs.Begin(cfg.Tracer, "analysis.discover")
+	defer obs.End(cfg.Tracer)
+	r, err := RunOnTheFly(f, cfg.auxConfig())
+	if err != nil {
+		return nil, err
+	}
+	r.Graph = GraphFromIE(f, r.Solver.Relation("IE"))
+	return r, nil
+}
+
+// degrade implements graceful degradation for the context-sensitive
+// entry points: when the cloned solve exhausts its budget or is
+// canceled, the analysis falls back to the context-insensitive result —
+// still sound, just without context distinctions — instead of failing.
+// ci is the already-computed Algorithm 3 result when call-graph
+// discovery ran (free to reuse); otherwise a fresh bounded-free fallback
+// run is attempted. Internal errors and fallback failures propagate the
+// original cause.
+func degrade(f *extract.Facts, ci *Result, cfg Config, cause error) (*Result, error) {
+	if !errors.Is(cause, resilience.ErrBudgetExceeded) && !errors.Is(cause, resilience.ErrCanceled) {
+		return nil, cause
+	}
+	if cfg.Metrics != nil {
+		cfg.Metrics.Counter("analysis.degraded").Inc()
+	}
+	if ci == nil {
+		// Detach the fallback from the exhausted budget / canceled
+		// context: a degraded answer is only useful if it can finish.
+		fb := cfg.auxConfig()
+		fb.Context = context.Background()
+		fb.Budget = resilience.Budget{}
+		fb.ctl = nil
+		var err error
+		ci, err = RunOnTheFly(f, fb)
+		if err != nil {
+			return nil, cause
+		}
+	}
+	ci.Degraded = true
+	ci.DegradedCause = cause
+	return ci, nil
 }
 
 // runCloned runs a context-sensitive program (Algorithm 5 or 6) over
@@ -246,7 +368,7 @@ func DiscoverCallGraph(f *extract.Facts, cfg Config) (*callgraph.Graph, error) {
 // and hC, then the context-insensitive rules over the expanded graph.
 func runCloned(f *extract.Facts, g *callgraph.Graph, cfg Config, src string) (*Result, error) {
 	obs.Begin(cfg.Tracer, "analysis.numbering")
-	n, err := callgraph.NumberTraced(g, cfg.Tracer)
+	n, err := callgraph.NumberControlled(g, cfg.Tracer, cfg.ctl)
 	obs.End(cfg.Tracer)
 	if err != nil {
 		return nil, err
@@ -256,6 +378,7 @@ func runCloned(f *extract.Facts, g *callgraph.Graph, cfg Config, src string) (*R
 		return nil, err
 	}
 	opts := baseOptions(f, cfg, csOrder)
+	cfg.checkpointOpts(&opts)
 	opts.DomainSizes["C"] = n.ContextDomainSize(cfg.contextLimit())
 	s, err := compileTraced(prog, opts, cfg.Tracer)
 	if err != nil {
@@ -297,35 +420,56 @@ func runCloned(f *extract.Facts, g *callgraph.Graph, cfg Config, src string) (*R
 }
 
 // RunContextSensitive runs Algorithm 5. When g is nil the call graph is
-// discovered first with Algorithm 3.
-func RunContextSensitive(f *extract.Facts, g *callgraph.Graph, cfg Config) (*Result, error) {
+// discovered first with Algorithm 3. If the context-sensitive solve
+// runs out of budget or is canceled, the analysis degrades gracefully:
+// the returned Result carries the context-insensitive answer with
+// Degraded set (see Result.Degraded).
+func RunContextSensitive(f *extract.Facts, g *callgraph.Graph, cfg Config) (_ *Result, err error) {
+	cfg = cfg.withControl()
+	defer resilience.Recover(&err)
+	var ci *Result // Algorithm 3 result, reused on degradation
 	if g == nil {
-		var err error
-		g, err = DiscoverCallGraph(f, cfg)
+		ci, err = discoverResult(f, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("analysis: call graph discovery: %w", err)
 		}
+		g = ci.Graph
 	}
-	return runCloned(f, g, cfg, Algorithm5Src)
+	r, err := runCloned(f, g, cfg, Algorithm5Src)
+	if err != nil {
+		return degrade(f, ci, cfg, err)
+	}
+	return r, nil
 }
 
 // RunContextSensitiveOnTheFly runs the Section 4.2 variant: Algorithm 4
 // numbers a conservative CHA call graph, and the context-sensitive
 // solve discovers which of its invocation edges are actually live
 // (relation IECd) while computing vPC.
-func RunContextSensitiveOnTheFly(f *extract.Facts, cfg Config) (*Result, error) {
-	return runCloned(f, CHACallGraph(f), cfg, Algorithm5OTFSrc)
+func RunContextSensitiveOnTheFly(f *extract.Facts, cfg Config) (_ *Result, err error) {
+	cfg = cfg.withControl()
+	defer resilience.Recover(&err)
+	r, err := runCloned(f, CHACallGraph(f), cfg, Algorithm5OTFSrc)
+	if err != nil {
+		// No Algorithm 3 result exists here; degrade runs one afresh.
+		return degrade(f, nil, cfg, err)
+	}
+	return r, nil
 }
 
 // RunTypeAnalysisCI runs the context-insensitive (0-CFA-like) type
 // analysis of Section 5.5 over the CHA call graph — the base analysis
 // that Algorithm 6 makes context-sensitive by cloning.
-func RunTypeAnalysisCI(f *extract.Facts, cfg Config) (*Result, error) {
+func RunTypeAnalysisCI(f *extract.Facts, cfg Config) (_ *Result, err error) {
+	cfg = cfg.withControl()
+	defer resilience.Recover(&err)
 	prog, err := datalog.Parse(TypeAnalysisCISrc + cfg.ExtraSrc)
 	if err != nil {
 		return nil, err
 	}
-	s, err := compileTraced(prog, baseOptions(f, cfg, ciOrder), cfg.Tracer)
+	opts := baseOptions(f, cfg, ciOrder)
+	cfg.checkpointOpts(&opts)
+	s, err := compileTraced(prog, opts, cfg.Tracer)
 	if err != nil {
 		return nil, err
 	}
@@ -344,9 +488,10 @@ func RunTypeAnalysisCI(f *extract.Facts, cfg Config) (*Result, error) {
 
 // RunTypeAnalysis runs Algorithm 6, the context-sensitive type
 // analysis. When g is nil the call graph is discovered first.
-func RunTypeAnalysis(f *extract.Facts, g *callgraph.Graph, cfg Config) (*Result, error) {
+func RunTypeAnalysis(f *extract.Facts, g *callgraph.Graph, cfg Config) (_ *Result, err error) {
+	cfg = cfg.withControl()
+	defer resilience.Recover(&err)
 	if g == nil {
-		var err error
 		g, err = DiscoverCallGraph(f, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("analysis: call graph discovery: %w", err)

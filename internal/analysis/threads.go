@@ -8,6 +8,7 @@ import (
 	"bddbddb/internal/datalog"
 	"bddbddb/internal/extract"
 	"bddbddb/internal/obs"
+	"bddbddb/internal/resilience"
 )
 
 // ThreadContexts is the Section 5.6 context scheme: context 0 holds the
@@ -109,9 +110,10 @@ func heapType(f *extract.Facts, h uint64) uint64 {
 // RunThreadEscape runs Algorithm 7 plus the escaped/captured/
 // neededSyncs queries. When g is nil the call graph is discovered with
 // Algorithm 3 first.
-func RunThreadEscape(f *extract.Facts, g *callgraph.Graph, cfg Config) (*Result, error) {
+func RunThreadEscape(f *extract.Facts, g *callgraph.Graph, cfg Config) (_ *Result, err error) {
+	cfg = cfg.withControl()
+	defer resilience.Recover(&err)
 	if g == nil {
-		var err error
 		g, err = DiscoverCallGraph(f, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("analysis: call graph discovery: %w", err)
@@ -126,6 +128,7 @@ func RunThreadEscape(f *extract.Facts, g *callgraph.Graph, cfg Config) (*Result,
 		return nil, err
 	}
 	opts := baseOptions(f, cfg, ctOrder)
+	cfg.checkpointOpts(&opts)
 	opts.DomainSizes["CT"] = tc.NumContexts
 	s, err := compileTraced(prog, opts, cfg.Tracer)
 	if err != nil {

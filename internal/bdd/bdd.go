@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"bddbddb/internal/obs"
+	"bddbddb/internal/resilience"
 )
 
 // Node is a handle to a BDD node: an index into its Manager's arena.
@@ -102,8 +103,9 @@ type Manager struct {
 	domains []*Domain
 	varSets map[string]Node // interned varsets by key, kept referenced
 
-	stats  Stats
-	tracer obs.Tracer
+	stats   Stats
+	tracer  obs.Tracer
+	control *resilience.Controller
 
 	// minFreeAfterGC: if a GC leaves fewer free slots than this fraction
 	// of the table (in percent), the next allocation failure grows the
@@ -162,7 +164,7 @@ func (m *Manager) initTable(n int) {
 // Variables are identified by their level: 0 is the topmost.
 func (m *Manager) AddVars(n int) int32 {
 	if n < 0 {
-		panic("bdd: AddVars with negative count")
+		panic(fmt.Sprintf("bdd: AddVars with negative count %d (have %d vars)", n, m.nvars))
 	}
 	first := m.nvars
 	m.nvars += int32(n)
@@ -178,6 +180,15 @@ func (m *Manager) NumVars() int { return int(m.nvars) }
 // path: per-operation work never touches the tracer, and the rare
 // events guard with one nil check.
 func (m *Manager) SetTracer(t obs.Tracer) { m.tracer = t }
+
+// SetControl attaches a resilience controller. The manager polls it for
+// cancellation inside the recursive operations (apply, relprod, rename)
+// and enforces its live-node budget at table growth and after every GC —
+// the two places the live count actually changes class. A nil controller
+// (the default) restores the unchecked behavior. Violations abort by
+// panicking with a typed error that resilience.Recover at the public
+// entry points converts back into an error return.
+func (m *Manager) SetControl(c *resilience.Controller) { m.control = c }
 
 // Stats returns a snapshot of cumulative manager statistics.
 func (m *Manager) Stats() Stats {
@@ -279,7 +290,8 @@ func (m *Manager) makeNode(level int32, low, high Node) Node {
 		panic(fmt.Sprintf("bdd: makeNode level %d out of range [0,%d)", level, m.nvars))
 	}
 	if m.nodes[low].level <= level || m.nodes[high].level <= level {
-		panic("bdd: makeNode children above parent level (order violation)")
+		panic(fmt.Sprintf("bdd: makeNode order violation: parent level %d, children at levels %d (low) and %d (high)",
+			level, m.nodes[low].level, m.nodes[high].level))
 	}
 	b := int32(bucketHash(level, low, high) & uint64(len(m.nodes)-1))
 	for i := m.nodes[b].hash; i != -1; i = m.nodes[i].next {
@@ -304,7 +316,13 @@ func (m *Manager) makeNode(level int32, low, high Node) Node {
 
 // grow doubles the arena and rehashes every live node. Node indices are
 // stable across growth, so operation caches stay valid.
+//
+// This is also the node-budget enforcement point: grow only runs when
+// every slot is live, so the live count here is the table size, and
+// refusing to grow caps live nodes at one doubling past the budget.
 func (m *Manager) grow() {
+	resilience.FaultPoint(resilience.FaultBDDGrow)
+	m.control.CheckNodes(m.LiveNodes())
 	old := len(m.nodes)
 	m.stats.Grows++
 	if t := m.tracer; t != nil {
@@ -405,6 +423,9 @@ func (m *Manager) GC() int {
 			"table": float64(len(m.nodes)),
 		})
 	}
+	// A collection that cannot get under the budget means the referenced
+	// state alone exceeds it: stop here rather than thrash GC/grow.
+	m.control.CheckNodes(live + 2)
 	return live + 2
 }
 
@@ -435,7 +456,7 @@ func (m *Manager) Eval(n Node, assignment []bool) bool {
 	for n > 1 {
 		lv := m.nodes[n].level
 		if int(lv) >= len(assignment) {
-			panic("bdd: Eval assignment too short for node support")
+			panic(fmt.Sprintf("bdd: Eval assignment has %d values but node depends on level %d", len(assignment), lv))
 		}
 		if assignment[lv] {
 			n = m.nodes[n].high

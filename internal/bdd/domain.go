@@ -36,7 +36,7 @@ func bitsFor(size uint64) int {
 // cannot be used to build BDDs.
 func (m *Manager) DeclareDomain(name string, size uint64) *Domain {
 	if size == 0 {
-		panic("bdd: domain size must be positive")
+		panic(fmt.Sprintf("bdd: domain %q declared with size 0; sizes must be positive", name))
 	}
 	for _, d := range m.domains {
 		if d.Name == name {

@@ -1,0 +1,179 @@
+package bdd
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+
+	"bddbddb/internal/resilience"
+)
+
+// buildSample constructs a manager with a few variables and a pair of
+// structurally-sharing functions to dump.
+func buildSample(t *testing.T) (*Manager, []Node) {
+	t.Helper()
+	m := New(1<<10, 1<<8)
+	m.AddVars(6)
+	x0, x1, x2 := m.Var(0), m.Var(1), m.Var(2)
+	a := m.And(x0, x1) // x0 ∧ x1
+	b := m.Or(a, x2)   // shares a's DAG
+	c := m.Xor(x1, x2) // independent
+	return m, []Node{a, b, c, True, False}
+}
+
+func TestDAGRoundTripSameManager(t *testing.T) {
+	m, roots := buildSample(t)
+	var buf bytes.Buffer
+	if err := m.WriteDAG(&buf, roots); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.ReadDAG(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(roots) {
+		t.Fatalf("got %d roots, want %d", len(got), len(roots))
+	}
+	// Hash-consing makes equality literal: the same function is the
+	// same node index within one manager.
+	for i := range roots {
+		if got[i] != roots[i] {
+			t.Fatalf("root %d: got node %d, want %d", i, got[i], roots[i])
+		}
+	}
+}
+
+func TestDAGRoundTripFreshManager(t *testing.T) {
+	m, roots := buildSample(t)
+	var buf bytes.Buffer
+	if err := m.WriteDAG(&buf, roots); err != nil {
+		t.Fatal(err)
+	}
+	m2 := New(1<<10, 1<<8)
+	m2.AddVars(6)
+	got, err := m2.ReadDAG(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare by truth table over the 6 variables.
+	assign := make([]bool, 6)
+	for bits := 0; bits < 1<<6; bits++ {
+		for i := range assign {
+			assign[i] = bits&(1<<i) != 0
+		}
+		for r := range roots {
+			if m.Eval(roots[r], assign) != m2.Eval(got[r], assign) {
+				t.Fatalf("root %d differs at assignment %06b", r, bits)
+			}
+		}
+	}
+	// Roots must come back referenced: a GC must not reclaim them.
+	m2.GC()
+	for r, n := range got {
+		if n > 1 && m2.nodes[n].low == freeMark {
+			t.Fatalf("root %d collected after GC", r)
+		}
+	}
+}
+
+func TestDAGReadRejectsGarbage(t *testing.T) {
+	m := New(1<<10, 1<<8)
+	m.AddVars(2)
+	if _, err := m.ReadDAG(bytes.NewReader([]byte("not a dump at all"))); err == nil {
+		t.Fatal("want magic error")
+	}
+}
+
+func TestDAGReadRejectsForeignLevels(t *testing.T) {
+	m, roots := buildSample(t)
+	var buf bytes.Buffer
+	if err := m.WriteDAG(&buf, roots); err != nil {
+		t.Fatal(err)
+	}
+	small := New(1<<10, 1<<8)
+	small.AddVars(1) // dump uses levels up to 2
+	if _, err := small.ReadDAG(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("want level-range error")
+	}
+}
+
+func TestControlNodeBudgetTripsAtGrow(t *testing.T) {
+	run := func() (err error) {
+		defer resilience.Recover(&err)
+		m := New(1<<10, 1<<8)
+		m.SetControl(resilience.NewController(context.Background(),
+			resilience.Budget{MaxLiveNodes: 1 << 9}))
+		m.AddVars(40)
+		// Parity of 40 variables blows well past 2^9 nodes via growth.
+		f := False
+		for i := int32(0); i < 40; i++ {
+			v := m.Var(i)
+			nf := m.Xor(f, v)
+			m.Deref(f)
+			m.Deref(v)
+			f = nf
+		}
+		return nil
+	}
+	err := run()
+	if !errors.Is(err, resilience.ErrBudgetExceeded) {
+		t.Fatalf("want ErrBudgetExceeded, got %v", err)
+	}
+	var be *resilience.BudgetError
+	if !errors.As(err, &be) || be.Resource != "nodes" {
+		t.Fatalf("want nodes resource, got %v", err)
+	}
+}
+
+func TestControlCancelTripsInApply(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	run := func() (err error) {
+		defer resilience.Recover(&err)
+		m := New(1<<16, 1<<10)
+		m.SetControl(resilience.NewController(ctx, resilience.Budget{}))
+		m.AddVars(40)
+		cancel() // cancel before the heavy work; the poll stride must notice
+		f := False
+		for i := int32(0); i < 40; i++ {
+			v := m.Var(i)
+			nf := m.Xor(f, v)
+			m.Deref(f)
+			m.Deref(v)
+			f = nf
+		}
+		// Hammer apply enough times to pass the poll stride even with
+		// small operands.
+		for i := 0; i < 1<<16; i++ {
+			m.Deref(m.And(f, f))
+		}
+		return nil
+	}
+	err := run()
+	if !errors.Is(err, resilience.ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+}
+
+func TestGrowFaultPoint(t *testing.T) {
+	fired := 0
+	restore := resilience.SetFaultHook(func(name string) {
+		if name == resilience.FaultBDDGrow {
+			fired++
+		}
+	})
+	defer restore()
+	m := New(1<<10, 1<<8)
+	m.AddVars(40)
+	f := False
+	for i := int32(0); i < 40; i++ {
+		v := m.Var(i)
+		nf := m.Xor(f, v)
+		m.Deref(f)
+		m.Deref(v)
+		f = nf
+	}
+	if fired == 0 {
+		t.Fatal("bdd.grow fault point never fired despite table growth")
+	}
+}

@@ -126,7 +126,7 @@ func applyTerminal(a, b Node, op int32) (Node, bool) {
 		case opBiimp:
 			r = av == bv
 		default:
-			panic("bdd: bad op")
+			panic(fmt.Sprintf("bdd: applyTerminal called with non-boolean op code %d", op))
 		}
 		if r {
 			return True, true
@@ -137,6 +137,7 @@ func applyTerminal(a, b Node, op int32) (Node, bool) {
 }
 
 func (m *Manager) apply(a, b Node, op int32) Node {
+	m.control.Poll()
 	if r, ok := applyTerminal(a, b, op); ok {
 		return r
 	}
@@ -251,6 +252,7 @@ func (m *Manager) MakeSet(levels []int32) Node {
 func (m *Manager) Exist(a, varset Node) Node { return m.Ref(m.exist(a, varset)) }
 
 func (m *Manager) exist(a, vs Node) Node {
+	m.control.Poll()
 	if a <= 1 || vs == True {
 		return a
 	}
@@ -285,6 +287,7 @@ func (m *Manager) AndExist(a, b, varset Node) Node {
 }
 
 func (m *Manager) andExist(a, b, vs Node) Node {
+	m.control.Poll()
 	if a == False || b == False {
 		return False
 	}
@@ -384,7 +387,8 @@ func (m *Manager) SatCountIn(a Node, vars []int32) *big.Int {
 	pos := make(map[int32]int, len(vars))
 	for i, v := range vars {
 		if i > 0 && vars[i-1] >= v {
-			panic("bdd: SatCountIn vars must be sorted ascending and unique")
+			panic(fmt.Sprintf("bdd: SatCountIn vars must be sorted ascending and unique (vars[%d]=%d, vars[%d]=%d)",
+				i-1, vars[i-1], i, v))
 		}
 		pos[v] = i
 	}
@@ -442,7 +446,8 @@ func (m *Manager) AllSat(a Node, vars []int32, fn func(values []bool) bool) {
 		}
 		if idx == len(vars) {
 			if n != True {
-				panic("bdd: AllSat: node depends on level outside vars")
+				panic(fmt.Sprintf("bdd: AllSat: node at level %d depends on a level outside the %d given vars",
+					m.nodes[n].level, len(vars)))
 			}
 			return fn(values)
 		}

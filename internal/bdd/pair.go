@@ -64,6 +64,7 @@ func (m *Manager) Replace(a Node, p *Pair) Node {
 }
 
 func (m *Manager) replace(a Node, p *Pair) Node {
+	m.control.Poll()
 	if a <= 1 {
 		return a
 	}
@@ -90,7 +91,8 @@ func (m *Manager) correctify(level int32, low, high Node) Node {
 		return m.makeNode(level, low, high)
 	}
 	if level == ll || level == lh {
-		panic(fmt.Sprintf("bdd: replace would collapse level %d onto itself", level))
+		panic(fmt.Sprintf("bdd: replace would collapse destination level %d onto a child root (low at level %d, high at level %d): renaming is not injective at this level",
+			level, ll, lh))
 	}
 	if ll == lh {
 		l := m.correctify(level, m.nodes[low].low, m.nodes[high].low)

@@ -14,6 +14,7 @@ import (
 	"math/big"
 
 	"bddbddb/internal/obs"
+	"bddbddb/internal/resilience"
 )
 
 // Edge is one invocation edge: invocation site Invoke (an I index) in
@@ -158,6 +159,16 @@ func Number(g *Graph) (*Numbering, error) { return NumberTraced(g, nil) }
 // NumberTraced is Number with its two phases — SCC reduction and the
 // numbering walk — emitted as spans on tr (nil tr traces nothing).
 func NumberTraced(g *Graph, tr obs.Tracer) (*Numbering, error) {
+	return NumberControlled(g, tr, nil)
+}
+
+// NumberControlled is NumberTraced polling ctl for cancellation across
+// the per-edge loops — on graphs with hundreds of thousands of
+// invocation edges the numbering walk is the one pure-Go phase long
+// enough to need its own polls (the materialization loops in iec.go are
+// covered by the BDD manager's control instead). A nil ctl costs
+// nothing.
+func NumberControlled(g *Graph, tr obs.Tracer, ctl *resilience.Controller) (*Numbering, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
@@ -176,6 +187,7 @@ func NumberTraced(g *Graph, tr obs.Tracer) (*Numbering, error) {
 	// ("we shall visit the invocation edges from left to right").
 	incoming := make([][]int, nComp)
 	for ei, e := range g.Edges {
+		ctl.Poll()
 		cc, ce := comp[e.Caller], comp[e.Callee]
 		if cc != ce {
 			incoming[ce] = append(incoming[ce], ei)
@@ -197,6 +209,7 @@ func NumberTraced(g *Graph, tr obs.Tracer) (*Numbering, error) {
 	maps := make([]EdgeMap, len(g.Edges))
 	one := big.NewInt(1)
 	for _, c := range order {
+		ctl.Poll()
 		total := new(big.Int)
 		// Entry components (and isolated roots) own context 1.
 		if isEntry[c] || len(incoming[c]) == 0 {

@@ -23,6 +23,10 @@
 //	       literals
 //	DL030  negation inside a recursive cycle (program not stratified),
 //	       reported with the actual predicate cycle
+//	DL110  malformed tuple input: a row in a <relation>.tuples file
+//	       has the wrong arity, a non-numeric field, or a value outside
+//	       its attribute's domain (positions are file:line within the
+//	       .tuples file, not the program)
 //	DL100  warning: relation declared but never used by any rule
 //	DL101  warning: input relation also derived by a rule
 //	DL102  warning: rule can never fire (reads a relation that is
@@ -53,6 +57,7 @@ const (
 	CodeRuleSafety = "DL020"
 	CodeNegSafety  = "DL021"
 	CodeStratify   = "DL030"
+	CodeTupleInput = "DL110"
 	CodeUnusedRel  = "DL100"
 	CodeInputHead  = "DL101"
 	CodeNeverFires = "DL102"

@@ -1,0 +1,214 @@
+package datalog
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"bddbddb/internal/resilience"
+)
+
+// chainSrc computes transitive closure over a chain. The recursive
+// rule extends paths by one edge per round, so a chain of length n
+// takes Θ(n) fixpoint iterations — plenty of checkpoint boundaries.
+const chainSrc = `
+.domain V 64
+.relation e(a:V, b:V) input
+.relation path(a:V, b:V) output
+path(x,y) :- e(x,y).
+path(x,z) :- path(x,y), e(y,z).
+`
+
+func fillChain(s *Solver, n uint64) {
+	e := s.Relation("e")
+	for i := uint64(0); i+1 < n; i++ {
+		e.AddTuple(i, i+1)
+	}
+}
+
+// solveChainClean runs the program uninterrupted and returns path's
+// tuples plus the iteration count.
+func solveChainClean(t *testing.T, n uint64, opts Options) ([][]uint64, int) {
+	t.Helper()
+	s, err := NewSolver(MustParse(chainSrc), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillChain(s, n)
+	if err := s.Solve(); err != nil {
+		t.Fatal(err)
+	}
+	return s.Relation("path").Tuples(), s.Stats().Iterations
+}
+
+func TestCheckpointResumeReachesSameFixpoint(t *testing.T) {
+	const n = 24
+	want, fullIters := solveChainClean(t, n, Options{})
+	if fullIters < 10 {
+		t.Fatalf("chain too short to exercise checkpoints: %d iterations", fullIters)
+	}
+
+	// Interrupted run: checkpoint every iteration, and make the fourth
+	// checkpoint write trip a budget abort — three checkpoints survive.
+	dir := t.TempDir()
+	writes := 0
+	restore := resilience.SetFaultHook(func(name string) {
+		if name == resilience.FaultCheckpointWrite {
+			writes++
+			if writes > 3 {
+				resilience.Abort(&resilience.BudgetError{Resource: "nodes", Limit: 1, Used: 2})
+			}
+		}
+	})
+	s, err := NewSolver(MustParse(chainSrc), Options{
+		Checkpoint: &resilience.CheckpointConfig{Dir: dir},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillChain(s, n)
+	err = s.Solve()
+	restore()
+	if !errors.Is(err, resilience.ErrBudgetExceeded) {
+		t.Fatalf("interrupted solve: want ErrBudgetExceeded, got %v", err)
+	}
+
+	// The checkpoint on disk must be loadable and resume to the exact
+	// fixpoint of the uninterrupted run.
+	man, err := resilience.ReadManifest(dir)
+	if err != nil {
+		t.Fatalf("surviving checkpoint unreadable: %v", err)
+	}
+	if man.Iteration == 0 || len(man.Deltas) == 0 {
+		t.Fatalf("expected a mid-stratum checkpoint, got %+v", man)
+	}
+	s2, err := NewSolver(MustParse(chainSrc), Options{ResumeFrom: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No fillChain: the checkpoint carries the relations.
+	if err := s2.Solve(); err != nil {
+		t.Fatal(err)
+	}
+	got := s2.Relation("path").Tuples()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("resumed fixpoint differs: %d tuples vs %d", len(got), len(want))
+	}
+	if resumed := s2.Stats().Iterations; resumed >= fullIters {
+		t.Fatalf("resume did not skip completed work: %d iterations vs %d full", resumed, fullIters)
+	}
+}
+
+func TestResumeFromStratumBoundary(t *testing.T) {
+	const n = 12
+	want, _ := solveChainClean(t, n, Options{})
+	dir := t.TempDir()
+	s, err := NewSolver(MustParse(chainSrc), Options{
+		Checkpoint: &resilience.CheckpointConfig{Dir: dir},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillChain(s, n)
+	if err := s.Solve(); err != nil {
+		t.Fatal(err)
+	}
+	// The final checkpoint marks every stratum complete; resuming from
+	// it must immediately reproduce the finished result.
+	s2, err := NewSolver(MustParse(chainSrc), Options{ResumeFrom: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Solve(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.Relation("path").Tuples(); !reflect.DeepEqual(got, want) {
+		t.Fatal("stratum-boundary resume lost tuples")
+	}
+	if it := s2.Stats().Iterations; it != 0 {
+		t.Fatalf("complete checkpoint should resume with 0 iterations, ran %d", it)
+	}
+}
+
+func TestResumeRejectsDifferentProgram(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewSolver(MustParse(chainSrc), Options{
+		Checkpoint: &resilience.CheckpointConfig{Dir: dir},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillChain(s, 8)
+	if err := s.Solve(); err != nil {
+		t.Fatal(err)
+	}
+	other := MustParse(`
+.domain V 64
+.relation e(a:V, b:V) input
+.relation path(a:V, b:V) output
+path(x,y) :- e(x,y).
+path(x,z) :- path(x,y), path(y,z).
+`)
+	s2, err := NewSolver(other, Options{ResumeFrom: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Solve(); err == nil {
+		t.Fatal("resume accepted a checkpoint from a different program")
+	}
+}
+
+func TestSolveCancelReturnsTypedError(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	s, err := NewSolver(MustParse(chainSrc), Options{
+		Control: resilience.NewController(ctx, resilience.Budget{}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillChain(s, 24)
+	cancel()
+	err = s.Solve()
+	if !errors.Is(err, resilience.ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+}
+
+func TestSolveIterationBudget(t *testing.T) {
+	s, err := NewSolver(MustParse(chainSrc), Options{
+		Control: resilience.NewController(context.Background(),
+			resilience.Budget{MaxIterations: 3}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillChain(s, 24)
+	err = s.Solve()
+	var be *resilience.BudgetError
+	if !errors.As(err, &be) || be.Resource != "iterations" {
+		t.Fatalf("want iterations budget error, got %v", err)
+	}
+}
+
+func TestStratumFaultPointPanicBecomesInternalError(t *testing.T) {
+	restore := resilience.SetFaultHook(func(name string) {
+		if name == resilience.FaultStratumStart {
+			panic("injected stratum failure")
+		}
+	})
+	defer restore()
+	s, err := NewSolver(MustParse(chainSrc), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillChain(s, 8)
+	err = s.Solve()
+	if !errors.Is(err, resilience.ErrInternal) {
+		t.Fatalf("want ErrInternal, got %v", err)
+	}
+	var ie *resilience.InternalError
+	if !errors.As(err, &ie) || ie.Panic != "injected stratum failure" {
+		t.Fatalf("panic value lost: %v", err)
+	}
+}

@@ -20,6 +20,9 @@ import (
 // freed here, and a still-borrowed final accumulator is cloned (a
 // reference bump) so the caller's Free stays safe.
 func (s *Solver) execPlan(cr *compiledRule, p *plan.Plan, delta *rel.Relation) *rel.Relation {
+	// One coarse cancellation/budget check per rule application; the
+	// fine-grained strided polls live inside the BDD recursions.
+	s.opts.Control.Check()
 	ro := s.ruleObs[cr.rule]
 	start := time.Now()
 	if s.tr != nil {

@@ -100,6 +100,11 @@ func NewNaiveSolver(prog *Program, opts Options) (*NaiveSolver, error) {
 }
 
 // AddTuple loads one input tuple before Solve.
+//
+// Panic audit: the panics below guard the Go API, not user input. The
+// naive solver is driven by tests and the analysis pipeline, which take
+// relation names and arities from program declarations; external tuple
+// files are validated (DL110) before any Add call in cmd/bddbddb.
 func (ns *NaiveSolver) AddTuple(relName string, vals ...uint64) {
 	t := ns.rels[relName]
 	if t == nil {

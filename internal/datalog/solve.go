@@ -13,6 +13,7 @@ import (
 	"bddbddb/internal/datalog/plan"
 	"bddbddb/internal/obs"
 	"bddbddb/internal/rel"
+	"bddbddb/internal/resilience"
 )
 
 // PlanConfig selects which planner passes run; see plan.Config. The
@@ -67,6 +68,19 @@ type Options struct {
 	// a registry shared across several solves keeps the last solve's
 	// numbers per key.
 	Metrics *obs.Metrics
+	// Control, when set, is polled for cancellation and resource budgets
+	// throughout evaluation: inside the BDD operations, per rule
+	// application, and per fixpoint iteration (which also counts toward
+	// Budget.MaxIterations). Violations surface from Solve as typed
+	// errors (resilience.ErrCanceled / ErrBudgetExceeded).
+	Control *resilience.Controller
+	// Checkpoint, when set, saves the solver state into Checkpoint.Dir
+	// at fixpoint-iteration and stratum boundaries.
+	Checkpoint *resilience.CheckpointConfig
+	// ResumeFrom, when set, restores a checkpoint directory written by a
+	// previous run of the same program (verified by fingerprint) and
+	// continues the evaluation from it instead of starting fresh.
+	ResumeFrom string
 }
 
 // SolverStats reports the work a Solve performed; the benchmark harness
@@ -287,6 +301,7 @@ func NewSolver(prog *Program, opts Options) (*Solver, error) {
 		return nil, err
 	}
 	s.u.M.SetTracer(opts.Tracer)
+	s.u.M.SetControl(opts.Control)
 	// Materialize declared relations on their natural instances.
 	for _, rd := range prog.Relations {
 		attrs := make([]rel.Attr, len(rd.Attrs))
@@ -318,6 +333,13 @@ func (s *Solver) Universe() *rel.Universe { return s.u }
 // Relation returns the live relation for a declared predicate. Fill
 // input relations before Solve; read outputs after. The solver owns the
 // relation; do not Free it.
+//
+// Panic audit: the unknown-relation panic here (and in
+// ReplaceRelation) is a Go-API contract, not a user-input path — every
+// caller passes names taken from the parsed program's own declarations
+// (which the semantic checker has already validated), so user Datalog
+// text cannot reach it. User-facing name errors are DL002 diagnostics
+// from the checker.
 func (s *Solver) Relation(name string) *rel.Relation {
 	r := s.rels[name]
 	if r == nil {
@@ -395,8 +417,13 @@ func (s *Solver) resolveConst(t Term, domain string) (uint64, error) {
 	}
 }
 
-// Solve evaluates the program to fixpoint, stratum by stratum.
-func (s *Solver) Solve() error {
+// Solve evaluates the program to fixpoint, stratum by stratum. A
+// cancellation or budget violation (Options.Control) aborts out of the
+// BDD recursions by panicking with a typed error; the Recover boundary
+// here converts it back into an error return, so Solve never lets a
+// resilience abort — or any other panic — escape as a panic.
+func (s *Solver) Solve() (err error) {
+	defer resilience.Recover(&err)
 	if s.solved {
 		return fmt.Errorf("datalog: Solve called twice")
 	}
@@ -407,12 +434,35 @@ func (s *Solver) Solve() error {
 			obs.A("rules", len(s.prog.Rules)), obs.A("strata", len(s.strata)))
 		defer func() { s.tr.End() }()
 	}
-	if err := s.applyFacts(); err != nil {
-		return err
+	var rs *resumeState
+	if s.opts.ResumeFrom != "" {
+		rs, err = s.loadCheckpoint(s.opts.ResumeFrom)
+		if err != nil {
+			return err
+		}
+	}
+	if rs == nil {
+		// Facts are part of the checkpointed relations; resumed runs
+		// must not re-apply them.
+		if err := s.applyFacts(); err != nil {
+			return err
+		}
 	}
 	for i, st := range s.strata {
-		if err := s.solveStratum(i, st); err != nil {
+		if rs != nil && i < rs.stratum {
+			continue // final in the checkpoint
+		}
+		var mid *resumeState
+		if rs != nil && i == rs.stratum && rs.deltas != nil {
+			mid = rs
+		}
+		if err := s.solveStratum(i, st, mid); err != nil {
 			return err
+		}
+		if s.opts.Checkpoint != nil {
+			if err := s.writeCheckpoint(i+1, 0, nil); err != nil {
+				return err
+			}
 		}
 	}
 	s.reg.Timer(keySolve).Observe(time.Since(start))
@@ -465,7 +515,14 @@ func (s *Solver) applyFacts() error {
 	return nil
 }
 
-func (s *Solver) solveStratum(idx int, st *stratum) error {
+// solveStratum evaluates one stratum to fixpoint. resume, when non-nil,
+// seeds the semi-naive frontier from a checkpoint taken mid-stratum:
+// the base rules already ran before the checkpoint (their output is in
+// the restored relations), so evaluation continues straight into the
+// delta iterations.
+func (s *Solver) solveStratum(idx int, st *stratum, resume *resumeState) error {
+	resilience.FaultPoint(resilience.FaultStratumStart)
+	s.opts.Control.Check()
 	if s.tr != nil {
 		s.tr.Begin(fmt.Sprintf("stratum %d", idx), obs.A("rules", len(st.rules)))
 		defer func() { s.tr.End() }()
@@ -507,21 +564,26 @@ func (s *Solver) solveStratum(idx int, st *stratum) error {
 			cr.clearCaches(s.u.M)
 		}
 	}()
-	for _, cr := range base {
-		res := s.execPlan(cr, cr.plans[-1], nil)
-		head := s.rels[cr.rule.Head.Pred]
-		fresh := res.Minus("fresh", head)
-		res.Free()
-		s.countDelta(cr.rule, fresh)
-		head.UnionWith(fresh)
-		fresh.Free()
+	if resume == nil {
+		for _, cr := range base {
+			res := s.execPlan(cr, cr.plans[-1], nil)
+			head := s.rels[cr.rule.Head.Pred]
+			fresh := res.Minus("fresh", head)
+			res.Free()
+			s.countDelta(cr.rule, fresh)
+			head.UnionWith(fresh)
+			fresh.Free()
+		}
 	}
 	if len(recur) == 0 {
 		return nil
 	}
 	if s.opts.NoIncrementalization {
+		var iter int64
 		for {
+			iter++
 			s.cIters.Inc()
+			s.opts.Control.AddIteration()
 			if s.tr != nil {
 				s.tr.Begin(fmt.Sprintf("iteration %d", s.cIters.Value()))
 			}
@@ -542,21 +604,40 @@ func (s *Solver) solveStratum(idx int, st *stratum) error {
 			if s.tr != nil {
 				s.tr.End(obs.A("changed", changed))
 			}
+			// Naive mode has no delta frontier: a mid-stratum checkpoint
+			// saves just the relations, and resuming re-runs the stratum
+			// from them (monotonicity makes the re-run converge to the
+			// same fixpoint).
+			if changed && s.opts.Checkpoint.Due(int(iter)) {
+				if err := s.writeCheckpoint(idx, 0, nil); err != nil {
+					return err
+				}
+			}
 			if !changed {
 				return nil
 			}
 		}
 	}
-	// Semi-naive iteration: deltas start at the current values.
-	delta := make(map[string]*rel.Relation)
-	for _, p := range st.preds {
-		if r, ok := s.rels[p]; ok {
-			delta[p] = r.Clone("Δ" + p)
+	// Semi-naive iteration: deltas start at the current values (or, on
+	// resume, at the checkpointed frontier).
+	var delta map[string]*rel.Relation
+	var iter int64
+	if resume != nil {
+		delta = resume.deltas
+		iter = resume.iter
+	} else {
+		delta = make(map[string]*rel.Relation)
+		for _, p := range st.preds {
+			if r, ok := s.rels[p]; ok {
+				delta[p] = r.Clone("Δ" + p)
+			}
 		}
 	}
-	first := true
+	first := resume == nil
 	for {
+		iter++
 		s.cIters.Inc()
+		s.opts.Control.AddIteration()
 		if s.tr != nil {
 			s.tr.Begin(fmt.Sprintf("iteration %d", s.cIters.Value()))
 		}
@@ -624,6 +705,11 @@ func (s *Solver) solveStratum(idx int, st *stratum) error {
 				d.Free()
 			}
 			return nil
+		}
+		if s.opts.Checkpoint.Due(int(iter)) {
+			if err := s.writeCheckpoint(idx, iter, delta); err != nil {
+				return err
+			}
 		}
 	}
 }

@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/big"
@@ -17,6 +18,7 @@ import (
 	"bddbddb/internal/callgraph"
 	"bddbddb/internal/extract"
 	"bddbddb/internal/obs"
+	"bddbddb/internal/resilience"
 	"bddbddb/internal/synth"
 )
 
@@ -33,6 +35,10 @@ type Suite struct {
 	mu    sync.Mutex
 	cache map[string]*Prepared
 	tr    obs.Tracer // forwarded to every analysis run; see SetObs
+
+	// ctx and budget bound every analysis run; see SetControl.
+	ctx    context.Context
+	budget resilience.Budget
 }
 
 // NewSuite returns an empty suite.

@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 
 	"bddbddb/internal/analysis"
 	"bddbddb/internal/obs"
+	"bddbddb/internal/resilience"
 )
 
 // SetObs points the suite's analysis runs at a tracer: every Load and
@@ -13,9 +15,16 @@ import (
 // a cmd/experiments -trace file shows each benchmark's solves.
 func (s *Suite) SetObs(tr obs.Tracer) { s.tr = tr }
 
+// SetControl bounds every suite-run analysis by ctx and budget, so a
+// whole figure regeneration can be canceled (Ctrl-C) or capped
+// (-timeout, -max-nodes) as one unit.
+func (s *Suite) SetControl(ctx context.Context, budget resilience.Budget) {
+	s.ctx, s.budget = ctx, budget
+}
+
 // cfg is the analysis.Config used by every suite-run analysis.
 func (s *Suite) cfg(extraSrc string) analysis.Config {
-	return analysis.Config{Tracer: s.tr, ExtraSrc: extraSrc}
+	return analysis.Config{Tracer: s.tr, ExtraSrc: extraSrc, Context: s.ctx, Budget: s.budget}
 }
 
 // The FigureNMetrics functions flatten figure rows into the dotted-key

@@ -1,0 +1,113 @@
+package resilience
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// CheckpointConfig asks the Datalog solver to save its state at
+// stratum-iteration boundaries so an aborted run can be resumed (or
+// inspected) from the last completed iteration instead of restarting.
+type CheckpointConfig struct {
+	// Dir receives manifest.json plus state.bdd. Created if missing.
+	Dir string
+	// EveryIterations writes a checkpoint every N completed fixpoint
+	// iterations (and at every stratum end). 0 means every iteration.
+	EveryIterations int
+}
+
+func (c *CheckpointConfig) stride() int {
+	if c.EveryIterations <= 0 {
+		return 1
+	}
+	return c.EveryIterations
+}
+
+// Due reports whether iteration iter (1-based within a stratum) is a
+// checkpoint boundary.
+func (c *CheckpointConfig) Due(iter int) bool {
+	return c != nil && c.Dir != "" && iter%c.stride() == 0
+}
+
+// Manifest describes one saved solver state. Relations and Deltas name
+// the saved relations in the order their BDD roots appear in the
+// state.bdd DAG dump (relations first, then deltas).
+type Manifest struct {
+	// Fingerprint identifies the program + options the state belongs
+	// to; resume refuses a checkpoint whose fingerprint differs.
+	Fingerprint string `json:"fingerprint"`
+	// Stratum and Iteration locate the boundary: all strata before
+	// Stratum are final, and the named deltas are the semi-naive
+	// frontier after completing Iteration (1-based) in Stratum.
+	Stratum   int   `json:"stratum"`
+	Iteration int64 `json:"iteration"`
+	// Relations lists every declared relation, in declaration order.
+	Relations []string `json:"relations"`
+	// Deltas lists the semi-naive delta relations of the in-progress
+	// stratum (empty for a checkpoint at a stratum end).
+	Deltas []string `json:"deltas"`
+}
+
+const (
+	manifestFile = "manifest.json"
+	stateFile    = "state.bdd"
+)
+
+// StatePath returns the BDD state file path inside a checkpoint dir.
+func StatePath(dir string) string { return filepath.Join(dir, stateFile) }
+
+// WriteManifest atomically writes the manifest into dir, creating the
+// directory if needed. The manifest is the checkpoint's commit point:
+// writers persist the state file first and the manifest last, both via
+// temp-file + rename, so a crash mid-checkpoint leaves the previous
+// manifest in place (a manifest/state mismatch is caught at load time
+// by the root-count check).
+func WriteManifest(dir string, m *Manifest) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("resilience: checkpoint dir: %w", err)
+	}
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return atomicWrite(filepath.Join(dir, manifestFile), data)
+}
+
+// ReadManifest loads the manifest from a checkpoint directory.
+func ReadManifest(dir string) (*Manifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestFile))
+	if err != nil {
+		return nil, fmt.Errorf("resilience: read checkpoint: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("resilience: checkpoint manifest: %w", err)
+	}
+	return &m, nil
+}
+
+// atomicWrite writes data to path via a temp file + rename, so a crash
+// mid-write never leaves a truncated file under the final name.
+func atomicWrite(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return os.Rename(name, path)
+}
+
+// AtomicWriteFile is atomicWrite for callers outside the package (the
+// solver writes state.bdd through it).
+func AtomicWriteFile(path string, data []byte) error { return atomicWrite(path, data) }
