@@ -1,0 +1,224 @@
+// Command bddbddbd is the query-serving daemon: it runs the pointer
+// analysis once at startup, freezes the solved relations into a
+// snapshot, hydrates one replica per worker, and serves interactive
+// queries over HTTP/JSON until terminated.
+//
+// Usage:
+//
+//	bddbddbd [-addr :8077] [-algo cs|ci] [-replicas N] (-synth NAME | program.jp)
+//
+// The input program comes from a synthetic benchmark (-synth quick, or
+// any name from the Figure 3 suite) or a .jp file argument. -algo cs
+// (default) runs the cloning-based context-sensitive analysis with
+// on-the-fly call graph discovery; ci runs the context-insensitive
+// one. Startup resilience flags (-timeout, -max-nodes,
+// -checkpoint-dir, -resume) bound and checkpoint the initial solve; if
+// the context-sensitive solve exhausts its budget the daemon degrades
+// to the context-insensitive result and reports degraded:true in
+// /healthz.
+//
+// Endpoints:
+//
+//	GET  /pointsto?var=NAME   heap objects the variable may point to
+//	GET  /aliases?var=NAME    variables that may alias it
+//	GET  /whodunnit?heap=NAME stores that may have written a reference
+//	                          to the heap object (with contexts when
+//	                          the analysis is context-sensitive)
+//	POST /query               ad-hoc Datalog (raw text or {"query":...})
+//	GET  /schema              domains and relation schemas
+//	GET  /healthz             liveness, replica count, degraded flag
+//	GET  /metrics             obs metrics snapshot as JSON
+//
+// Query failures map to HTTP statuses: 400 malformed query, 422
+// well-formed but not evaluable here, 429 per-request budget exhausted
+// (-query-timeout/-query-max-nodes), 503 shed under load or draining.
+// SIGINT/SIGTERM drains gracefully: in-flight queries finish (up to
+// -grace), new ones get 503.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"bddbddb/internal/analysis"
+	"bddbddb/internal/extract"
+	"bddbddb/internal/obs"
+	"bddbddb/internal/program"
+	"bddbddb/internal/resilience"
+	"bddbddb/internal/serve"
+	"bddbddb/internal/synth"
+)
+
+func main() {
+	addr := flag.String("addr", ":8077", "listen address")
+	algo := flag.String("algo", "cs", "analysis to serve: cs (context-sensitive) or ci (context-insensitive)")
+	synthName := flag.String("synth", "", "generate the input program from the named synthetic benchmark (e.g. quick)")
+	replicas := flag.Int("replicas", runtime.GOMAXPROCS(0), "snapshot replicas / worker goroutines")
+	headroom := flag.Int("query-headroom", 1, "extra physical instances per domain for ad-hoc query variables")
+	cacheEntries := flag.Int("cache-entries", 1024, "result cache capacity in entries (-1 disables caching)")
+	cacheBytes := flag.Int("cache-bytes", 4<<20, "result cache capacity in body bytes")
+	cacheTTL := flag.Duration("cache-ttl", 5*time.Minute, "result cache entry lifetime (0 = no expiry)")
+	maxInFlight := flag.Int("max-inflight", 0, "admission limit; excess requests are shed with 503 (0 = 2×replicas)")
+	queryTimeout := flag.Duration("query-timeout", 5*time.Second, "per-request evaluation budget (429 when exceeded)")
+	queryMaxNodes := flag.Int("query-max-nodes", 0, "per-request live BDD node budget (0 = unlimited)")
+	maxTuples := flag.Int("max-tuples", 10000, "max tuples rendered per output relation (count stays exact)")
+	maxStrata := flag.Int("max-query-strata", 1, "stratification depth allowed in ad-hoc queries")
+	grace := flag.Duration("grace", 10*time.Second, "shutdown grace period for in-flight requests")
+	typeFilter := flag.Bool("typefilter", true, "apply declared-type filtering (the paper's Algorithm 2/5)")
+	var oflags obs.Flags
+	oflags.Register(flag.CommandLine)
+	var rflags resilience.Flags
+	rflags.Register(flag.CommandLine)
+	flag.Parse()
+	if (*synthName == "") == (flag.NArg() != 1) {
+		fmt.Fprintln(os.Stderr, "usage: bddbddbd [flags] (-synth NAME | program.jp)")
+		flag.Usage()
+		os.Exit(2)
+	}
+	sess, err := oflags.Start("bddbddbd")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bddbddbd:", err)
+		os.Exit(1)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	status := run(ctx, sess, rflags, config{
+		addr: *addr, algo: *algo, synthName: *synthName,
+		typeFilter: *typeFilter, grace: *grace,
+		serve: serve.Config{
+			Replicas:      *replicas,
+			QueryHeadroom: *headroom,
+			CacheEntries:  *cacheEntries,
+			CacheBytes:    *cacheBytes,
+			CacheTTL:      *cacheTTL,
+			MaxInFlight:   *maxInFlight,
+			QueryTimeout:  *queryTimeout,
+			QueryMaxNodes: *queryMaxNodes,
+			MaxTuples:     *maxTuples,
+			MaxStrata:     *maxStrata,
+			Metrics:       sess.Metrics,
+		},
+	})
+	stop()
+	if err := sess.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "bddbddbd:", err)
+		if status == 0 {
+			status = 1
+		}
+	}
+	os.Exit(status)
+}
+
+type config struct {
+	addr, algo, synthName string
+	typeFilter            bool
+	grace                 time.Duration
+	serve                 serve.Config
+}
+
+func run(ctx context.Context, sess *obs.Session, rflags resilience.Flags, cfg config) int {
+	prog, err := loadProgram(cfg.synthName)
+	if err != nil {
+		return fail(err)
+	}
+	facts, err := extract.Extract(prog, extract.Options{})
+	if err != nil {
+		return fail(err)
+	}
+	acfg := analysis.Config{
+		Tracer:        sess.Tracer,
+		Metrics:       sess.Metrics,
+		Context:       ctx,
+		Budget:        rflags.Budget(),
+		CheckpointDir: rflags.CheckpointDir,
+		Resume:        rflags.Resume,
+	}
+	fmt.Fprintf(os.Stderr, "bddbddbd: solving (%s, %d vars, %d heap objects)...\n",
+		cfg.algo, len(facts.Vars), len(facts.Heaps))
+	t0 := time.Now()
+	var res *analysis.Result
+	switch cfg.algo {
+	case "cs":
+		res, err = analysis.RunContextSensitive(facts, nil, acfg)
+	case "ci":
+		res, err = analysis.RunContextInsensitive(facts, cfg.typeFilter, acfg)
+	default:
+		err = fmt.Errorf("unknown -algo %q (want cs or ci)", cfg.algo)
+	}
+	if err != nil {
+		return fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "bddbddbd: solved in %v%s\n", time.Since(t0).Round(time.Millisecond),
+		map[bool]string{true: " (degraded to context-insensitive)", false: ""}[res.Degraded])
+	for _, sch := range res.Schemas() {
+		fmt.Fprintf(os.Stderr, "bddbddbd:   %s %v (%s)\n", sch.Name, sch.Attrs, sch.Kind)
+	}
+
+	cfg.serve.Degraded = res.Degraded
+	srv, err := serve.New(res.Solver, cfg.serve)
+	if err != nil {
+		return fail(err)
+	}
+	hs := &http.Server{Addr: cfg.addr, Handler: srv}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "bddbddbd: serving on %s with %d replicas (%d BDD nodes each)\n",
+		cfg.addr, srv.Replicas(), serveNodes(srv))
+
+	select {
+	case err := <-errc:
+		srv.Close()
+		return fail(err)
+	case <-ctx.Done():
+	}
+	// Graceful drain: stop admitting, let in-flight requests finish,
+	// then stop the workers. Close must follow Shutdown — workers may
+	// not be stopped while the HTTP layer can still dispatch to them.
+	fmt.Fprintln(os.Stderr, "bddbddbd: draining...")
+	srv.BeginDrain()
+	sctx, cancel := context.WithTimeout(context.Background(), cfg.grace)
+	err = hs.Shutdown(sctx)
+	cancel()
+	srv.Close()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bddbddbd: shutdown:", err)
+		return 1
+	}
+	fmt.Fprintln(os.Stderr, "bddbddbd: bye")
+	return 0
+}
+
+func loadProgram(synthName string) (*program.Program, error) {
+	if synthName != "" {
+		if synthName == "quick" {
+			return synth.Generate(synth.Quick), nil
+		}
+		b := synth.BenchmarkByName(synthName)
+		if b == nil {
+			return nil, fmt.Errorf("unknown synthetic benchmark %q", synthName)
+		}
+		return synth.Generate(b.Params), nil
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		return nil, err
+	}
+	return program.Parse(string(src))
+}
+
+func serveNodes(s *serve.Server) int { return s.SnapshotNodes() }
+
+func fail(err error) int {
+	if errors.Is(err, http.ErrServerClosed) {
+		return 0
+	}
+	fmt.Fprintln(os.Stderr, "bddbddbd:", err)
+	return resilience.ExitCode(err)
+}

@@ -1,0 +1,63 @@
+package analysis
+
+import "bddbddb/internal/datalog"
+
+// This file exposes the solved relation set's schemas programmatically.
+// Callers (the serving layer foremost) used to have no way to learn a
+// relation's attribute names and domains short of re-parsing the
+// Datalog source the pipeline generated; Schemas reads them off the
+// solver's own declarations instead.
+
+// AttrSchema is one attribute of a relation: its name and the logical
+// domain it ranges over (e.g. variable:V, heap:H).
+type AttrSchema struct {
+	Name   string `json:"name"`
+	Domain string `json:"domain"`
+}
+
+// RelationSchema describes one declared relation.
+type RelationSchema struct {
+	Name string `json:"name"`
+	// Kind is "input", "output", or "temp" — the declaration kind in
+	// the generated Datalog program.
+	Kind  string       `json:"kind"`
+	Attrs []AttrSchema `json:"attrs"`
+}
+
+// Schemas returns the schema of every relation the analysis declared,
+// in declaration order.
+func (r *Result) Schemas() []RelationSchema {
+	decls := r.Solver.RelationDecls()
+	out := make([]RelationSchema, len(decls))
+	for i, rd := range decls {
+		s := RelationSchema{Name: rd.Name, Kind: relKindString(rd.Kind)}
+		s.Attrs = make([]AttrSchema, len(rd.Attrs))
+		for j, a := range rd.Attrs {
+			s.Attrs[j] = AttrSchema{Name: a.Name, Domain: a.Domain}
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Schema returns the schema of one relation, or false if the analysis
+// did not declare it.
+func (r *Result) Schema(name string) (RelationSchema, bool) {
+	for _, s := range r.Schemas() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return RelationSchema{}, false
+}
+
+func relKindString(k datalog.RelKind) string {
+	switch k {
+	case datalog.RelInput:
+		return "input"
+	case datalog.RelOutput:
+		return "output"
+	default:
+		return "temp"
+	}
+}

@@ -1,0 +1,46 @@
+package analysis
+
+import (
+	"testing"
+
+	"bddbddb/internal/extract"
+	"bddbddb/internal/synth"
+)
+
+func TestResultSchemas(t *testing.T) {
+	prog := synth.Generate(synth.Quick)
+	facts, err := extract.Extract(prog, extract.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunContextInsensitive(facts, false, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vp, ok := res.Schema("vP")
+	if !ok {
+		t.Fatal("vP schema missing")
+	}
+	if vp.Kind != "output" {
+		t.Fatalf("vP kind = %q, want output", vp.Kind)
+	}
+	if len(vp.Attrs) != 2 || vp.Attrs[0].Name != "variable" || vp.Attrs[0].Domain != "V" ||
+		vp.Attrs[1].Name != "heap" || vp.Attrs[1].Domain != "H" {
+		t.Fatalf("vP attrs = %+v", vp.Attrs)
+	}
+	// Every schema must correspond to a live relation with matching
+	// attribute names — the contract the JSON renderer relies on.
+	for _, s := range res.Schemas() {
+		r := res.Solver.Relation(s.Name)
+		attrs := r.Attrs()
+		if len(attrs) != len(s.Attrs) {
+			t.Fatalf("%s: %d live attrs vs %d schema attrs", s.Name, len(attrs), len(s.Attrs))
+		}
+		for i, a := range attrs {
+			if a.Name != s.Attrs[i].Name || a.Dom.Name != s.Attrs[i].Domain {
+				t.Fatalf("%s attr %d: live %s:%s vs schema %s:%s",
+					s.Name, i, a.Name, a.Dom.Name, s.Attrs[i].Name, s.Attrs[i].Domain)
+			}
+		}
+	}
+}

@@ -102,6 +102,7 @@ type Manager struct {
 
 	domains []*Domain
 	varSets map[string]Node // interned varsets by key, kept referenced
+	pairID  Node            // replace-cache key allocator, see NewPair
 
 	stats   Stats
 	tracer  obs.Tracer

@@ -5,6 +5,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+
+	"bddbddb/internal/resilience"
 )
 
 // This file serializes BDD DAGs — the physical layer of the solver's
@@ -84,7 +86,16 @@ func (m *Manager) WriteDAG(w io.Writer, roots []Node) error {
 // each referenced on behalf of the caller. The manager must declare at
 // least the variables the dump uses (the checkpoint fingerprint
 // guarantees an identical order).
-func (m *Manager) ReadDAG(r io.Reader) ([]Node, error) {
+//
+// The input is treated as untrusted: node ids, variable levels, and the
+// child-before-parent level ordering are all validated before any node
+// reaches the allocator, the node table grows incrementally so a
+// corrupted count cannot force a huge upfront allocation, and any
+// residual panic surfaces as a typed *resilience.InternalError rather
+// than unwinding through the caller. Nodes built before a failed read
+// are unreferenced and reclaimed by the next GC.
+func (m *Manager) ReadDAG(r io.Reader) (roots []Node, err error) {
+	defer resilience.Recover(&err)
 	br := bufio.NewReader(r)
 	var magic [8]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
@@ -98,7 +109,9 @@ func (m *Manager) ReadDAG(r io.Reader) ([]Node, error) {
 		return nil, fmt.Errorf("bdd: dag node count: %w", err)
 	}
 	count := binary.LittleEndian.Uint32(buf[:4])
-	nodes := make([]Node, count+2)
+	// Grow incrementally: a malicious count of 2^32-1 must fail at the
+	// first short read, not by preallocating a 16 GiB id table.
+	nodes := make([]Node, 2, 2+min(uint32(1<<16), count))
 	nodes[0], nodes[1] = False, True
 	for i := uint32(0); i < count; i++ {
 		if _, err := io.ReadFull(br, buf[:12]); err != nil {
@@ -113,14 +126,22 @@ func (m *Manager) ReadDAG(r io.Reader) ([]Node, error) {
 		if level < 0 || level >= m.nvars {
 			return nil, fmt.Errorf("bdd: dag node %d level %d outside manager's %d variables", i, level, m.nvars)
 		}
-		nodes[i+2] = m.makeNode(level, nodes[low], nodes[high])
+		// Enforce the BDD ordering invariant here, with ids and levels in
+		// the message, instead of letting makeNode panic on it.
+		if ll := m.level(nodes[low]); ll <= level {
+			return nil, fmt.Errorf("bdd: dag node %d (level %d) has low child id %d at level %d; children must be below parents", i, level, low, ll)
+		}
+		if hl := m.level(nodes[high]); hl <= level {
+			return nil, fmt.Errorf("bdd: dag node %d (level %d) has high child id %d at level %d; children must be below parents", i, level, high, hl)
+		}
+		nodes = append(nodes, m.makeNode(level, nodes[low], nodes[high]))
 	}
 	if _, err := io.ReadFull(br, buf[:4]); err != nil {
 		return nil, fmt.Errorf("bdd: dag root count: %w", err)
 	}
 	nroots := binary.LittleEndian.Uint32(buf[:4])
-	roots := make([]Node, nroots)
-	for i := range roots {
+	roots = make([]Node, 0, min(nroots, 1<<16))
+	for i := uint32(0); i < nroots; i++ {
 		if _, err := io.ReadFull(br, buf[:4]); err != nil {
 			return nil, fmt.Errorf("bdd: dag root %d: %w", i, err)
 		}
@@ -128,7 +149,7 @@ func (m *Manager) ReadDAG(r io.Reader) ([]Node, error) {
 		if id >= count+2 {
 			return nil, fmt.Errorf("bdd: dag root %d id %d out of range", i, id)
 		}
-		roots[i] = m.Ref(nodes[id])
+		roots = append(roots, m.Ref(nodes[id]))
 	}
 	return roots, nil
 }

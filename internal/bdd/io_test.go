@@ -98,6 +98,67 @@ func TestDAGReadRejectsForeignLevels(t *testing.T) {
 	}
 }
 
+func TestDAGReadRejectsTruncated(t *testing.T) {
+	m, roots := buildSample(t)
+	var buf bytes.Buffer
+	if err := m.WriteDAG(&buf, roots); err != nil {
+		t.Fatal(err)
+	}
+	dump := buf.Bytes()
+	m2 := New(1<<10, 1<<8)
+	m2.AddVars(6)
+	// Every proper prefix must fail with an error, never panic.
+	for cut := 0; cut < len(dump); cut++ {
+		if _, err := m2.ReadDAG(bytes.NewReader(dump[:cut])); err == nil {
+			t.Fatalf("truncation at %d bytes accepted", cut)
+		}
+	}
+}
+
+func TestDAGReadHugeCountNoOOM(t *testing.T) {
+	// A corrupted node count of 2^32-1 must fail at the first short
+	// read instead of preallocating a multi-GiB table.
+	dump := append([]byte{}, dagMagic[:]...)
+	dump = append(dump, 0xFF, 0xFF, 0xFF, 0xFF) // count = 2^32-1, then EOF
+	m := New(1<<10, 1<<8)
+	m.AddVars(2)
+	if _, err := m.ReadDAG(bytes.NewReader(dump)); err == nil {
+		t.Fatal("want truncation error for huge node count")
+	}
+}
+
+func TestDAGReadRejectsLevelOrderViolation(t *testing.T) {
+	// Hand-craft a dump whose inner node sits at a level >= its child's:
+	// node 0 at level 1 (children terminals), node 1 at level 1 with
+	// node 0 as a child — an ordering violation that used to panic in
+	// makeNode and must now come back as a plain error.
+	var buf bytes.Buffer
+	buf.Write(dagMagic[:])
+	le := func(v uint32) {
+		var b [4]byte
+		b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+		buf.Write(b[:])
+	}
+	le(2) // node count
+	le(1) // node 0: level 1
+	le(0) // low = False
+	le(1) // high = True
+	le(1) // node 1: level 1 (same as child — violation)
+	le(2) // low = node 0
+	le(1) // high = True
+	le(1) // root count
+	le(3) // root = node 1
+	m := New(1<<10, 1<<8)
+	m.AddVars(4)
+	_, err := m.ReadDAG(bytes.NewReader(buf.Bytes()))
+	if err == nil {
+		t.Fatal("want level-order error")
+	}
+	if errors.Is(err, resilience.ErrInternal) {
+		t.Fatalf("ordering violation should be a validation error, not a panic-backed internal error: %v", err)
+	}
+}
+
 func TestControlNodeBudgetTripsAtGrow(t *testing.T) {
 	run := func() (err error) {
 		defer resilience.Recover(&err)

@@ -11,12 +11,16 @@ type Pair struct {
 	id   Node // unique id used as a cache key
 }
 
-var pairIDCounter Node = 1 << 20
-
-// NewPair creates an empty renaming pair.
+// NewPair creates an empty renaming pair. The id is a per-manager
+// counter (it only needs to be unique within this manager's replace
+// cache) so independent managers on different goroutines never touch
+// shared state.
 func (m *Manager) NewPair() *Pair {
-	pairIDCounter++
-	return &Pair{m: m, perm: make(map[int32]int32), id: pairIDCounter}
+	if m.pairID == 0 {
+		m.pairID = 1 << 20
+	}
+	m.pairID++
+	return &Pair{m: m, perm: make(map[int32]int32), id: m.pairID}
 }
 
 // Set maps the variable at level from to the variable at level to.

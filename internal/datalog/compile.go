@@ -64,6 +64,27 @@ func (cr *compiledRule) clearCaches(m *bdd.Manager) {
 	}
 }
 
+// releaseHelpers frees every BDD reference the compiled rule owns: the
+// hoisted literal caches plus the iteration-invariant helper relations
+// (FullDomain/Singleton/Equals). Long-lived solvers never need this —
+// their rules live as long as the manager — but query-mode evaluation
+// compiles fresh rules per request against a shared replica manager,
+// and leaking a few helper nodes per query would pin the node table
+// forever. Idempotent.
+func (cr *compiledRule) releaseHelpers(m *bdd.Manager) {
+	cr.clearCaches(m)
+	for _, r := range cr.full {
+		r.Free()
+	}
+	for _, r := range cr.singles {
+		r.Free()
+	}
+	for _, r := range cr.dups {
+		r.Free()
+	}
+	cr.full, cr.singles, cr.dups = nil, nil, nil
+}
+
 // orderHasFreedom reports whether the greedy planner can actually move
 // anything: after the delta (or anchor) literal is pinned first, at
 // least two positive literals must remain to permute.

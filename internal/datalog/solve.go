@@ -108,6 +108,18 @@ type RelationCard struct {
 	Tuples *big.Int
 }
 
+// RelationTuples returns the recorded final cardinality of the named
+// relation (saturating at MaxInt64), or -1 when no cardinality was
+// collected for it.
+func (st SolverStats) RelationTuples(name string) int64 {
+	for _, rc := range st.Relations {
+		if rc.Name == name {
+			return satInt64(rc.Tuples)
+		}
+	}
+	return -1
+}
+
 // RuleStats is the cost of one rule across the whole evaluation.
 type RuleStats struct {
 	Rule         string
@@ -158,6 +170,11 @@ type Solver struct {
 	compiled map[*Rule]*compiledRule
 	elemIdx  map[string]map[string]uint64
 	solved   bool
+	// queryBase marks relations a QueryBase bound in from a frozen
+	// snapshot: they are read-only inputs the solver does not own, and
+	// collectRelationCards skips them (satcounting a context-sensitive
+	// points-to relation per served query would dwarf the query itself).
+	queryBase map[string]bool
 
 	// reg is the solver's private metrics registry: every count the
 	// solver keeps (rule applications, iterations, per-rule timers,
@@ -234,28 +251,7 @@ func NewSolver(prog *Program, opts Options) (*Solver, error) {
 		tr:       opts.Tracer,
 		ruleObs:  make(map[*Rule]*ruleObs),
 	}
-	s.cApps = s.reg.Counter(keyRuleApps)
-	s.cIters = s.reg.Counter(keyIters)
-	// Pre-create every per-op counter so the keys appear in metrics
-	// snapshots even when an op kind never runs.
-	s.opCounters = make(map[string]*obs.Counter)
-	for kind, key := range opMetricKeys {
-		s.opCounters[kind] = s.reg.Counter(key)
-	}
-	s.cHoistHits = s.reg.Counter("datalog.op.norm_cache_hits")
-	s.cHoistMisses = s.reg.Counter("datalog.op.norm_cache_misses")
-	for i, rule := range prog.Rules {
-		if rule.IsFact() {
-			continue
-		}
-		key := fmt.Sprintf("datalog.rule.%03d", i)
-		s.ruleObs[rule] = &ruleObs{
-			text:   rule.String(),
-			span:   fmt.Sprintf("rule %d: %s", i, rule.Head.Pred),
-			timer:  s.reg.Timer(key),
-			tuples: s.reg.Counter(key + ".tuples"),
-		}
-	}
+	s.initObs()
 	// Declare logical domains.
 	for _, d := range prog.Domains {
 		size := d.Size
@@ -326,9 +322,42 @@ func NewSolver(prog *Program, opts Options) (*Solver, error) {
 	return s, nil
 }
 
+// initObs wires the solver's private metrics registry: the shared
+// counters, one counter per plan-op kind (pre-created so the keys
+// appear in snapshots even when an op kind never runs), and per-rule
+// timer/tuple handles. Both NewSolver and QueryBase.Eval-built solvers
+// go through here.
+func (s *Solver) initObs() {
+	s.cApps = s.reg.Counter(keyRuleApps)
+	s.cIters = s.reg.Counter(keyIters)
+	s.opCounters = make(map[string]*obs.Counter)
+	for kind, key := range opMetricKeys {
+		s.opCounters[kind] = s.reg.Counter(key)
+	}
+	s.cHoistHits = s.reg.Counter("datalog.op.norm_cache_hits")
+	s.cHoistMisses = s.reg.Counter("datalog.op.norm_cache_misses")
+	for i, rule := range s.prog.Rules {
+		if rule.IsFact() {
+			continue
+		}
+		key := fmt.Sprintf("datalog.rule.%03d", i)
+		s.ruleObs[rule] = &ruleObs{
+			text:   rule.String(),
+			span:   fmt.Sprintf("rule %d: %s", i, rule.Head.Pred),
+			timer:  s.reg.Timer(key),
+			tuples: s.reg.Counter(key + ".tuples"),
+		}
+	}
+}
+
 // Universe exposes the solver's BDD universe so callers can construct
 // relations directly (e.g. context-numbering builds IEC with AddConst).
 func (s *Solver) Universe() *rel.Universe { return s.u }
+
+// RelationDecls returns the program's relation declarations in
+// declaration order — the schemas (attribute names + domains) of every
+// relation the solver serves. Callers must not mutate the result.
+func (s *Solver) RelationDecls() []*RelationDecl { return s.prog.Relations }
 
 // Relation returns the live relation for a declared predicate. Fill
 // input relations before Solve; read outputs after. The solver owns the
@@ -482,7 +511,7 @@ func (s *Solver) Solve() (err error) {
 func (s *Solver) collectRelationCards() {
 	for _, rd := range s.prog.Relations {
 		r := s.rels[rd.Name]
-		if r == nil {
+		if r == nil || s.queryBase[rd.Name] {
 			continue
 		}
 		size := r.Size()

@@ -31,10 +31,11 @@ func (u *Universe) A(attrName, domName string, inst int) Attr {
 // All mutating and deriving operations keep the underlying BDD node
 // referenced; call Free when a relation is no longer needed.
 type Relation struct {
-	u     *Universe
-	Name  string
-	attrs []Attr
-	root  bdd.Node
+	u      *Universe
+	Name   string
+	attrs  []Attr
+	root   bdd.Node
+	frozen bool
 }
 
 // NewRelation creates an empty relation. Attribute names must be unique
@@ -107,9 +108,26 @@ func (r *Relation) attrNames() string {
 // Root exposes the underlying BDD node (still owned by the relation).
 func (r *Relation) Root() bdd.Node { return r.root }
 
+// Freeze marks the relation immutable: AddTuple, UnionWith, and Free
+// panic afterwards. Deriving operations (Join, SelectEq, ...) stay
+// legal — they allocate new relations and never touch the receiver.
+// The serving layer freezes solved relations before handing them to
+// concurrent query evaluation; there is no Unfreeze.
+func (r *Relation) Freeze() { r.frozen = true }
+
+// Frozen reports whether Freeze was called.
+func (r *Relation) Frozen() bool { return r.frozen }
+
+func (r *Relation) requireMutable(op string) {
+	if r.frozen {
+		panic(fmt.Sprintf("rel: %s on frozen relation %s", op, r.Name))
+	}
+}
+
 // Free releases the relation's BDD reference. The relation must not be
 // used afterwards.
 func (r *Relation) Free() {
+	r.requireMutable("Free")
 	r.u.M.Deref(r.root)
 	r.root = bdd.False
 	r.attrs = nil
@@ -122,6 +140,7 @@ func (r *Relation) Clone(name string) *Relation {
 
 // AddTuple inserts one tuple, with values listed in attribute order.
 func (r *Relation) AddTuple(vals ...uint64) {
+	r.requireMutable("AddTuple")
 	if len(vals) != len(r.attrs) {
 		panic(fmt.Sprintf("rel: AddTuple(%v) into %s(%s)", vals, r.Name, r.attrNames()))
 	}
@@ -176,6 +195,7 @@ func (r *Relation) requireSameSchema(o *Relation, op string) {
 // UnionWith adds all of o's tuples to r in place and reports whether r
 // changed.
 func (r *Relation) UnionWith(o *Relation) bool {
+	r.requireMutable("UnionWith")
 	r.requireSameSchema(o, "union")
 	m := r.u.M
 	next := m.Or(r.root, o.root)

@@ -1,0 +1,113 @@
+package rel
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"bddbddb/internal/bdd"
+)
+
+// buildSnapshotSource builds a small two-domain universe with an
+// interleaved V block of two instances, fills a relation, and returns
+// everything a snapshot needs.
+func buildSnapshotSource(t *testing.T) (*Universe, *Relation) {
+	t.Helper()
+	u := NewUniverse()
+	u.Declare("V", 8)
+	u.Declare("H", 4)
+	u.EnsureInstances("V", 2)
+	if err := u.Finalize(FinalizeOptions{Order: []string{"V", "H"}}); err != nil {
+		t.Fatal(err)
+	}
+	r := u.NewRelation("vP", u.A("variable", "V", 0), u.A("heap", "H", 0))
+	r.AddTuple(1, 2)
+	r.AddTuple(5, 3)
+	r.AddTuple(7, 0)
+	return u, r
+}
+
+// TestExtraInstancesPreserveLevels is the snapshot-hydration invariant:
+// a DAG written in a universe without ExtraInstances must hydrate
+// bit-for-bit in one finalized with extras, because the extras trail
+// the main blocks instead of perturbing their interleaving.
+func TestExtraInstancesPreserveLevels(t *testing.T) {
+	u, r := buildSnapshotSource(t)
+	var dump bytes.Buffer
+	if err := u.M.WriteDAG(&dump, []bdd.Node{r.Root()}); err != nil {
+		t.Fatal(err)
+	}
+
+	u2 := NewUniverse()
+	u2.Declare("V", 8)
+	u2.Declare("H", 4)
+	u2.EnsureInstances("V", 2)
+	if err := u2.Finalize(FinalizeOptions{
+		Order:          u.BlockOrder(),
+		ExtraInstances: map[string]int{"V": 2, "H": 1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := u2.Domain("V").Instances(); got != 4 {
+		t.Fatalf("V instances = %d, want 4 (2 primary + 2 extra)", got)
+	}
+	if got := u2.PrimaryInstances("V"); got != 2 {
+		t.Fatalf("PrimaryInstances(V) = %d, want 2", got)
+	}
+	roots, err := u2.M.ReadDAG(bytes.NewReader(dump.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := u2.NewRelationFromBDD("vP", roots[0], u2.A("variable", "V", 0), u2.A("heap", "H", 0))
+	if !reflect.DeepEqual(r.Tuples(), r2.Tuples()) {
+		t.Fatalf("hydrated tuples differ:\n got %v\nwant %v", r2.Tuples(), r.Tuples())
+	}
+	// The extras must be usable: rename onto a trailing instance and
+	// join — the scratch headroom a served query depends on.
+	moved := r2.Rename("vP'", map[string]*bdd.Domain{"variable": u2.Phys("V", 3)})
+	if moved.Size().Int64() != 3 {
+		t.Fatalf("renamed-to-extra relation has %v tuples, want 3", moved.Size())
+	}
+}
+
+func TestExtraInstancesUnknownDomain(t *testing.T) {
+	u := NewUniverse()
+	u.Declare("V", 8)
+	if err := u.Finalize(FinalizeOptions{ExtraInstances: map[string]int{"nope": 1}}); err == nil {
+		t.Fatal("want error for unknown ExtraInstances domain")
+	}
+}
+
+func TestBlockOrderRecorded(t *testing.T) {
+	u, _ := buildSnapshotSource(t)
+	if got := u.BlockOrder(); !reflect.DeepEqual(got, []string{"V", "H"}) {
+		t.Fatalf("BlockOrder = %v", got)
+	}
+}
+
+func TestFreezeBlocksMutation(t *testing.T) {
+	u, r := buildSnapshotSource(t)
+	other := u.NewRelation("d", u.A("variable", "V", 0), u.A("heap", "H", 0))
+	other.AddTuple(0, 0)
+	r.Freeze()
+	if !r.Frozen() {
+		t.Fatal("Frozen() = false after Freeze")
+	}
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s on frozen relation did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("AddTuple", func() { r.AddTuple(0, 0) })
+	mustPanic("UnionWith", func() { r.UnionWith(other) })
+	mustPanic("Free", func() { r.Free() })
+	// Deriving operations stay legal and leave the receiver untouched.
+	j := r.Join("j", other)
+	j.Free()
+	if r.Size().Int64() != 3 {
+		t.Fatalf("frozen relation mutated: %v tuples", r.Size())
+	}
+}

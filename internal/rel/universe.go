@@ -39,8 +39,23 @@ func (d *LogicalDomain) ElemName(i uint64) string {
 	return d.Name + "#" + strconv.FormatUint(i, 10)
 }
 
+// ElemNames returns the element-name table set by SetElemNames (nil if
+// none). The slice is shared, not copied; callers must not mutate it.
+func (d *LogicalDomain) ElemNames() []string { return d.elemNames }
+
 // Instances returns how many physical instances the domain has.
 func (d *LogicalDomain) Instances() int { return len(d.insts) }
+
+// InstanceIndex returns the index of phys among the domain's physical
+// instances, or -1 if phys is not an instance of this domain.
+func (d *LogicalDomain) InstanceIndex(phys *bdd.Domain) int {
+	for i, p := range d.insts {
+		if p == phys {
+			return i
+		}
+	}
+	return -1
+}
 
 // Universe owns the BDD manager, the logical domains, and their
 // physical instances. Declare domains and instance counts first, then
@@ -51,6 +66,9 @@ type Universe struct {
 	order    []string // declaration order of logical domains
 	requests map[string]int
 	final    bool
+
+	blockOrder []string       // finalized block order of logical domains
+	primary    map[string]int // per-domain instance count inside the main blocks
 }
 
 // NewUniverse creates an empty universe.
@@ -116,6 +134,14 @@ type FinalizeOptions struct {
 	// NodeSize and CacheSize size the BDD manager (rounded to powers of
 	// two; zero picks defaults).
 	NodeSize, CacheSize int
+	// ExtraInstances allocates additional physical instances of the named
+	// logical domains *after* the main blocks, as trailing blocks at the
+	// bottom of the variable order. Unlike EnsureInstances, this leaves
+	// the levels of every main-block variable unchanged, so a BDD dump
+	// (bdd.WriteDAG) taken in a universe without the extras hydrates
+	// bit-for-bit in one that has them — the serving layer uses this to
+	// give query evaluation scratch instances on top of a snapshot.
+	ExtraInstances map[string]int
 }
 
 // Finalize allocates the BDD manager and all physical domains and
@@ -153,9 +179,11 @@ func (u *Universe) Finalize(opts FinalizeOptions) error {
 	}
 
 	spec := ""
+	u.primary = make(map[string]int, len(blockOrder))
 	for _, name := range blockOrder {
 		d := u.logical[name]
 		n := u.requests[name]
+		u.primary[name] = n
 		block := ""
 		for i := 0; i < n; i++ {
 			phys := u.M.DeclareDomain(physName(name, i), d.Size)
@@ -170,12 +198,49 @@ func (u *Universe) Finalize(opts FinalizeOptions) error {
 		}
 		spec += block
 	}
+	// Extra instances trail the main blocks so they never perturb the
+	// levels the main blocks were assigned.
+	for _, name := range blockOrder {
+		extra := opts.ExtraInstances[name]
+		if extra <= 0 {
+			continue
+		}
+		d := u.logical[name]
+		for i := 0; i < extra; i++ {
+			idx := len(d.insts)
+			phys := u.M.DeclareDomain(physName(name, idx), d.Size)
+			d.insts = append(d.insts, phys)
+			spec += "_" + physName(name, idx)
+		}
+	}
+	for name := range opts.ExtraInstances {
+		if _, ok := u.logical[name]; !ok {
+			return fmt.Errorf("rel: ExtraInstances names unknown domain %q", name)
+		}
+	}
 	if err := u.M.FinalizeOrder(spec); err != nil {
 		return err
 	}
+	u.blockOrder = blockOrder
 	u.final = true
 	return nil
 }
+
+// BlockOrder returns the finalized block order of logical domain names
+// (every declared domain appears exactly once). It is only valid after
+// Finalize; a snapshot records it so replicas can reproduce the exact
+// variable levels.
+func (u *Universe) BlockOrder() []string {
+	out := make([]string, len(u.blockOrder))
+	copy(out, u.blockOrder)
+	return out
+}
+
+// PrimaryInstances returns how many instances of the named domain were
+// allocated in the main interleaved blocks at Finalize — excluding any
+// ExtraInstances trailing blocks. Hydrating a snapshot must request
+// exactly this many via EnsureInstances to reproduce the levels.
+func (u *Universe) PrimaryInstances(name string) int { return u.primary[name] }
 
 func physName(logical string, i int) string {
 	return logical + strconv.Itoa(i)

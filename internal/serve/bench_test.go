@@ -1,0 +1,176 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"bddbddb/internal/analysis"
+	"bddbddb/internal/extract"
+	"bddbddb/internal/obs"
+	"bddbddb/internal/synth"
+)
+
+// benchSolver runs the context-insensitive analysis on the freetts
+// synthetic benchmark — a realistic serving workload (hundreds of
+// variables) rather than the unit tests' toy program.
+func benchSolver(tb testing.TB) (*analysis.Result, []string) {
+	tb.Helper()
+	prog := synth.Generate(synth.BenchmarkByName("freetts").Params)
+	facts, err := extract.Extract(prog, extract.Options{})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	res, err := analysis.RunContextInsensitive(facts, true, analysis.Config{})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return res, facts.Vars
+}
+
+func benchServer(tb testing.TB, res *analysis.Result, replicas, cacheEntries int) *Server {
+	tb.Helper()
+	s, err := New(res.Solver, Config{Replicas: replicas, CacheEntries: cacheEntries, MaxInFlight: 256})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tb.Cleanup(s.Close)
+	return s
+}
+
+// serveOne drives one request straight through the handler stack
+// (recorder, no sockets): both arms of the comparison then measure the
+// server's own latency, not identical TCP/loopback overhead.
+func serveOne(tb testing.TB, s *Server, path string) {
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+	if rec.Code != 200 {
+		tb.Fatalf("%s: %d %s", path, rec.Code, rec.Body.String())
+	}
+}
+
+func percentile(ds []time.Duration, p float64) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	i := int(p * float64(len(ds)-1))
+	return ds[i]
+}
+
+// BenchmarkServeQuery measures end-to-end request latency over real
+// HTTP, cold (cache disabled, every request is a BDD evaluation on a
+// replica) against cached (every request after the first is an LRU
+// lookup), across pool sizes. p50/p99 are reported as extra metrics.
+func BenchmarkServeQuery(b *testing.B) {
+	res, vars := benchSolver(b)
+	for _, mode := range []struct {
+		name    string
+		entries int
+	}{
+		{"cold", -1},
+		{"cached", 4096},
+	} {
+		for _, replicas := range []int{1, 4, 8} {
+			b.Run(fmt.Sprintf("%s/replicas=%d", mode.name, replicas), func(b *testing.B) {
+				srv := benchServer(b, res, replicas, mode.entries)
+				if mode.entries > 0 {
+					for _, v := range vars {
+						serveOne(b, srv, "/aliases?var="+v)
+					}
+				}
+				var mu sync.Mutex
+				var lats []time.Duration
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					i := 0
+					var local []time.Duration
+					for pb.Next() {
+						v := vars[i%len(vars)]
+						i++
+						t0 := time.Now()
+						serveOne(b, srv, "/aliases?var="+v)
+						local = append(local, time.Since(t0))
+					}
+					mu.Lock()
+					lats = append(lats, local...)
+					mu.Unlock()
+				})
+				b.StopTimer()
+				b.ReportMetric(float64(percentile(lats, 0.50).Microseconds()), "p50-µs")
+				b.ReportMetric(float64(percentile(lats, 0.99).Microseconds()), "p99-µs")
+			})
+		}
+	}
+}
+
+// TestWriteServeBench records the cold/cached serving numbers into
+// BENCH_serve.json (the repo's flat metrics format). Gated behind
+// BENCH_SERVE_OUT so the regular test run stays fast:
+//
+//	BENCH_SERVE_OUT=BENCH_serve.json go test ./internal/serve -run TestWriteServeBench
+func TestWriteServeBench(t *testing.T) {
+	out := os.Getenv("BENCH_SERVE_OUT")
+	if out == "" {
+		t.Skip("set BENCH_SERVE_OUT=path to record serving benchmarks")
+	}
+	res, vars := benchSolver(t)
+
+	measure := func(s *Server, rounds int) []time.Duration {
+		lats := make([]time.Duration, 0, rounds*len(vars))
+		for r := 0; r < rounds; r++ {
+			for _, v := range vars {
+				t0 := time.Now()
+				serveOne(t, s, "/aliases?var="+v)
+				lats = append(lats, time.Since(t0))
+			}
+		}
+		return lats
+	}
+	qps := func(lats []time.Duration) float64 {
+		var total time.Duration
+		for _, d := range lats {
+			total += d
+		}
+		return float64(len(lats)) / total.Seconds()
+	}
+
+	coldSrv := benchServer(t, res, 4, -1)
+	cold := measure(coldSrv, 5)
+
+	cachedSrv := benchServer(t, res, 4, 4096)
+	measure(cachedSrv, 1) // warm every key
+	cached := measure(cachedSrv, 5)
+
+	coldP50 := percentile(cold, 0.50)
+	cachedP50 := percentile(cached, 0.50)
+	speedup := float64(coldP50) / float64(cachedP50)
+	vals := map[string]float64{
+		"serve.cold.qps":       qps(cold),
+		"serve.cold.p50_us":    float64(coldP50.Microseconds()),
+		"serve.cold.p99_us":    float64(percentile(cold, 0.99).Microseconds()),
+		"serve.cached.qps":     qps(cached),
+		"serve.cached.p50_us":  float64(cachedP50.Microseconds()),
+		"serve.cached.p99_us":  float64(percentile(cached, 0.99).Microseconds()),
+		"serve.cached.speedup": speedup,
+		"serve.replicas":       4,
+		"serve.requests":       float64(len(cold) + len(cached)),
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := obs.WriteMetricsJSON(f, "serve", vals); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("cold p50 %v, cached p50 %v (%.1fx)", coldP50, cachedP50, speedup)
+	if speedup < 10 {
+		t.Errorf("cached speedup %.1fx, want >= 10x", speedup)
+	}
+}

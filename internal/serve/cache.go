@@ -1,0 +1,119 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+	"time"
+
+	"bddbddb/internal/obs"
+)
+
+// Cache is the result cache: normalized query key → rendered JSON
+// response body. Client query streams against a points-to database are
+// highly repetitive (the same hot variables get asked about over and
+// over), so most traffic becomes an O(1) lookup instead of a BDD
+// evaluation. Bounded by entry count, total bytes, and TTL; strict
+// LRU eviction. Safe for concurrent use — the handlers hit it from
+// many goroutines before a request is ever dispatched to a replica.
+//
+// Only successful (HTTP 200) bodies are cached: errors are cheap to
+// recompute and caching a budget-exhaustion response would pin a
+// transient overload into the TTL window.
+type Cache struct {
+	mu       sync.Mutex
+	entries  map[string]*list.Element
+	lru      *list.List // front = most recent
+	bytes    int
+	maxEnts  int
+	maxBytes int
+	ttl      time.Duration
+
+	hits, misses, evictions *obs.Counter
+}
+
+type cacheEntry struct {
+	key    string
+	body   []byte
+	stored time.Time
+}
+
+// NewCache builds a cache bounded to maxEntries entries and maxBytes
+// total body bytes (0 = 4 MiB), each entry living at most ttl
+// (0 = no expiry). Counters land in reg as serve.cache.*.
+func NewCache(maxEntries int, maxBytes int, ttl time.Duration, reg *obs.Metrics) *Cache {
+	if maxEntries <= 0 {
+		maxEntries = 1024
+	}
+	if maxBytes <= 0 {
+		maxBytes = 4 << 20
+	}
+	return &Cache{
+		entries:   make(map[string]*list.Element),
+		lru:       list.New(),
+		maxEnts:   maxEntries,
+		maxBytes:  maxBytes,
+		ttl:       ttl,
+		hits:      reg.Counter("serve.cache.hits"),
+		misses:    reg.Counter("serve.cache.misses"),
+		evictions: reg.Counter("serve.cache.evictions"),
+	}
+}
+
+// Get returns the cached body for key, or nil. Expired entries are
+// dropped on access.
+func (c *Cache) Get(key string) []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses.Inc()
+		return nil
+	}
+	e := el.Value.(*cacheEntry)
+	if c.ttl > 0 && time.Since(e.stored) > c.ttl {
+		c.remove(el)
+		c.misses.Inc()
+		return nil
+	}
+	c.lru.MoveToFront(el)
+	c.hits.Inc()
+	return e.body
+}
+
+// Put stores body under key, evicting LRU entries to stay within
+// bounds. Bodies larger than the byte bound are not cached at all.
+func (c *Cache) Put(key string, body []byte) {
+	if len(body) > c.maxBytes {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.remove(el)
+	}
+	el := c.lru.PushFront(&cacheEntry{key: key, body: body, stored: time.Now()})
+	c.entries[key] = el
+	c.bytes += len(body)
+	for c.lru.Len() > c.maxEnts || c.bytes > c.maxBytes {
+		back := c.lru.Back()
+		if back == nil {
+			break
+		}
+		c.remove(back)
+		c.evictions.Inc()
+	}
+}
+
+// Len returns the live entry count.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+func (c *Cache) remove(el *list.Element) {
+	e := el.Value.(*cacheEntry)
+	c.lru.Remove(el)
+	delete(c.entries, e.key)
+	c.bytes -= len(e.body)
+}

@@ -1,0 +1,463 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bddbddb/internal/datalog"
+	"bddbddb/internal/obs"
+	"bddbddb/internal/resilience"
+)
+
+// Config sizes and bounds the server. Zero values pick the documented
+// defaults.
+type Config struct {
+	// Replicas is the number of independent snapshot hydrations, each
+	// owned by one worker goroutine. Default GOMAXPROCS.
+	Replicas int
+	// QueryHeadroom adds this many scratch physical instances of every
+	// logical domain to each replica, bounding how many distinct
+	// same-domain variables an ad-hoc query may use beyond the original
+	// program's needs. Default 1.
+	QueryHeadroom int
+	// CacheEntries / CacheBytes / CacheTTL bound the result cache
+	// (defaults 1024 entries, 4 MiB, 5 minutes; CacheEntries < 0
+	// disables caching).
+	CacheEntries int
+	CacheBytes   int
+	CacheTTL     time.Duration
+	// MaxInFlight is the admission limit: requests beyond it are shed
+	// with 503 instead of queued. Default 2×Replicas.
+	MaxInFlight int
+	// QueryTimeout / QueryMaxNodes bound each request's evaluation
+	// (per-request resilience.Controller). Defaults 5s, unlimited.
+	// QueryMaxNodes counts the replica's total live BDD nodes, so set
+	// it comfortably above the snapshot's node count.
+	QueryTimeout  time.Duration
+	QueryMaxNodes int
+	// MaxTuples truncates each rendered output relation (the exact
+	// count is always reported). Default 10000.
+	MaxTuples int
+	// MaxStrata caps ad-hoc query stratification depth. Default 1.
+	MaxStrata int
+	// Metrics receives the server's counters; nil allocates a private
+	// registry (exposed at /metrics either way).
+	Metrics *obs.Metrics
+	// Degraded is surfaced in /healthz: the daemon fell back to a less
+	// precise analysis when the startup solve ran out of budget.
+	Degraded bool
+}
+
+func (c *Config) fill() {
+	if c.Replicas <= 0 {
+		c.Replicas = runtime.GOMAXPROCS(0)
+	}
+	if c.QueryHeadroom <= 0 {
+		c.QueryHeadroom = 1
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 1024
+	}
+	if c.CacheTTL == 0 {
+		c.CacheTTL = 5 * time.Minute
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 2 * c.Replicas
+	}
+	if c.QueryTimeout == 0 {
+		c.QueryTimeout = 5 * time.Second
+	}
+	if c.MaxTuples <= 0 {
+		c.MaxTuples = 10000
+	}
+	if c.MaxStrata <= 0 {
+		c.MaxStrata = 1
+	}
+}
+
+// Server dispatches HTTP queries to a pool of replica-owning workers.
+// It implements http.Handler; pair it with an http.Server (or httptest)
+// for the listener.
+//
+// Lifecycle: New → serve traffic → BeginDrain (new requests 503) →
+// http.Server.Shutdown (in-flight handlers finish) → Close (workers
+// exit). Close must come after the HTTP layer stops delivering
+// requests.
+type Server struct {
+	cfg   Config
+	snap  *Snapshot
+	sh    shape
+	val   *datalog.QueryBase // replica 0's base: immutable name tables for validation
+	mux   *http.ServeMux
+	jobs  chan *job
+	wg    sync.WaitGroup
+	cache *Cache
+	reg   *obs.Metrics
+
+	draining  atomic.Bool
+	inflight  atomic.Int64
+	closeOnce sync.Once
+
+	cRequests *obs.Counter
+	cShed     *obs.Counter
+	tQuery    *obs.Timer
+}
+
+type job struct {
+	ctx  context.Context
+	src  string
+	done chan struct{}
+	body []byte
+	err  error
+}
+
+// New snapshots the solved solver and starts cfg.Replicas workers.
+// The solver's relations are serialized once; the solver itself is not
+// retained.
+func New(sv *datalog.Solver, cfg Config) (*Server, error) {
+	cfg.fill()
+	snap, err := NewSnapshot(sv)
+	if err != nil {
+		return nil, err
+	}
+	return newFromSnapshot(snap, cfg)
+}
+
+func newFromSnapshot(snap *Snapshot, cfg Config) (*Server, error) {
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.New()
+	}
+	s := &Server{
+		cfg:  cfg,
+		snap: snap,
+		jobs: make(chan *job, cfg.MaxInFlight),
+		reg:  reg,
+	}
+	s.cache = NewCache(cfg.CacheEntries, cfg.CacheBytes, cfg.CacheTTL, reg)
+	s.cRequests = reg.Counter("serve.requests")
+	s.cShed = reg.Counter("serve.shed")
+	s.tQuery = reg.Timer("serve.query")
+	reg.Set("serve.replicas", float64(cfg.Replicas))
+	extra := make(map[string]int, len(snap.domains))
+	for _, dm := range snap.domains {
+		extra[dm.name] = cfg.QueryHeadroom
+	}
+	for i := 0; i < cfg.Replicas; i++ {
+		rep, err := snap.Hydrate(extra)
+		if err != nil {
+			close(s.jobs)
+			return nil, fmt.Errorf("serve: hydrating replica %d: %w", i, err)
+		}
+		if i == 0 {
+			s.val = rep.Base
+			s.sh = shapeOf(rep.Base.HasRelation)
+		}
+		s.wg.Add(1)
+		go s.worker(rep)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/pointsto", s.handlePointsTo)
+	mux.HandleFunc("/aliases", s.handleAliases)
+	mux.HandleFunc("/whodunnit", s.handleWhodunnit)
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/schema", s.handleSchema)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux = mux
+	return s, nil
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Replicas returns the worker-pool size.
+func (s *Server) Replicas() int { return s.cfg.Replicas }
+
+// SnapshotNodes returns the BDD node count of the frozen snapshot each
+// replica hydrates.
+func (s *Server) SnapshotNodes() int { return s.snap.Nodes() }
+
+// Cache exposes the result cache (tests and the stats endpoint).
+func (s *Server) Cache() *Cache { return s.cache }
+
+// BeginDrain rejects all subsequent query traffic with 503 (and flips
+// /healthz to draining) while letting in-flight requests finish — call
+// it before http.Server.Shutdown for a graceful SIGTERM.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Close stops the worker pool after the in-flight jobs drain. The HTTP
+// layer must already have stopped delivering requests (BeginDrain +
+// http.Server.Shutdown); submitting after Close panics by design.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() { close(s.jobs) })
+	s.wg.Wait()
+}
+
+// worker owns one replica for the server's lifetime: jobs arrive over
+// the shared channel and run on this goroutine only, so the replica's
+// BDD manager never sees concurrency.
+func (s *Server) worker(rep *Replica) {
+	defer s.wg.Done()
+	for j := range s.jobs {
+		s.runJob(rep, j)
+	}
+}
+
+func (s *Server) runJob(rep *Replica, j *job) {
+	defer close(j.done)
+	defer resilience.Recover(&j.err)
+	ctl := resilience.NewController(j.ctx, resilience.Budget{
+		Timeout:      s.cfg.QueryTimeout,
+		MaxLiveNodes: s.cfg.QueryMaxNodes,
+	})
+	t0 := time.Now()
+	res, err := rep.Base.Eval(j.src, datalog.QueryOptions{
+		Control:   ctl,
+		MaxStrata: s.cfg.MaxStrata,
+	})
+	if err != nil {
+		j.err = err
+		return
+	}
+	defer res.Close()
+	j.body, j.err = renderResult(j.src, res, s.cfg.MaxTuples, time.Since(t0))
+	rep.MaybeGC()
+	s.tQuery.Observe(time.Since(t0))
+}
+
+// runQuery is the shared endpoint path: cache lookup, admission,
+// dispatch, render. src must already be normalized.
+func (s *Server) runQuery(w http.ResponseWriter, r *http.Request, src string) {
+	s.cRequests.Inc()
+	if s.draining.Load() {
+		s.shed(w, "draining")
+		return
+	}
+	key := src
+	if s.cfg.CacheEntries >= 0 {
+		if body := s.cache.Get(key); body != nil {
+			w.Header().Set("X-Cache", "hit")
+			writeBody(w, http.StatusOK, body)
+			return
+		}
+	}
+	// Admission control: beyond MaxInFlight concurrent requests, shed
+	// instead of queueing — a bounded worker pool with an unbounded
+	// queue just converts overload into timeouts.
+	if cur := s.inflight.Add(1); cur > int64(s.cfg.MaxInFlight) {
+		s.inflight.Add(-1)
+		s.shed(w, "overloaded")
+		return
+	}
+	defer s.inflight.Add(-1)
+	j := &job{ctx: r.Context(), src: src, done: make(chan struct{})}
+	select {
+	case s.jobs <- j:
+	case <-r.Context().Done():
+		s.writeError(w, resilience.NewController(r.Context(), resilience.Budget{}).Err())
+		return
+	}
+	<-j.done
+	if j.err != nil {
+		s.writeError(w, j.err)
+		return
+	}
+	if s.cfg.CacheEntries >= 0 {
+		s.cache.Put(key, j.body)
+	}
+	w.Header().Set("X-Cache", "miss")
+	writeBody(w, http.StatusOK, j.body)
+}
+
+func (s *Server) shed(w http.ResponseWriter, why string) {
+	s.cShed.Inc()
+	s.reg.Counter("serve.errors." + why).Inc()
+	w.Header().Set("Retry-After", "1")
+	writeJSON(w, http.StatusServiceUnavailable, errorJSON{Error: "server " + why, Class: why})
+}
+
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	status, class := statusFor(err)
+	s.reg.Counter("serve.errors." + class).Inc()
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, status, errorJSON{Error: err.Error(), Class: class})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeBody(w, status, body)
+}
+
+func writeBody(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(body)
+	w.Write([]byte("\n"))
+}
+
+// namedParam validates a ?param= element name against the domain's
+// name table before it is spliced into a canned query; unknown names
+// are 422 (the query would be well-formed but can't match anything the
+// snapshot knows about).
+func (s *Server) namedParam(w http.ResponseWriter, r *http.Request, param, domain string) (string, bool) {
+	name := r.URL.Query().Get(param)
+	if name == "" {
+		s.writeError(w, &datalog.QueryRejectError{Reason: "missing ?" + param + "= parameter"})
+		return "", false
+	}
+	if !exprName(name) {
+		s.writeError(w, &datalog.QueryRejectError{Reason: fmt.Sprintf("name %q is not expressible in a query", name)})
+		return "", false
+	}
+	if _, ok := s.val.ElemIndex(domain, name); !ok {
+		s.writeError(w, &datalog.QueryRejectError{Reason: fmt.Sprintf("unknown %s name %q", domain, name)})
+		return "", false
+	}
+	return name, true
+}
+
+func (s *Server) handlePointsTo(w http.ResponseWriter, r *http.Request) {
+	name, ok := s.namedParam(w, r, "var", "V")
+	if !ok {
+		return
+	}
+	src, err := s.sh.pointstoQuery(name)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.runQuery(w, r, NormalizeQuery(src))
+}
+
+func (s *Server) handleAliases(w http.ResponseWriter, r *http.Request) {
+	name, ok := s.namedParam(w, r, "var", "V")
+	if !ok {
+		return
+	}
+	src, err := s.sh.aliasesQuery(name)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.runQuery(w, r, NormalizeQuery(src))
+}
+
+func (s *Server) handleWhodunnit(w http.ResponseWriter, r *http.Request) {
+	name, ok := s.namedParam(w, r, "heap", "H")
+	if !ok {
+		return
+	}
+	src, err := s.sh.whodunnitQuery(name)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.runQuery(w, r, NormalizeQuery(src))
+}
+
+// handleQuery evaluates an ad-hoc Datalog query: POST with either a
+// JSON {"query": "..."} body or raw Datalog text.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, errorJSON{Error: "POST a Datalog query", Class: "bad_query"})
+		return
+	}
+	raw, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	src := string(raw)
+	if strings.HasPrefix(strings.TrimSpace(src), "{") {
+		var req struct {
+			Query string `json:"query"`
+		}
+		if err := json.Unmarshal(raw, &req); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorJSON{Error: "bad JSON body: " + err.Error(), Class: "bad_query"})
+			return
+		}
+		src = req.Query
+	}
+	if strings.TrimSpace(src) == "" {
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: "empty query", Class: "bad_query"})
+		return
+	}
+	s.runQuery(w, r, NormalizeQuery(src))
+}
+
+func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
+	type relJSON struct {
+		Name  string     `json:"name"`
+		Kind  string     `json:"kind"`
+		Attrs []attrJSON `json:"attrs"`
+	}
+	type domJSON struct {
+		Name  string `json:"name"`
+		Size  uint64 `json:"size"`
+		Named bool   `json:"named"`
+	}
+	out := struct {
+		Domains   []domJSON `json:"domains"`
+		Relations []relJSON `json:"relations"`
+	}{}
+	for _, dm := range s.snap.domains {
+		out.Domains = append(out.Domains, domJSON{Name: dm.name, Size: dm.size, Named: dm.elemNames != nil})
+	}
+	for _, rm := range s.snap.relations {
+		rj := relJSON{Name: rm.name, Kind: relKindString(rm.kind)}
+		for _, am := range rm.attrs {
+			rj.Attrs = append(rj.Attrs, attrJSON{Name: am.name, Domain: am.dom})
+		}
+		out.Relations = append(out.Relations, rj)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func relKindString(k datalog.RelKind) string {
+	switch k {
+	case datalog.RelInput:
+		return "input"
+	case datalog.RelOutput:
+		return "output"
+	default:
+		return "temp"
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	type health struct {
+		Status   string `json:"status"`
+		Replicas int    `json:"replicas"`
+		Nodes    int    `json:"snapshot_nodes"`
+		Degraded bool   `json:"degraded"`
+	}
+	h := health{Status: "ok", Replicas: s.cfg.Replicas, Nodes: s.snap.Nodes(), Degraded: s.cfg.Degraded}
+	status := http.StatusOK
+	if s.draining.Load() {
+		h.Status = "draining"
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, h)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.reg.Set("serve.inflight", float64(s.inflight.Load()))
+	s.reg.Set("serve.cache.entries", float64(s.cache.Len()))
+	w.Header().Set("Content-Type", "application/json")
+	obs.WriteMetricsJSON(w, "bddbddbd", s.reg.Snapshot())
+}
