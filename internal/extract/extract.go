@@ -94,6 +94,7 @@ type Facts struct {
 	typeIdx   map[string]uint64
 	fieldIdx  map[string]uint64
 	nameIdx   map[string]uint64
+	varType   map[uint64]uint64 // V index -> declared T index (mirror of VT)
 }
 
 // LocalRep returns the V index of the alias class holding a method's
@@ -179,6 +180,7 @@ func Extract(p *program.Program, opts Options) (*Facts, error) {
 		typeIdx:   make(map[string]uint64),
 		fieldIdx:  make(map[string]uint64),
 		nameIdx:   make(map[string]uint64),
+		varType:   make(map[uint64]uint64),
 	}
 
 	// --- T domain: every declared class and interface.
@@ -351,7 +353,8 @@ func Extract(p *program.Program, opts Options) (*Facts, error) {
 			for _, member := range classMembers[r] {
 				tys = append(tys, declType[member])
 			}
-			f.VT = append(f.VT, Tuple{idx, f.typeIdx[h.LUB(tys)]})
+			f.varType[idx] = f.typeIdx[h.LUB(tys)]
+			f.VT = append(f.VT, Tuple{idx, f.varType[idx]})
 		}
 		rep := func(v string) uint64 { return classIdx[ac.find(v)] }
 		for _, v := range varNames {
@@ -376,11 +379,28 @@ func Extract(p *program.Program, opts Options) (*Facts, error) {
 	f.HT = append(f.HT, Tuple{GlobalObjIdx, f.typeIdx[program.ObjectClass]})
 	f.VP0 = append(f.VP0, Tuple{GlobalVarIdx, GlobalObjIdx})
 
-	// --- Z size: widest formal list (+1 for the receiver slot).
+	// --- Z size: widest formal list (+1 for the receiver slot), and the
+	// widest actual list — frontends for languages with variadic calls
+	// (the Go frontend) can pass more arguments than any analyzed method
+	// declares, and those actual tuples must still fit the Z domain.
 	f.ZSize = 1
 	for _, m := range methods {
 		if n := uint64(len(m.Params) + 1); n > f.ZSize {
 			f.ZSize = n
+		}
+		for _, st := range m.Stmts {
+			if st.Kind != program.StInvoke {
+				continue
+			}
+			// Virtual calls fill z = 0..len(Args)-1 (receiver at 0),
+			// static calls z = 1..len(Args).
+			n := uint64(len(st.Args))
+			if !st.Virtual {
+				n++
+			}
+			if n > f.ZSize {
+				f.ZSize = n
+			}
 		}
 	}
 
@@ -513,10 +533,8 @@ func (f *Facts) extractInvoke(m *program.Method, mi, si int, st program.Stmt,
 // declaredTypeName looks up the declared type recorded in VT for a
 // variable of method mi.
 func (f *Facts) declaredTypeName(mi int, v uint64) string {
-	for _, t := range f.VT {
-		if t[0] == v {
-			return f.Types[t[1]]
-		}
+	if t, ok := f.varType[v]; ok {
+		return f.Types[t]
 	}
 	return program.ObjectClass
 }

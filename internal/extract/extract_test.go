@@ -364,6 +364,39 @@ func TestZSize(t *testing.T) {
 	}
 }
 
+// TestZSizeWideActuals: invocation sites may pass more arguments than
+// any analyzed method declares (variadic Go calls whose target is
+// external); the Z domain must still cover the widest actual tuple.
+func TestZSizeWideActuals(t *testing.T) {
+	prog := program.MustParse(`
+entry Main.main
+
+class Main {
+    static method main(args) {
+        a = new Main
+        b = new Main
+        c = new Main
+        a.poke(b, c, a, b)
+    }
+    method poke() {
+    }
+}
+`)
+	f, err := Extract(prog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Virtual call fills z = 0..4 (receiver + 4 args).
+	if f.ZSize < 5 {
+		t.Fatalf("ZSize = %d, want >= 5 to fit the widest actual tuple", f.ZSize)
+	}
+	for _, a := range f.Actual {
+		if a[1] >= f.ZSize {
+			t.Fatalf("actual %v exceeds Z domain size %d", a, f.ZSize)
+		}
+	}
+}
+
 func TestInvokeContainment(t *testing.T) {
 	f := mustExtract(t, Options{})
 	if len(f.Invokes) != len(f.InvokeMethod) {

@@ -1,0 +1,377 @@
+package gofront
+
+import (
+	"fmt"
+	"go/types"
+	"strings"
+
+	"bddbddb/internal/program"
+)
+
+// Synthetic class names the lowering introduces.
+const (
+	// FuncInterface is the interface every closure, bound-method and
+	// function-value class implements; calling a func-typed value lowers
+	// to a virtual invocation of InvokeMethod on it.
+	FuncInterface = "go.Func"
+	// InvokeMethod is the synthetic method name of func-value dispatch.
+	InvokeMethod = "invoke"
+	// ExternClass is the opaque allocation class modelling values that
+	// flow in from unanalyzed (stdlib / external-module) code.
+	ExternClass = "go.Extern"
+	// KeyField holds map keys; program.ArrayField ("[]") holds slice,
+	// array, map and channel element payloads.
+	KeyField = "$key"
+)
+
+// classRec tracks one IR class under construction together with the Go
+// type information the lowering needs later.
+type classRec struct {
+	cls *program.Class
+	// named is the Go type this class models (nil for synthetic and
+	// container classes).
+	named *types.Named
+	// superField is the Go name of the embedded field absorbed into
+	// cls.Super (single inheritance takes the first embedded struct);
+	// selections hopping through it need no load.
+	superField string
+}
+
+// ensureClass interns an IR class by name.
+func (lw *lowerer) ensureClass(name string) *classRec {
+	if rec, ok := lw.classes[name]; ok {
+		return rec
+	}
+	rec := &classRec{cls: &program.Class{Name: name}}
+	lw.classes[name] = rec
+	lw.classOrder = append(lw.classOrder, name)
+	return rec
+}
+
+// qualify renders a package-qualified type name.
+func qualify(pkg *types.Package, name string) string {
+	if pkg == nil {
+		return name
+	}
+	return pkg.Path() + "." + name
+}
+
+// typeString renders a type deterministically with package-path
+// qualification, canonical across files.
+func (lw *lowerer) typeString(t types.Type) string {
+	return types.TypeString(t, func(p *types.Package) string { return p.Path() })
+}
+
+// tracked reports whether values of t are modelled by the analysis:
+// anything that can hold or reach a pointer. Basic types (including
+// strings — see the caveats table) are not.
+func (lw *lowerer) tracked(t types.Type) bool { return lw.classOf(t) != "" }
+
+// classOf maps a Go type to the IR class its values belong to, or ""
+// for untracked (scalar) types. Pointers are identified with their
+// pointee: *T and T share one class, so explicit dereference is a
+// no-op in the IR.
+func (lw *lowerer) classOf(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	t = types.Unalias(t)
+	switch u := t.(type) {
+	case *types.Basic:
+		return ""
+	case *types.Pointer:
+		// *T ≡ T; a pointer to an untracked scalar is still a tracked
+		// location (e.g. *int flows through the analysis as an object).
+		if c := lw.classOf(u.Elem()); c != "" {
+			return c
+		}
+		return lw.containerClass("*"+lw.typeString(u.Elem()), nil)
+	case *types.Named:
+		return lw.namedClass(u)
+	case *types.TypeParam:
+		return program.ObjectClass
+	case *types.Interface:
+		// Unnamed interfaces (any, error's underlying, ad-hoc ones):
+		// the analysis treats them as the universal supertype.
+		return program.ObjectClass
+	case *types.Slice:
+		return lw.containerClass(lw.typeString(t), u.Elem())
+	case *types.Array:
+		return lw.containerClass(lw.typeString(t), u.Elem())
+	case *types.Map:
+		name := lw.typeString(t)
+		rec, fresh := lw.container(name)
+		if fresh {
+			lw.addField(rec.cls, program.ArrayField)
+			lw.addField(rec.cls, KeyField)
+		}
+		return name
+	case *types.Chan:
+		return lw.containerClass(lw.typeString(t), u.Elem())
+	case *types.Signature:
+		lw.funcInterface()
+		return FuncInterface
+	case *types.Struct:
+		// Unnamed struct type used directly.
+		name := lw.typeString(t)
+		rec, fresh := lw.container(name)
+		if fresh {
+			lw.structFields(rec, u)
+		}
+		return name
+	case *types.Tuple:
+		return ""
+	default:
+		return ""
+	}
+}
+
+// container interns a concrete container/synthetic class by name,
+// reporting whether it was just created.
+func (lw *lowerer) container(name string) (*classRec, bool) {
+	if rec, ok := lw.classes[name]; ok {
+		return rec, false
+	}
+	return lw.ensureClass(name), true
+}
+
+// containerClass interns a single-payload container class (slice,
+// array, channel, pointer-to-scalar) whose element lives in the "[]"
+// field.
+func (lw *lowerer) containerClass(name string, elem types.Type) string {
+	rec, fresh := lw.container(name)
+	if fresh {
+		lw.addField(rec.cls, program.ArrayField)
+	}
+	_ = elem
+	return name
+}
+
+// funcInterface interns the go.Func interface.
+func (lw *lowerer) funcInterface() *classRec {
+	rec, fresh := lw.container(FuncInterface)
+	if fresh {
+		rec.cls.IsInterface = true
+		rec.cls.Methods = append(rec.cls.Methods, &program.Method{Name: InvokeMethod, Abstract: true})
+	}
+	return rec
+}
+
+// externClass interns the opaque external-value class.
+func (lw *lowerer) externClass() string {
+	lw.container(ExternClass)
+	return ExternClass
+}
+
+// namedClass interns the class of a named Go type. Generic
+// instantiations collapse onto their origin (one class per generic
+// declaration), named func types collapse onto go.Func (so closures
+// assigned to them survive the type filter), and named pointer types
+// redirect to their pointee; see the caveats table.
+func (lw *lowerer) namedClass(n *types.Named) string {
+	n = n.Origin()
+	obj := n.Obj()
+	if obj.Pkg() == nil {
+		// Universe types: error, comparable — opaque interfaces.
+		return program.ObjectClass
+	}
+	name := qualify(obj.Pkg(), obj.Name())
+	if rec, ok := lw.classes[name]; ok {
+		return rec.cls.Name
+	}
+	if redir, ok := lw.namedRedirect[name]; ok {
+		return redir
+	}
+	switch u := n.Underlying().(type) {
+	case *types.Basic:
+		if u.Kind() != types.Invalid {
+			return "" // named scalar (type Weight float64)
+		}
+		// Invalid underlying: an external named type resolved through a
+		// placeholder import — keep it as an opaque concrete class (we
+		// know the identity, not the shape).
+	case *types.Signature:
+		lw.namedRedirect[name] = FuncInterface
+		lw.funcInterface()
+		return FuncInterface
+	case *types.Pointer:
+		// type P *T: identify with the pointee, like every pointer.
+		// Guard against type P *P self-reference.
+		lw.namedRedirect[name] = program.ObjectClass
+		c := lw.classOf(u.Elem())
+		if c == "" {
+			c = lw.containerClass("*"+lw.typeString(u.Elem()), nil)
+		}
+		lw.namedRedirect[name] = c
+		return c
+	}
+	rec := lw.ensureClass(name)
+	rec.named = n
+	switch u := n.Underlying().(type) {
+	case *types.Interface:
+		rec.cls.IsInterface = true
+		for i := 0; i < u.NumMethods(); i++ {
+			m := u.Method(i)
+			rec.cls.Methods = append(rec.cls.Methods,
+				&program.Method{Name: lw.methodIRName(m.Name()), Abstract: true})
+		}
+	case *types.Struct:
+		lw.structFields(rec, u)
+	case *types.Slice, *types.Array, *types.Chan:
+		lw.addField(rec.cls, program.ArrayField)
+	case *types.Map:
+		lw.addField(rec.cls, program.ArrayField)
+		lw.addField(rec.cls, KeyField)
+	}
+	return name
+}
+
+// structFields declares a struct's reference-like fields. The first
+// embedded named struct becomes the superclass (Go embedding promotes
+// its methods, which single inheritance models exactly); every other
+// embedded field stays an ordinary field under its implicit Go name.
+func (lw *lowerer) structFields(rec *classRec, st *types.Struct) {
+	for i := 0; i < st.NumFields(); i++ {
+		fd := st.Field(i)
+		ft := types.Unalias(fd.Type())
+		if fd.Embedded() && rec.cls.Super == "" && rec.superField == "" {
+			base := ft
+			if p, ok := base.(*types.Pointer); ok {
+				base = types.Unalias(p.Elem())
+			}
+			if en, ok := base.(*types.Named); ok {
+				if _, isStruct := en.Underlying().(*types.Struct); isStruct {
+					super := lw.namedClass(en)
+					if super != "" && super != rec.cls.Name {
+						rec.cls.Super = super
+						rec.superField = fd.Name()
+						continue
+					}
+				}
+			}
+		}
+		if lw.tracked(fd.Type()) {
+			lw.addField(rec.cls, lw.fieldName(rec.cls.Name, fd.Name()))
+		}
+	}
+}
+
+// fieldName qualifies a Go struct field with its declaring class so
+// same-named fields of unrelated types do not alias.
+func (lw *lowerer) fieldName(class, field string) string {
+	if class == "" {
+		return field
+	}
+	return class + "." + field
+}
+
+func (lw *lowerer) addField(c *program.Class, name string) {
+	for _, f := range c.Fields {
+		if f == name {
+			return
+		}
+	}
+	c.Fields = append(c.Fields, name)
+}
+
+// methodIRName mangles the two Go method names the IR reserves for the
+// thread convention (start/run spawn goroutine bodies in extract).
+func (lw *lowerer) methodIRName(name string) string {
+	if name == "start" || name == "run" {
+		return "go$" + name
+	}
+	return name
+}
+
+// pkgClass interns the static-method holder class of a package: Go's
+// package-level functions are its static methods, and package-level
+// variables live in <global> fields prefixed with the import path.
+func (lw *lowerer) pkgClass(importPath string) *classRec {
+	rec, _ := lw.container(importPath)
+	return rec
+}
+
+// globalField names the <global> field of a package-level variable.
+func globalField(importPath, varName string) string {
+	return importPath + "." + varName
+}
+
+// implementsPass records, for every concrete named class, the loaded
+// interfaces its Go type (or pointer to it) satisfies, wiring Go's
+// structural interface satisfaction into the IR's nominal cha edges.
+func (lw *lowerer) implementsPass() {
+	var ifaces []*classRec
+	for _, name := range lw.classOrder {
+		rec := lw.classes[name]
+		if rec.cls.IsInterface && rec.named != nil {
+			ifaces = append(ifaces, rec)
+		}
+	}
+	for _, name := range lw.classOrder {
+		rec := lw.classes[name]
+		if rec.named == nil || rec.cls.IsInterface {
+			continue
+		}
+		for _, ir := range ifaces {
+			it, ok := ir.named.Underlying().(*types.Interface)
+			if !ok || it.Empty() {
+				continue
+			}
+			if types.Implements(rec.named, it) || types.Implements(types.NewPointer(rec.named), it) {
+				rec.cls.Interfaces = append(rec.cls.Interfaces, ir.cls.Name)
+			}
+		}
+	}
+}
+
+// finalize assembles the validated IR program. Super cycles were
+// broken right after the declaration pass (before any body consulted
+// superField), so the class set is structurally sound here.
+func (lw *lowerer) finalize() (*program.Program, error) {
+	classes := make([]*program.Class, 0, len(lw.classOrder))
+	for _, name := range lw.classOrder {
+		c := lw.classes[name].cls
+		if c.Name == program.ObjectClass || c.Name == program.ThreadClass {
+			continue // implicit roots added by validation
+		}
+		classes = append(classes, c)
+	}
+	p, err := program.New(classes, lw.entries)
+	if err != nil {
+		return nil, fmt.Errorf("gofront: assembling IR: %w", err)
+	}
+	return p, nil
+}
+
+// breakSuperCycles demotes a superclass edge back to a plain field
+// wherever mutual pointer embedding produced an inheritance cycle
+// (type A struct{ *B }; type B struct{ *A } is legal Go).
+func (lw *lowerer) breakSuperCycles() {
+	for _, name := range lw.classOrder {
+		seen := map[string]bool{name: true}
+		for cur := lw.classes[name]; cur.cls.Super != ""; {
+			next, ok := lw.classes[cur.cls.Super]
+			if !ok {
+				break
+			}
+			if seen[next.cls.Name] {
+				lw.addField(cur.cls, lw.fieldName(cur.cls.Name, cur.superField))
+				cur.cls.Super = ""
+				cur.superField = ""
+				break
+			}
+			seen[next.cls.Name] = true
+			cur = next
+		}
+	}
+}
+
+// sanitizeTypeName keeps synthetic member names readable in heap-site
+// labels.
+func sanitizeTypeName(s string) string {
+	s = strings.NewReplacer("/", "_", " ", "").Replace(s)
+	if len(s) > 40 {
+		s = s[:40]
+	}
+	return s
+}

@@ -1,0 +1,126 @@
+package gofront
+
+import (
+	"testing"
+
+	"bddbddb/internal/analysis"
+	"bddbddb/internal/extract"
+	"bddbddb/internal/program"
+)
+
+// TestSelfLower: the frontend must lower this repository's own
+// packages — the acceptance bar for "point the analysis at real Go".
+func TestSelfLower(t *testing.T) {
+	res, err := Lower([]string{"../../../internal/order"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Prog.Stats()
+	if st.Methods == 0 || st.Allocs == 0 {
+		t.Fatalf("degenerate lowering: %+v", st)
+	}
+	f, err := extract.Extract(res.Prog, extract.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := analysis.RunContextSensitiveOnTheFly(f, analysis.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.PointsToPairs()) == 0 {
+		t.Fatal("self-analysis produced an empty vP")
+	}
+}
+
+// TestSelfLowerWholeRepo lowers every package of this module and
+// checks the IR validates and extracts; a broad crash-and-validity
+// sweep over real-world Go (generics, closures, goroutines, channels,
+// interfaces, embedding — this repo uses all of it).
+func TestSelfLowerWholeRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-repo lowering in -short mode")
+	}
+	res, err := Lower([]string{"../../../..."}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Prog.Stats()
+	if st.Classes < 100 || st.Methods < 100 || st.Stmts < 1000 {
+		t.Fatalf("implausibly small whole-repo lowering: %+v", st)
+	}
+	if res.Meta.Funcs == 0 || res.Meta.Closures == 0 {
+		t.Fatalf("tallies missing: %+v", res.Meta)
+	}
+	f, err := extract.Extract(res.Prog, extract.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.VP0) == 0 || len(f.Store) == 0 || len(f.Load) == 0 {
+		t.Fatal("degenerate facts from whole-repo lowering")
+	}
+}
+
+// TestEntryModes: the root set must follow Options.Entries.
+func TestEntryModes(t *testing.T) {
+	all, err := Lower([]string{"testdata/src/multiret"}, Options{Entries: EntryAll})
+	if err != nil {
+		t.Fatal(err)
+	}
+	auto, err := Lower([]string{"testdata/src/multiret"}, Options{Entries: EntryAuto})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all.Prog.Entries) <= len(auto.Prog.Entries) {
+		t.Fatalf("EntryAll (%d roots) should root more than EntryAuto=main (%d)",
+			len(all.Prog.Entries), len(auto.Prog.Entries))
+	}
+	foundMain := false
+	for _, e := range auto.Prog.Entries {
+		if e.Method == "main" {
+			foundMain = true
+		}
+	}
+	if !foundMain {
+		t.Fatalf("EntryAuto on a main package must root main, got %v", auto.Prog.Entries)
+	}
+}
+
+// TestMetaPositions: lowered statements must map back to source.
+func TestMetaPositions(t *testing.T) {
+	res := lowerFixture(t, "hello")
+	var c *program.Class
+	for _, cl := range res.Prog.Classes {
+		if cl.Name == "hello" {
+			c = cl
+		}
+	}
+	if c == nil {
+		t.Fatal("package class hello missing")
+	}
+	m := c.Method("main")
+	if m == nil {
+		t.Fatal("hello.main missing")
+	}
+	withPos := 0
+	for i := range m.Stmts {
+		if p := res.Meta.Pos(m.QName(), i); p.IsValid() {
+			withPos++
+		}
+	}
+	if withPos == 0 {
+		t.Fatal("no statement of hello.main has a source position")
+	}
+}
+
+// TestCaveatsTable: the documented unsoundness table must stay
+// non-empty and well-formed — reports lean on it.
+func TestCaveatsTable(t *testing.T) {
+	if len(Caveats) < 10 {
+		t.Fatalf("caveats table implausibly small: %d entries", len(Caveats))
+	}
+	for _, c := range Caveats {
+		if c.Construct == "" || c.Handling == "" || c.Unsound == "" {
+			t.Fatalf("incomplete caveat row: %+v", c)
+		}
+	}
+}

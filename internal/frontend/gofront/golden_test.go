@@ -1,0 +1,104 @@
+package gofront
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"bddbddb/internal/program"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden .jp lowering files")
+
+// fixtureNames lists the self-contained modules under testdata/src.
+func fixtureNames(t *testing.T) []string {
+	t.Helper()
+	ents, err := os.ReadDir(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range ents {
+		if e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		t.Fatal("no fixtures under testdata/src")
+	}
+	return names
+}
+
+func lowerFixture(t *testing.T, name string) *Result {
+	t.Helper()
+	res, err := Lower([]string{filepath.Join("testdata", "src", name)}, Options{})
+	if err != nil {
+		t.Fatalf("lowering %s: %v", name, err)
+	}
+	return res
+}
+
+// TestGoldenLowering locks the .go → .jp lowering down textually: each
+// fixture's lowered IR, rendered by program.Format, must match its
+// golden file. Regenerate with `go test ./internal/frontend/gofront
+// -run TestGoldenLowering -update` after intentional changes.
+func TestGoldenLowering(t *testing.T) {
+	for _, name := range fixtureNames(t) {
+		t.Run(name, func(t *testing.T) {
+			res := lowerFixture(t, name)
+			got := program.Format(res.Prog)
+			goldenPath := filepath.Join("testdata", "golden", name+".jp")
+			if *updateGolden {
+				if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			wantBytes, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update to create): %v", err)
+			}
+			want := string(wantBytes)
+			if got != want {
+				t.Fatalf("lowering of %s diverges from golden:\n%s", name, firstDiff(got, want))
+			}
+		})
+	}
+}
+
+// firstDiff renders the first differing line with context.
+func firstDiff(got, want string) string {
+	g := strings.Split(got, "\n")
+	w := strings.Split(want, "\n")
+	for i := 0; i < len(g) || i < len(w); i++ {
+		gl, wl := "", ""
+		if i < len(g) {
+			gl = g[i]
+		}
+		if i < len(w) {
+			wl = w[i]
+		}
+		if gl != wl {
+			return fmt.Sprintf("line %d:\n  got:  %q\n  want: %q", i+1, gl, wl)
+		}
+	}
+	return "(equal?)"
+}
+
+// TestGoldenDeterministic: two independent lowerings of the same
+// fixture must render identically — map iteration must never leak into
+// class, method, or statement order.
+func TestGoldenDeterministic(t *testing.T) {
+	for _, name := range fixtureNames(t) {
+		a := program.Format(lowerFixture(t, name).Prog)
+		b := program.Format(lowerFixture(t, name).Prog)
+		if a != b {
+			t.Fatalf("%s: nondeterministic lowering:\n%s", name, firstDiff(a, b))
+		}
+	}
+}

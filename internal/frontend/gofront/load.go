@@ -1,0 +1,273 @@
+package gofront
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// loadedPkg is one parsed, type-checked Go package.
+type loadedPkg struct {
+	ImportPath string
+	Dir        string
+	Files      []*ast.File
+	Pkg        *types.Package
+	Info       *types.Info
+	TypeErrors []error
+	Requested  bool // named by a pattern (vs pulled in as a dependency)
+}
+
+// moduleInfo locates the enclosing module of a directory.
+type moduleInfo struct {
+	Root string // directory holding go.mod
+	Path string // module path declared there
+}
+
+func findModule(dir string) (moduleInfo, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return moduleInfo{}, err
+	}
+	for cur := abs; ; {
+		data, err := os.ReadFile(filepath.Join(cur, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return moduleInfo{Root: cur, Path: strings.TrimSpace(rest)}, nil
+				}
+			}
+			return moduleInfo{}, fmt.Errorf("gofront: %s/go.mod has no module line", cur)
+		}
+		parent := filepath.Dir(cur)
+		if parent == cur {
+			return moduleInfo{}, fmt.Errorf("gofront: no go.mod above %s", dir)
+		}
+		cur = parent
+	}
+}
+
+// resolvePatterns expands package patterns (directories, optionally
+// with a trailing /... for recursion) into directories containing Go
+// files, all within one module.
+func resolvePatterns(patterns []string) (moduleInfo, []string, error) {
+	var mod moduleInfo
+	var dirs []string
+	seen := make(map[string]bool)
+	add := func(dir string) error {
+		abs, err := filepath.Abs(dir)
+		if err != nil {
+			return err
+		}
+		if seen[abs] {
+			return nil
+		}
+		if !hasGoFiles(abs) {
+			return fmt.Errorf("gofront: no Go files in %s", dir)
+		}
+		seen[abs] = true
+		dirs = append(dirs, abs)
+		return nil
+	}
+	for _, p := range patterns {
+		rec := false
+		if rest, ok := strings.CutSuffix(p, "/..."); ok {
+			p, rec = rest, true
+		}
+		if p == "" {
+			p = "."
+		}
+		m, err := findModule(p)
+		if err != nil {
+			return moduleInfo{}, nil, err
+		}
+		if mod.Root == "" {
+			mod = m
+		} else if mod.Root != m.Root {
+			return moduleInfo{}, nil, fmt.Errorf("gofront: patterns span modules %s and %s", mod.Path, m.Path)
+		}
+		if !rec {
+			if err := add(p); err != nil {
+				return moduleInfo{}, nil, err
+			}
+			continue
+		}
+		err = filepath.WalkDir(p, func(sub string, d os.DirEntry, err error) error {
+			if err != nil || !d.IsDir() {
+				return err
+			}
+			name := d.Name()
+			if sub != p && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(sub) {
+				return add(sub)
+			}
+			return nil
+		})
+		if err != nil {
+			return moduleInfo{}, nil, err
+		}
+	}
+	if len(dirs) == 0 {
+		return moduleInfo{}, nil, fmt.Errorf("gofront: no packages matched %v", patterns)
+	}
+	return mod, dirs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		n := e.Name()
+		if !e.IsDir() && strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") && !strings.HasPrefix(n, "_") {
+			return true
+		}
+	}
+	return false
+}
+
+// loader parses and type-checks packages of one module, resolving
+// intra-module imports from source and everything else (stdlib,
+// external modules) as opaque placeholder packages; uses of those
+// produce tolerated type errors and the lowering treats the affected
+// expressions as external (see the caveats table).
+type loader struct {
+	mod  moduleInfo
+	fset *token.FileSet
+	pkgs map[string]*loadedPkg // import path -> package (may be in progress)
+}
+
+// placeholderImporter serves already-loaded module packages and
+// placeholder shells for everything else.
+type placeholderImporter struct {
+	ld *loader
+}
+
+func (pi placeholderImporter) Import(p string) (*types.Package, error) {
+	if lp, ok := pi.ld.pkgs[p]; ok && lp.Pkg != nil {
+		return lp.Pkg, nil
+	}
+	// Opaque placeholder: the name is the last path element, which is
+	// right for the stdlib and nearly always right elsewhere.
+	pkg := types.NewPackage(p, path.Base(p))
+	pkg.MarkComplete()
+	return pkg, nil
+}
+
+func (ld *loader) importPathFor(dir string) string {
+	rel, err := filepath.Rel(ld.mod.Root, dir)
+	if err != nil || rel == "." {
+		return ld.mod.Path
+	}
+	return ld.mod.Path + "/" + filepath.ToSlash(rel)
+}
+
+func (ld *loader) dirFor(importPath string) (string, bool) {
+	if importPath == ld.mod.Path {
+		return ld.mod.Root, true
+	}
+	rest, ok := strings.CutPrefix(importPath, ld.mod.Path+"/")
+	if !ok {
+		return "", false
+	}
+	return filepath.Join(ld.mod.Root, filepath.FromSlash(rest)), true
+}
+
+// load parses and type-checks the package in dir plus its intra-module
+// dependencies (depth-first, so dependencies are checked before their
+// importers; Go forbids import cycles so recursion terminates).
+func (ld *loader) load(dir string, requested bool) (*loadedPkg, error) {
+	ip := ld.importPathFor(dir)
+	if lp, ok := ld.pkgs[ip]; ok {
+		lp.Requested = lp.Requested || requested
+		return lp, nil
+	}
+	lp := &loadedPkg{ImportPath: ip, Dir: dir, Requested: requested}
+	ld.pkgs[ip] = lp
+
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		n := e.Name()
+		if !e.IsDir() && strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") && !strings.HasPrefix(n, "_") {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("gofront: no Go files in %s", dir)
+	}
+	for _, n := range names {
+		file, err := parser.ParseFile(ld.fset, filepath.Join(dir, n), nil, parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("gofront: %w", err)
+		}
+		lp.Files = append(lp.Files, file)
+	}
+
+	// Intra-module dependencies first.
+	for _, file := range lp.Files {
+		for _, imp := range file.Imports {
+			p := strings.Trim(imp.Path.Value, `"`)
+			if depDir, ok := ld.dirFor(p); ok {
+				if _, err := ld.load(depDir, false); err != nil {
+					return nil, fmt.Errorf("gofront: loading dependency %s: %w", p, err)
+				}
+			}
+		}
+	}
+
+	lp.Info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer: placeholderImporter{ld},
+		Error:    func(err error) { lp.TypeErrors = append(lp.TypeErrors, err) },
+	}
+	pkg, err := conf.Check(ip, ld.fset, lp.Files, lp.Info)
+	if pkg == nil {
+		return nil, fmt.Errorf("gofront: type-checking %s: %w", ip, err)
+	}
+	lp.Pkg = pkg
+	return lp, nil
+}
+
+// loadPackages resolves patterns and loads every matched package and
+// its intra-module dependency closure. Packages come back in
+// deterministic import-path order, dependencies included.
+func loadPackages(patterns []string) (*loader, []*loadedPkg, error) {
+	mod, dirs, err := resolvePatterns(patterns)
+	if err != nil {
+		return nil, nil, err
+	}
+	ld := &loader{mod: mod, fset: token.NewFileSet(), pkgs: make(map[string]*loadedPkg)}
+	for _, dir := range dirs {
+		if _, err := ld.load(dir, true); err != nil {
+			return nil, nil, err
+		}
+	}
+	var out []*loadedPkg
+	for _, lp := range ld.pkgs {
+		out = append(out, lp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ImportPath < out[j].ImportPath })
+	return ld, out, nil
+}

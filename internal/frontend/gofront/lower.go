@@ -1,0 +1,1102 @@
+package gofront
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"bddbddb/internal/program"
+)
+
+// fnShape records how a lowered function's Go results map onto the
+// IR's single return variable: one tracked result returns directly,
+// two or more Go results return a synthetic tuple object whose fields
+// r0..rn hold the tracked ones.
+type fnShape struct {
+	resCls     []string // per Go result index; "" = untracked
+	tuple      bool
+	tupleClass string
+}
+
+func (lw *lowerer) shapeOf(sig *types.Signature) fnShape {
+	var s fnShape
+	hasTracked := false
+	for i := 0; i < sig.Results().Len(); i++ {
+		c := lw.classOf(sig.Results().At(i).Type())
+		s.resCls = append(s.resCls, c)
+		if c != "" {
+			hasTracked = true
+		}
+	}
+	s.tuple = sig.Results().Len() >= 2 && hasTracked
+	return s
+}
+
+// tupleField is the shared field name of the i'th tracked result slot.
+func tupleField(i int) string { return fmt.Sprintf("r%d", i) }
+
+// declareTypes interns a class for every package-level named type.
+func (lw *lowerer) declareTypes(lp *loadedPkg) {
+	scope := lp.Pkg.Scope()
+	for _, name := range scope.Names() {
+		if tn, ok := scope.Lookup(name).(*types.TypeName); ok && !tn.IsAlias() {
+			if n, ok := tn.Type().(*types.Named); ok {
+				lw.namedClass(n)
+			}
+		}
+	}
+}
+
+// declareFuncs creates method shells for every function and method of
+// a package, so call sites resolve regardless of lowering order.
+func (lw *lowerer) declareFuncs(lp *loadedPkg) {
+	initCount := 0
+	for _, file := range lp.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			fn, _ := lp.Info.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			sig, _ := fn.Type().(*types.Signature)
+			if sig == nil {
+				continue
+			}
+			if fd.Recv == nil {
+				name := fn.Name()
+				if name == "init" {
+					initCount++
+					name = fmt.Sprintf("init#%d", initCount)
+				}
+				holder := lw.pkgClass(lp.ImportPath)
+				m := lw.buildShell(holder.cls, lw.uniqueMethodName(holder.cls, name), sig, true, false)
+				lw.funcMethods[fn] = m
+				if strings.HasPrefix(name, "init#") {
+					lw.initMethods = append(lw.initMethods, program.MethodRef{Class: m.Class, Method: m.Name})
+				}
+				continue
+			}
+			recvCls := lw.classOf(sig.Recv().Type())
+			if recvCls != "" && recvCls != program.ObjectClass {
+				if rec, ok := lw.classes[recvCls]; ok && !rec.cls.IsInterface {
+					m := lw.buildShell(rec.cls, lw.uniqueMethodName(rec.cls, lw.methodIRName(fn.Name())), sig, false, false)
+					lw.funcMethods[fn] = m
+					continue
+				}
+			}
+			// Demoted method: receiver is untracked (named scalar) or an
+			// interface-shaped class (named func type) — lower as a static
+			// pkg function taking the receiver as first parameter.
+			holder := lw.pkgClass(lp.ImportPath)
+			name := lw.uniqueMethodName(holder.cls, recvTypeName(sig)+"$"+fn.Name())
+			m := lw.buildShell(holder.cls, name, sig, true, true)
+			lw.funcMethods[fn] = m
+		}
+	}
+}
+
+func recvTypeName(sig *types.Signature) string {
+	t := types.Unalias(sig.Recv().Type())
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return "recv"
+}
+
+func (lw *lowerer) uniqueMethodName(c *program.Class, base string) string {
+	name := base
+	for i := 2; c.Method(name) != nil; i++ {
+		name = fmt.Sprintf("%s#%d", base, i)
+	}
+	return name
+}
+
+// buildShell creates a bodiless method on the class, with IR params
+// mirroring the Go signature (untracked params keep their slot so
+// actual/formal positions stay aligned) and the return convention of
+// shapeOf. withRecv prepends the receiver as first parameter (demoted
+// methods).
+func (lw *lowerer) buildShell(c *program.Class, name string, sig *types.Signature, static, withRecv bool) *program.Method {
+	m := &program.Method{Name: name, Class: c.Name, Static: static, VarTypes: map[string]string{}}
+	taken := map[string]bool{"this": true}
+	param := func(v *types.Var, fallback string) {
+		pn := v.Name()
+		if pn == "" || pn == "_" || pn == "this" {
+			pn = fallback
+		}
+		for i := 2; taken[pn]; i++ {
+			pn = fmt.Sprintf("%s#%d", v.Name(), i)
+		}
+		taken[pn] = true
+		m.Params = append(m.Params, program.Param{Name: pn, Type: lw.paramType(v.Type())})
+	}
+	if withRecv {
+		param(sig.Recv(), "recv$")
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		param(sig.Params().At(i), fmt.Sprintf("p%d", i))
+	}
+	shape := lw.shapeOf(sig)
+	if shape.tuple {
+		shape.tupleClass = c.Name + "." + name + "$res"
+		rec, fresh := lw.container(shape.tupleClass)
+		if fresh {
+			for i, rc := range shape.resCls {
+				if rc != "" {
+					lw.addField(rec.cls, tupleField(i))
+				}
+			}
+		}
+		m.Ret = program.Param{Name: "$ret", Type: shape.tupleClass}
+	} else if len(shape.resCls) == 1 && shape.resCls[0] != "" {
+		m.Ret = program.Param{Name: "$ret", Type: shape.resCls[0]}
+	}
+	c.Methods = append(c.Methods, m)
+	lw.shapes[m] = shape
+	return m
+}
+
+// paramType maps a Go param/local type to a declared IR class ("" =
+// java.lang.Object, which validate treats as the default).
+func (lw *lowerer) paramType(t types.Type) string {
+	c := lw.classOf(t)
+	if c == program.ObjectClass {
+		return ""
+	}
+	return c
+}
+
+// methodFor resolves a Go function object (or a generic instantiation
+// of one) to its lowered IR method.
+func (lw *lowerer) methodFor(fn *types.Func) *program.Method {
+	if m, ok := lw.funcMethods[fn]; ok {
+		return m
+	}
+	if o := fn.Origin(); o != fn {
+		return lw.funcMethods[o]
+	}
+	return nil
+}
+
+// lowerPackage lowers every body in the package: package-level
+// variable initializers into a synthetic init$vars static method, and
+// each declared function/method into its shell.
+func (lw *lowerer) lowerPackage(lp *loadedPkg) {
+	var initFL *fnLowerer
+	initLowerer := func() *fnLowerer {
+		if initFL == nil {
+			holder := lw.pkgClass(lp.ImportPath)
+			m := lw.buildShell(holder.cls, lw.uniqueMethodName(holder.cls, "init$vars"), types.NewSignatureType(nil, nil, nil, nil, nil, false), true, false)
+			lw.initMethods = append(lw.initMethods, program.MethodRef{Class: m.Class, Method: m.Name})
+			initFL = lw.newFnLowerer(lp, m, nil)
+		}
+		return initFL
+	}
+	for _, file := range lp.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.GenDecl:
+				if d.Tok != token.VAR {
+					continue
+				}
+				fl := initLowerer()
+				for _, spec := range d.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					fl.lowerGlobalSpec(lp, vs)
+				}
+			case *ast.FuncDecl:
+				if d.Body == nil {
+					continue
+				}
+				fn, _ := lp.Info.Defs[d.Name].(*types.Func)
+				if fn == nil {
+					continue
+				}
+				m := lw.methodFor(fn)
+				if m == nil {
+					continue
+				}
+				lw.lowerFuncBody(lp, m, fn, d)
+				lw.meta.Funcs++
+			}
+		}
+	}
+	if initFL != nil {
+		initFL.finish()
+	}
+}
+
+// lowerGlobalSpec lowers one package-level `var` spec into the
+// initializer: each tracked initial value is stored into the
+// variable's <global> field.
+func (fl *fnLowerer) lowerGlobalSpec(lp *loadedPkg, vs *ast.ValueSpec) {
+	n := len(vs.Names)
+	if len(vs.Values) == 1 && n > 1 {
+		// var a, b = f()
+		if call, ok := ast.Unparen(vs.Values[0]).(*ast.CallExpr); ok {
+			results := fl.lowerCall(call)
+			for i, id := range vs.Names {
+				if i < len(results) && results[i] != "" {
+					fl.storeGlobalIdent(lp, id, results[i], vs.Pos())
+				}
+			}
+			return
+		}
+	}
+	for i, id := range vs.Names {
+		if i >= len(vs.Values) {
+			break
+		}
+		v := fl.value(vs.Values[i])
+		if v != "" {
+			fl.storeGlobalIdent(lp, id, v, vs.Pos())
+		}
+	}
+}
+
+func (fl *fnLowerer) storeGlobalIdent(lp *loadedPkg, id *ast.Ident, src string, pos token.Pos) {
+	if id.Name == "_" {
+		return
+	}
+	fl.emit(program.Stmt{Kind: program.StStoreGlobal, Field: globalField(lp.ImportPath, id.Name), Src: src}, pos)
+}
+
+// lowerFuncBody lowers a declared function/method body into its shell.
+func (lw *lowerer) lowerFuncBody(lp *loadedPkg, m *program.Method, fn *types.Func, d *ast.FuncDecl) {
+	fl := lw.newFnLowerer(lp, m, fn.Type().(*types.Signature))
+	fl.span = [2]token.Pos{d.Pos(), d.End()}
+	// Bind the receiver.
+	if d.Recv != nil && len(d.Recv.List) > 0 && len(d.Recv.List[0].Names) > 0 {
+		if ro, ok := lp.Info.Defs[d.Recv.List[0].Names[0]].(*types.Var); ok {
+			if m.Static {
+				fl.names[ro] = m.Params[0].Name // demoted method: receiver is param 0
+			} else {
+				fl.names[ro] = "this"
+			}
+		}
+	}
+	fl.bindParams(d.Type, fn.Type().(*types.Signature))
+	fl.lowerBlock(d.Body)
+	fl.finish()
+}
+
+// fnLowerer lowers one method body.
+type fnLowerer struct {
+	lw  *lowerer
+	lp  *loadedPkg
+	m   *program.Method
+	sig *types.Signature
+	pos []token.Position
+
+	names map[types.Object]string
+	taken map[string]bool
+	tmpc  int
+	span  [2]token.Pos // source extent of this function (capture test)
+
+	// Closure support.
+	parent   *fnLowerer
+	closRec  *classRec
+	captures map[types.Object]string // captured object -> field on closRec
+	capOrder []types.Object
+
+	// &scalar cells, interned per local so every &x aliases one cell.
+	addrCells map[types.Object]string
+
+	resultVars []string // named result variables ("" = unnamed)
+	unkVar     string
+	nilVar     string
+}
+
+func (lw *lowerer) newFnLowerer(lp *loadedPkg, m *program.Method, sig *types.Signature) *fnLowerer {
+	fl := &fnLowerer{
+		lw: lw, lp: lp, m: m, sig: sig,
+		names:     make(map[types.Object]string),
+		taken:     map[string]bool{"this": true},
+		captures:  make(map[types.Object]string),
+		addrCells: make(map[types.Object]string),
+	}
+	for _, p := range m.Params {
+		fl.taken[p.Name] = true
+	}
+	return fl
+}
+
+func (fl *fnLowerer) info() *types.Info { return fl.lp.Info }
+
+// bindParams maps the Go parameter objects onto the shell's IR param
+// names (and named results onto fresh locals).
+func (fl *fnLowerer) bindParams(ft *ast.FuncType, sig *types.Signature) {
+	idx := 0
+	if len(fl.m.Params) > len(collectParamIdents(ft)) {
+		idx = 1 // demoted method: slot 0 is the receiver
+	}
+	for _, id := range collectParamIdents(ft) {
+		if idx >= len(fl.m.Params) {
+			break
+		}
+		if obj, ok := fl.info().Defs[id].(*types.Var); ok && id.Name != "_" {
+			fl.names[obj] = fl.m.Params[idx].Name
+		}
+		idx++
+	}
+	if ft.Results != nil {
+		fl.resultVars = make([]string, sig.Results().Len())
+		i := 0
+		for _, field := range ft.Results.List {
+			if len(field.Names) == 0 {
+				i++
+				continue
+			}
+			for _, id := range field.Names {
+				if obj, ok := fl.info().Defs[id].(*types.Var); ok && id.Name != "_" {
+					name := fl.alloc(id.Name)
+					fl.declare(name, fl.lw.classOf(obj.Type()))
+					fl.names[obj] = name
+					if i < len(fl.resultVars) {
+						fl.resultVars[i] = name
+					}
+				}
+				i++
+			}
+		}
+	}
+}
+
+func collectParamIdents(ft *ast.FuncType) []*ast.Ident {
+	var out []*ast.Ident
+	if ft.Params == nil {
+		return out
+	}
+	for _, field := range ft.Params.List {
+		if len(field.Names) == 0 {
+			out = append(out, nil)
+			continue
+		}
+		out = append(out, field.Names...)
+	}
+	// Unnamed params (nil entries) still occupy shell slots.
+	for i, id := range out {
+		if id == nil {
+			out[i] = &ast.Ident{Name: "_"}
+		}
+	}
+	return out
+}
+
+func (fl *fnLowerer) emit(st program.Stmt, pos token.Pos) {
+	fl.m.Stmts = append(fl.m.Stmts, st)
+	var p token.Position
+	if pos.IsValid() {
+		p = fl.lw.ld.fset.Position(pos)
+	}
+	fl.pos = append(fl.pos, p)
+}
+
+func (fl *fnLowerer) finish() {
+	fl.lw.meta.StmtPos[fl.m.QName()] = fl.pos
+}
+
+// alloc claims a fresh IR variable name based on base.
+func (fl *fnLowerer) alloc(base string) string {
+	if base == "" || base == "_" {
+		base = "v"
+	}
+	name := base
+	for i := 2; fl.taken[name]; i++ {
+		name = fmt.Sprintf("%s#%d", base, i)
+	}
+	fl.taken[name] = true
+	return name
+}
+
+func (fl *fnLowerer) fresh() string {
+	name := fmt.Sprintf("$t%d", fl.tmpc)
+	fl.tmpc++
+	fl.taken[name] = true
+	return name
+}
+
+// declare records a variable's declared class (Object stays implicit).
+func (fl *fnLowerer) declare(name, class string) {
+	if class != "" && class != program.ObjectClass {
+		fl.m.VarTypes[name] = class
+	}
+}
+
+// unk returns the method's shared placeholder for untracked values
+// (keeps argument positions aligned); nil the shared never-assigned
+// variable modelling Go's nil.
+func (fl *fnLowerer) unk() string {
+	if fl.unkVar == "" {
+		fl.unkVar = fl.alloc("$unk")
+	}
+	return fl.unkVar
+}
+
+func (fl *fnLowerer) nil_() string {
+	if fl.nilVar == "" {
+		fl.nilVar = fl.alloc("$nil")
+	}
+	return fl.nilVar
+}
+
+// varFor resolves a local object to its IR name, capturing it as a
+// closure field when it belongs to an enclosing function.
+func (fl *fnLowerer) varFor(obj *types.Var, pos token.Pos) string {
+	if n, ok := fl.names[obj]; ok {
+		return n
+	}
+	if fl.parent != nil && !fl.contains(obj.Pos()) {
+		field := fl.captureField(obj)
+		local := fl.alloc(obj.Name())
+		fl.declare(local, fl.lw.classOf(obj.Type()))
+		fl.emit(program.Stmt{Kind: program.StLoad, Dst: local, Src: "this", Field: field}, pos)
+		fl.names[obj] = local
+		return local
+	}
+	name := fl.alloc(obj.Name())
+	fl.declare(name, fl.lw.classOf(obj.Type()))
+	fl.names[obj] = name
+	return name
+}
+
+func (fl *fnLowerer) contains(p token.Pos) bool {
+	return fl.span[0] == 0 || (p >= fl.span[0] && p <= fl.span[1])
+}
+
+// captureField interns the closure field carrying obj.
+func (fl *fnLowerer) captureField(obj *types.Var) string {
+	if f, ok := fl.captures[obj]; ok {
+		return f
+	}
+	base := obj.Name()
+	if base == "" || base == "_" {
+		base = "cap"
+	}
+	field := base
+	for i := 2; hasField(fl.closRec.cls, field); i++ {
+		field = fmt.Sprintf("%s#%d", base, i)
+	}
+	fl.lw.addField(fl.closRec.cls, field)
+	fl.captures[obj] = field
+	fl.capOrder = append(fl.capOrder, obj)
+	return field
+}
+
+func hasField(c *program.Class, name string) bool {
+	for _, f := range c.Fields {
+		if f == name {
+			return true
+		}
+	}
+	return false
+}
+
+// isPkgLevel reports whether obj is a package-level variable.
+func isPkgLevel(obj *types.Var) bool {
+	return obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope()
+}
+
+// loadedPkgFor returns the loaded package declaring obj, or nil.
+func (fl *fnLowerer) loadedPkgFor(obj types.Object) *loadedPkg {
+	if obj.Pkg() == nil {
+		return nil
+	}
+	return fl.lw.ld.pkgs[obj.Pkg().Path()]
+}
+
+// ---------------------------------------------------------------------
+// Expressions
+
+// value lowers an expression and returns the IR variable holding its
+// value, or "" when the expression is untracked (scalar) or cannot be
+// modelled. Side effects (calls, allocations) are always lowered.
+func (fl *fnLowerer) value(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return fl.identValue(x)
+	case *ast.BasicLit:
+		return ""
+	case *ast.ParenExpr:
+		return fl.value(x.X)
+	case *ast.StarExpr:
+		return fl.value(x.X) // *p ≡ p (pointer collapsed onto pointee)
+	case *ast.SliceExpr:
+		return fl.value(x.X) // s[i:j] aliases s's backing
+	case *ast.UnaryExpr:
+		switch x.Op {
+		case token.AND:
+			return fl.addrValue(x.X)
+		case token.ARROW: // <-ch
+			ch := fl.value(x.X)
+			return fl.loadField(ch, program.ArrayField, fl.typeOf(e), x.Pos())
+		default:
+			fl.value(x.X)
+			return ""
+		}
+	case *ast.BinaryExpr:
+		fl.value(x.X)
+		fl.value(x.Y)
+		return ""
+	case *ast.CompositeLit:
+		return fl.compositeLit(x)
+	case *ast.FuncLit:
+		return fl.funcLit(x)
+	case *ast.CallExpr:
+		rs := fl.lowerCall(x)
+		if len(rs) > 0 {
+			return rs[0]
+		}
+		return ""
+	case *ast.SelectorExpr:
+		return fl.selectorValue(x)
+	case *ast.IndexExpr:
+		if sig, ok := types.Unalias(fl.typeOf(e)).(*types.Signature); ok && sig != nil {
+			return fl.value(x.X) // generic function instantiation
+		}
+		base := fl.value(x.X)
+		fl.value(x.Index)
+		if base == "" {
+			return ""
+		}
+		return fl.loadField(base, fl.indexField(x.X), fl.typeOf(e), x.Pos())
+	case *ast.IndexListExpr:
+		return fl.value(x.X) // generic instantiation with several args
+	case *ast.TypeAssertExpr:
+		v := fl.value(x.X)
+		cls := fl.lw.classOf(fl.typeOf(e))
+		if v == "" || cls == "" {
+			return v
+		}
+		out := fl.fresh()
+		fl.declare(out, cls)
+		fl.emit(program.Stmt{Kind: program.StMove, Dst: out, Src: v}, x.Pos())
+		return out
+	default:
+		return ""
+	}
+}
+
+func (fl *fnLowerer) typeOf(e ast.Expr) types.Type {
+	if tv, ok := fl.info().Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// indexField picks the field a subscript reads: "$key"-paired "[]" for
+// maps and "[]" for everything else.
+func (fl *fnLowerer) indexField(base ast.Expr) string {
+	return program.ArrayField
+}
+
+func (fl *fnLowerer) loadField(base, field string, t types.Type, pos token.Pos) string {
+	if base == "" || !fl.trackedOrNil(t) {
+		return ""
+	}
+	out := fl.fresh()
+	fl.declare(out, fl.lw.classOf(t))
+	fl.emit(program.Stmt{Kind: program.StLoad, Dst: out, Src: base, Field: field}, pos)
+	return out
+}
+
+// trackedOrNil: loads of untracked element types are dropped; nil type
+// (external/invalid) is treated as untracked.
+func (fl *fnLowerer) trackedOrNil(t types.Type) bool {
+	return t != nil && fl.lw.classOf(t) != ""
+}
+
+func (fl *fnLowerer) identValue(id *ast.Ident) string {
+	if id.Name == "_" {
+		return ""
+	}
+	obj := fl.info().Uses[id]
+	if obj == nil {
+		obj = fl.info().Defs[id]
+	}
+	switch o := obj.(type) {
+	case *types.Var:
+		if isPkgLevel(o) {
+			return fl.loadGlobal(o, id.Pos())
+		}
+		if !fl.lw.tracked(o.Type()) {
+			return ""
+		}
+		return fl.varFor(o, id.Pos())
+	case *types.Func:
+		return fl.funcValue(o, id.Pos())
+	case *types.Nil:
+		return fl.nil_()
+	case *types.Const, *types.Builtin, *types.TypeName, *types.PkgName:
+		return ""
+	}
+	// Unresolved identifier (type error against a placeholder import).
+	return ""
+}
+
+func (fl *fnLowerer) loadGlobal(o *types.Var, pos token.Pos) string {
+	if !fl.lw.tracked(o.Type()) {
+		return ""
+	}
+	lp := fl.loadedPkgFor(o)
+	if lp == nil {
+		return fl.allocValue(o.Type(), pos) // external package variable
+	}
+	out := fl.fresh()
+	fl.declare(out, fl.lw.classOf(o.Type()))
+	fl.emit(program.Stmt{Kind: program.StLoadGlobal, Dst: out, Field: globalField(lp.ImportPath, o.Name())}, pos)
+	return out
+}
+
+// addrValue lowers &x: for tracked x the pointer is the pointee; for a
+// scalar local, a per-variable cell object keeps all &x aliases
+// together.
+func (fl *fnLowerer) addrValue(x ast.Expr) string {
+	if v := fl.value(x); v != "" {
+		return v
+	}
+	if id, ok := ast.Unparen(x).(*ast.Ident); ok {
+		if o, ok := fl.info().ObjectOf(id).(*types.Var); ok && !isPkgLevel(o) {
+			if cell, ok := fl.addrCells[o]; ok {
+				return cell
+			}
+			cls := fl.lw.classOf(types.NewPointer(o.Type()))
+			cell := fl.alloc(o.Name() + "$cell")
+			fl.declare(cell, cls)
+			if cls != "" {
+				fl.emit(program.Stmt{Kind: program.StNew, Dst: cell, Type: cls}, x.Pos())
+			}
+			fl.addrCells[o] = cell
+			return cell
+		}
+	}
+	// &expr of an untracked non-ident: a fresh anonymous cell.
+	cls := fl.lw.classOf(types.NewPointer(types.Typ[types.Int]))
+	out := fl.fresh()
+	fl.emit(program.Stmt{Kind: program.StNew, Dst: out, Type: cls}, x.Pos())
+	return out
+}
+
+// compositeLit lowers T{...}: one allocation site plus stores for the
+// tracked elements.
+func (fl *fnLowerer) compositeLit(x *ast.CompositeLit) string {
+	t := fl.typeOf(x)
+	cls := fl.lw.classOf(t)
+	if cls == "" {
+		for _, el := range x.Elts {
+			fl.value(el)
+		}
+		return ""
+	}
+	out := fl.fresh()
+	fl.declare(out, cls)
+	alloc := cls
+	if rec, ok := fl.lw.classes[cls]; ok && rec.cls.IsInterface {
+		alloc = fl.lw.externImpl(rec)
+	}
+	fl.emit(program.Stmt{Kind: program.StNew, Dst: out, Type: alloc}, x.Pos())
+
+	under := types.Unalias(t)
+	if p, ok := under.(*types.Pointer); ok {
+		under = types.Unalias(p.Elem())
+	}
+	if n, ok := under.(*types.Named); ok {
+		under = n.Underlying()
+	}
+	switch u := under.(type) {
+	case *types.Struct:
+		for i, el := range x.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				v := fl.value(kv.Value)
+				if v == "" {
+					continue
+				}
+				if key, ok := kv.Key.(*ast.Ident); ok {
+					fl.storeStructField(out, u, key.Name, v, kv.Pos())
+				}
+			} else if i < u.NumFields() {
+				v := fl.value(el)
+				if v != "" {
+					fl.storeStructField(out, u, u.Field(i).Name(), v, el.Pos())
+				}
+			}
+		}
+	case *types.Map:
+		for _, el := range x.Elts {
+			kv, ok := el.(*ast.KeyValueExpr)
+			if !ok {
+				continue
+			}
+			if k := fl.value(kv.Key); k != "" {
+				fl.emit(program.Stmt{Kind: program.StStore, Dst: out, Field: KeyField, Src: k}, kv.Pos())
+			}
+			if v := fl.value(kv.Value); v != "" {
+				fl.emit(program.Stmt{Kind: program.StStore, Dst: out, Field: program.ArrayField, Src: v}, kv.Pos())
+			}
+		}
+	default: // slice, array
+		for _, el := range x.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			if v := fl.value(el); v != "" {
+				fl.emit(program.Stmt{Kind: program.StStore, Dst: out, Field: program.ArrayField, Src: v}, el.Pos())
+			}
+		}
+	}
+	return out
+}
+
+// storeStructField stores into a struct field by Go name, resolving
+// the declaring class for qualification; stores into the absorbed
+// super-embed field move the value instead (object identity).
+func (fl *fnLowerer) storeStructField(base string, st *types.Struct, field, src string, pos token.Pos) {
+	for i := 0; i < st.NumFields(); i++ {
+		fd := st.Field(i)
+		if fd.Name() != field {
+			continue
+		}
+		owner := fl.lw.classOf(fl.structOwnerType(st))
+		if rec, ok := fl.lw.classes[owner]; ok && rec.superField == field {
+			fl.emit(program.Stmt{Kind: program.StMove, Dst: base, Src: src}, pos)
+			return
+		}
+		fl.emit(program.Stmt{Kind: program.StStore, Dst: base, Field: fl.lw.fieldName(owner, field), Src: src}, pos)
+		return
+	}
+}
+
+// structOwnerType maps a struct back to a type classOf understands;
+// composite-literal lowering already peeled Named wrappers, so look
+// the struct up among declared classes by identity first.
+func (fl *fnLowerer) structOwnerType(st *types.Struct) types.Type {
+	for _, name := range fl.lw.classOrder {
+		rec := fl.lw.classes[name]
+		if rec.named != nil {
+			if u, ok := rec.named.Underlying().(*types.Struct); ok && u == st {
+				return rec.named
+			}
+		}
+	}
+	return st
+}
+
+// selectorValue lowers a non-call selector: qualified globals, struct
+// fields (walking embedded hops), and method values.
+func (fl *fnLowerer) selectorValue(x *ast.SelectorExpr) string {
+	// Qualified identifier pkg.X.
+	if id, ok := x.X.(*ast.Ident); ok {
+		if _, isPkg := fl.info().ObjectOf(id).(*types.PkgName); isPkg {
+			switch o := fl.info().ObjectOf(x.Sel).(type) {
+			case *types.Var:
+				return fl.loadGlobal(o, x.Pos())
+			case *types.Func:
+				return fl.funcValue(o, x.Pos())
+			case nil:
+				return fl.allocValue(fl.typeOf(x), x.Pos()) // placeholder package
+			default:
+				return ""
+			}
+		}
+	}
+	sel := fl.info().Selections[x]
+	if sel == nil {
+		// External or unresolved: evaluate the base, conjure the result.
+		fl.value(x.X)
+		return fl.allocValue(fl.typeOf(x), x.Pos())
+	}
+	switch sel.Kind() {
+	case types.FieldVal:
+		base, owner, fd := fl.walkSelection(x, sel)
+		if base == "" {
+			return ""
+		}
+		if rec, ok := fl.lw.classes[owner]; ok && rec.superField == fd.Name() {
+			return base // the absorbed super-embed IS the object
+		}
+		return fl.loadField(base, fl.lw.fieldName(owner, fd.Name()), fl.typeOf(x), x.Pos())
+	case types.MethodVal:
+		fn, _ := sel.Obj().(*types.Func)
+		recv := fl.value(x.X)
+		return fl.boundMethodValue(fn, recv, x.Pos())
+	case types.MethodExpr:
+		fn, _ := sel.Obj().(*types.Func)
+		return fl.methodExprValue(fn, x.Pos())
+	}
+	return ""
+}
+
+// walkSelection navigates a selection's embedded hops and returns the
+// base variable holding the direct owner of the final field, the owner
+// class name, and the field object.
+func (fl *fnLowerer) walkSelection(x *ast.SelectorExpr, sel *types.Selection) (string, string, *types.Var) {
+	base := fl.value(x.X)
+	cur := types.Unalias(sel.Recv())
+	idx := sel.Index()
+	for hop := 0; hop < len(idx)-1; hop++ {
+		st := derefStruct(cur)
+		if st == nil || base == "" {
+			return "", "", nil
+		}
+		fd := st.Field(idx[hop])
+		owner := fl.lw.classOf(peelToNamed(cur))
+		if rec, ok := fl.lw.classes[owner]; ok && rec.superField == fd.Name() {
+			// Inheritance hop: same object.
+		} else {
+			base = fl.loadField(base, fl.lw.fieldName(owner, fd.Name()), fd.Type(), x.Pos())
+		}
+		cur = fd.Type()
+	}
+	st := derefStruct(cur)
+	if st == nil {
+		return "", "", nil
+	}
+	fd := st.Field(idx[len(idx)-1])
+	return base, fl.lw.classOf(peelToNamed(cur)), fd
+}
+
+func peelToNamed(t types.Type) types.Type {
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		return peelToNamed(p.Elem())
+	}
+	return t
+}
+
+func derefStruct(t types.Type) *types.Struct {
+	t = peelToNamed(t)
+	if n, ok := t.(*types.Named); ok {
+		t = n.Underlying()
+	}
+	st, _ := types.Unalias(t).(*types.Struct)
+	return st
+}
+
+// ---------------------------------------------------------------------
+// Function values, closures, goroutines
+
+// funcValue wraps a top-level function as a go.Func object whose
+// invoke method statically calls it.
+func (fl *fnLowerer) funcValue(fn *types.Func, pos token.Pos) string {
+	m := fl.lw.methodFor(fn)
+	if m == nil {
+		return fl.allocValue(fn.Type(), pos) // external function value
+	}
+	sig := fn.Type().(*types.Signature)
+	cls := fl.lw.wrapperClass(m.Class+"."+m.Name+"$fv", func(rec *classRec, im *program.Method) {
+		args := make([]string, len(im.Params))
+		for i, p := range im.Params {
+			args[i] = p.Name
+		}
+		var stmts []program.Stmt
+		if m.Static {
+			stmts = append(stmts, program.Stmt{Kind: program.StInvoke, Dst: retDst(im), Src: m.Class, Callee: m.Name, Args: args})
+		} else {
+			// Method used as a func value with an explicit receiver slot
+			// should not reach here (that is MethodExpr); but stay safe.
+			stmts = append(stmts, program.Stmt{Kind: program.StInvoke, Dst: retDst(im), Callee: m.Name, Args: args, Virtual: true})
+		}
+		stmts = appendReturn(im, stmts)
+		im.Stmts = stmts
+	}, sig, false)
+	out := fl.fresh()
+	fl.declare(out, FuncInterface)
+	fl.emit(program.Stmt{Kind: program.StNew, Dst: out, Type: cls}, pos)
+	return out
+}
+
+// boundMethodValue wraps obj.Method as a go.Func object holding the
+// receiver in a field.
+func (fl *fnLowerer) boundMethodValue(fn *types.Func, recv string, pos token.Pos) string {
+	if fn == nil {
+		return ""
+	}
+	sig := fn.Type().(*types.Signature)
+	name := fl.lw.methodIRName(fn.Name())
+	m := fl.lw.methodFor(fn)
+	cls := fl.lw.wrapperClass(qualify(fn.Pkg(), recvTypeName(sig))+"."+name+"$bound", func(rec *classRec, im *program.Method) {
+		fl.lw.addField(rec.cls, "$recv")
+		args := []string{"$r"}
+		for _, p := range im.Params {
+			args = append(args, p.Name)
+		}
+		stmts := []program.Stmt{{Kind: program.StLoad, Dst: "$r", Src: "this", Field: "$recv"}}
+		if m != nil && m.Static {
+			stmts = append(stmts, program.Stmt{Kind: program.StInvoke, Dst: retDst(im), Src: m.Class, Callee: m.Name, Args: args})
+		} else {
+			stmts = append(stmts, program.Stmt{Kind: program.StInvoke, Dst: retDst(im), Callee: name, Args: args, Virtual: true})
+		}
+		im.Stmts = appendReturn(im, stmts)
+	}, sig, false)
+	out := fl.fresh()
+	fl.declare(out, FuncInterface)
+	fl.emit(program.Stmt{Kind: program.StNew, Dst: out, Type: cls}, pos)
+	if recv != "" {
+		fl.emit(program.Stmt{Kind: program.StStore, Dst: out, Field: "$recv", Src: recv}, pos)
+	}
+	return out
+}
+
+// methodExprValue wraps T.Method (receiver becomes the first
+// parameter).
+func (fl *fnLowerer) methodExprValue(fn *types.Func, pos token.Pos) string {
+	if fn == nil {
+		return ""
+	}
+	sig := fn.Type().(*types.Signature) // receiver-as-param signature
+	name := fl.lw.methodIRName(fn.Name())
+	cls := fl.lw.wrapperClass(qualify(fn.Pkg(), name)+"$mexpr", func(rec *classRec, im *program.Method) {
+		var args []string
+		for _, p := range im.Params {
+			args = append(args, p.Name)
+		}
+		if len(args) == 0 {
+			return
+		}
+		stmts := []program.Stmt{{Kind: program.StInvoke, Dst: retDst(im), Callee: name, Args: args, Virtual: true}}
+		im.Stmts = appendReturn(im, stmts)
+	}, sig, true)
+	out := fl.fresh()
+	fl.declare(out, FuncInterface)
+	fl.emit(program.Stmt{Kind: program.StNew, Dst: out, Type: cls}, pos)
+	return out
+}
+
+// retDst names the intermediate holding a wrapper's forwarded result.
+func retDst(im *program.Method) string {
+	if im.HasReturn() {
+		return "$fwd"
+	}
+	return ""
+}
+
+func appendReturn(im *program.Method, stmts []program.Stmt) []program.Stmt {
+	if im.HasReturn() {
+		stmts = append(stmts,
+			program.Stmt{Kind: program.StMove, Dst: im.Ret.Name, Src: "$fwd"},
+			program.Stmt{Kind: program.StReturn, Src: im.Ret.Name})
+	}
+	return stmts
+}
+
+// wrapperClass interns a synthetic concrete go.Func implementation
+// whose invoke method is produced by build. The signature shapes
+// invoke's params/return like any lowered function.
+func (lw *lowerer) wrapperClass(name string, build func(*classRec, *program.Method), sig *types.Signature, withRecv bool) string {
+	if rec, ok := lw.classes[name]; ok {
+		return rec.cls.Name
+	}
+	lw.funcInterface()
+	rec := lw.ensureClass(name)
+	rec.cls.Interfaces = append(rec.cls.Interfaces, FuncInterface)
+	im := lw.buildShell(rec.cls, InvokeMethod, sig, false, withRecv)
+	build(rec, im)
+	return name
+}
+
+// funcLit lowers a closure: a synthetic class capturing free variables
+// as fields, with the body lowered into its invoke method.
+func (fl *fnLowerer) funcLit(lit *ast.FuncLit) string {
+	sig, _ := types.Unalias(fl.typeOf(lit)).(*types.Signature)
+	if sig == nil {
+		return ""
+	}
+	fl.lw.funcInterface()
+	clsName := fl.lw.synthName(fl.m.QName() + "$closure")
+	rec := fl.lw.ensureClass(clsName)
+	rec.cls.Interfaces = append(rec.cls.Interfaces, FuncInterface)
+	im := fl.lw.buildShell(rec.cls, InvokeMethod, sig, false, false)
+
+	inner := fl.lw.newFnLowerer(fl.lp, im, sig)
+	inner.parent = fl
+	inner.closRec = rec
+	inner.span = [2]token.Pos{lit.Pos(), lit.End()}
+	inner.bindParams(lit.Type, sig)
+	inner.lowerBlock(lit.Body)
+	inner.finish()
+	fl.lw.meta.Closures++
+
+	out := fl.fresh()
+	fl.declare(out, FuncInterface)
+	fl.emit(program.Stmt{Kind: program.StNew, Dst: out, Type: clsName}, lit.Pos())
+	for _, obj := range inner.capOrder {
+		vo, ok := obj.(*types.Var)
+		if !ok {
+			continue
+		}
+		src := fl.varFor(vo, lit.Pos())
+		fl.emit(program.Stmt{Kind: program.StStore, Dst: out, Field: inner.captures[obj], Src: src}, lit.Pos())
+	}
+	return out
+}
+
+// allocValue conjures a fresh object of t's class — the model for
+// values flowing in from unanalyzed code (and for new/make). Interface
+// classes allocate their $extern implementation.
+func (fl *fnLowerer) allocValue(t types.Type, pos token.Pos) string {
+	cls := fl.lw.classOf(t)
+	if cls == "" {
+		return ""
+	}
+	alloc := cls
+	declared := cls
+	if cls == program.ObjectClass {
+		alloc = fl.lw.externClass()
+		declared = ""
+	} else if rec, ok := fl.lw.classes[cls]; ok && rec.cls.IsInterface {
+		alloc = fl.lw.externImpl(rec)
+	}
+	out := fl.fresh()
+	fl.declare(out, declared)
+	fl.emit(program.Stmt{Kind: program.StNew, Dst: out, Type: alloc}, pos)
+	return out
+}
+
+// externImpl interns the opaque concrete implementation of a loaded
+// interface: stub methods return fresh opaque objects, so values
+// dispatched through external objects keep flowing.
+func (lw *lowerer) externImpl(ifaceRec *classRec) string {
+	name := ifaceRec.cls.Name + "$extern"
+	if rec, ok := lw.classes[name]; ok {
+		return rec.cls.Name
+	}
+	rec := lw.ensureClass(name)
+	rec.cls.Interfaces = append(rec.cls.Interfaces, ifaceRec.cls.Name)
+	if ifaceRec.named != nil {
+		if it, ok := ifaceRec.named.Underlying().(*types.Interface); ok {
+			for i := 0; i < it.NumMethods(); i++ {
+				gm := it.Method(i)
+				sig := gm.Type().(*types.Signature)
+				sm := lw.buildShell(rec.cls, lw.methodIRName(gm.Name()), sig, false, false)
+				if sm.HasReturn() {
+					allocCls := sm.Ret.Type
+					if allocCls == program.ObjectClass {
+						allocCls = lw.externClass()
+					} else if arec, ok := lw.classes[allocCls]; ok && arec.cls.IsInterface {
+						allocCls = lw.externImpl(arec)
+					}
+					if allocCls != "" {
+						sm.Stmts = []program.Stmt{
+							{Kind: program.StNew, Dst: sm.Ret.Name, Type: allocCls},
+							{Kind: program.StReturn, Src: sm.Ret.Name},
+						}
+					}
+				}
+			}
+		}
+	} else if ifaceRec.cls.Name == FuncInterface {
+		lw.buildShell(rec.cls, InvokeMethod, types.NewSignatureType(nil, nil, nil, nil, nil, false), false, false)
+	}
+	return name
+}

@@ -1,0 +1,115 @@
+package gofront
+
+import (
+	"go/token"
+	"sort"
+	"strconv"
+	"strings"
+
+	"bddbddb/internal/extract"
+	"bddbddb/internal/program"
+)
+
+// NilDeref is a dereference of a variable whose points-to set came
+// back empty from the solver: no allocation site in the analyzed
+// world can reach it, so at runtime it is nil (or holds an untracked
+// value — read the report with the Caveats table in hand).
+type NilDeref struct {
+	Method string         // qualified IR method name
+	Stmt   int            // statement index within the method
+	Var    string         // the dereferenced local
+	What   string         // "load", "store" or "call" — the kind of dereference
+	Pos    token.Position // source position (zero for synthetic code)
+}
+
+// NilDerefs scans every lowered statement that dereferences a base
+// variable — field/element loads, field/element stores, and virtual
+// call receivers — and reports the ones whose variable has an empty
+// points-to set under pairs (the solver's context-projected vP).
+//
+// This is a heuristic, not a verifier: external values, untracked
+// scalars and the other approximations in Caveats can all produce
+// empty sets for variables that are non-nil at runtime. Its value is
+// the converse direction — a variable the solver does see pointing
+// somewhere is established non-nil by construction.
+func NilDerefs(prog *program.Program, meta *Meta, f *extract.Facts, pairs map[[2]uint64]bool) []NilDeref {
+	has := make(map[uint64]bool, len(pairs))
+	for k := range pairs {
+		has[k[0]] = true
+	}
+	var out []NilDeref
+	for _, c := range prog.Classes {
+		for _, m := range c.Methods {
+			if m.Abstract {
+				continue
+			}
+			qm := m.QName()
+			for si, st := range m.Stmts {
+				base, what := "", ""
+				switch st.Kind {
+				case program.StLoad:
+					base, what = st.Src, "load"
+				case program.StStore:
+					base, what = st.Dst, "store"
+				case program.StInvoke:
+					if st.Virtual && len(st.Args) > 0 {
+						base, what = st.Args[0], "call"
+					}
+				}
+				if base == "" || base == "this" || strings.HasPrefix(base, "$unk") {
+					continue
+				}
+				v := f.LocalRep(qm, base)
+				if v < 0 || has[uint64(v)] {
+					continue
+				}
+				out = append(out, NilDeref{
+					Method: qm, Stmt: si, Var: base, What: what,
+					Pos: meta.Pos(qm, si),
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Method != out[j].Method {
+			return out[i].Method < out[j].Method
+		}
+		return out[i].Stmt < out[j].Stmt
+	})
+	return out
+}
+
+// EscapeSite is one allocation site with its source location,
+// recovered from the extract-layer heap name "Class.method@si:Type".
+type EscapeSite struct {
+	Heap   string // full heap name
+	Method string // allocating method
+	Type   string // allocated IR type
+	Pos    token.Position
+}
+
+// ParseHeapSite resolves a heap name back to a source position via
+// the lowering metadata. The second result is false for heap objects
+// without an allocation site (e.g. the synthetic global object).
+func ParseHeapSite(heap string, meta *Meta) (EscapeSite, bool) {
+	at := strings.LastIndex(heap, "@")
+	if at < 0 {
+		return EscapeSite{}, false
+	}
+	rest := heap[at+1:]
+	colon := strings.Index(rest, ":")
+	if colon < 0 {
+		return EscapeSite{}, false
+	}
+	si, err := strconv.Atoi(rest[:colon])
+	if err != nil {
+		return EscapeSite{}, false
+	}
+	qm := heap[:at]
+	return EscapeSite{
+		Heap:   heap,
+		Method: qm,
+		Type:   rest[colon+1:],
+		Pos:    meta.Pos(qm, si),
+	}, true
+}

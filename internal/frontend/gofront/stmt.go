@@ -1,0 +1,969 @@
+package gofront
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"bddbddb/internal/program"
+)
+
+// ---------------------------------------------------------------------
+// Statements
+
+func (fl *fnLowerer) lowerBlock(b *ast.BlockStmt) {
+	if b == nil {
+		return
+	}
+	for _, s := range b.List {
+		fl.lowerStmt(s)
+	}
+}
+
+func (fl *fnLowerer) lowerStmt(s ast.Stmt) {
+	switch st := s.(type) {
+	case *ast.DeclStmt:
+		gd, ok := st.Decl.(*ast.GenDecl)
+		if !ok {
+			return
+		}
+		for _, spec := range gd.Specs {
+			if vs, ok := spec.(*ast.ValueSpec); ok {
+				fl.lowerLocalSpec(vs)
+			}
+		}
+	case *ast.AssignStmt:
+		fl.lowerAssign(st)
+	case *ast.ExprStmt:
+		fl.value(st.X)
+	case *ast.SendStmt:
+		ch := fl.value(st.Chan)
+		v := fl.value(st.Value)
+		if ch != "" && v != "" {
+			fl.emit(program.Stmt{Kind: program.StStore, Dst: ch, Field: program.ArrayField, Src: v}, st.Pos())
+		}
+	case *ast.IncDecStmt:
+		fl.value(st.X)
+	case *ast.GoStmt:
+		fl.lowerGo(st)
+	case *ast.DeferStmt:
+		// Flow-insensitive analysis: the deferred call is lowered at the
+		// defer site (see the caveats table).
+		fl.lowerCall(st.Call)
+	case *ast.ReturnStmt:
+		fl.lowerReturn(st)
+	case *ast.BlockStmt:
+		fl.lowerBlock(st)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			fl.lowerStmt(st.Init)
+		}
+		fl.value(st.Cond)
+		fl.lowerBlock(st.Body)
+		if st.Else != nil {
+			fl.lowerStmt(st.Else)
+		}
+	case *ast.ForStmt:
+		if st.Init != nil {
+			fl.lowerStmt(st.Init)
+		}
+		if st.Cond != nil {
+			fl.value(st.Cond)
+		}
+		if st.Post != nil {
+			fl.lowerStmt(st.Post)
+		}
+		fl.lowerBlock(st.Body)
+	case *ast.RangeStmt:
+		fl.lowerRange(st)
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			fl.lowerStmt(st.Init)
+		}
+		if st.Tag != nil {
+			fl.value(st.Tag)
+		}
+		for _, c := range st.Body.List {
+			cc, ok := c.(*ast.CaseClause)
+			if !ok {
+				continue
+			}
+			for _, e := range cc.List {
+				fl.value(e)
+			}
+			for _, s2 := range cc.Body {
+				fl.lowerStmt(s2)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		fl.lowerTypeSwitch(st)
+	case *ast.SelectStmt:
+		for _, c := range st.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			if cc.Comm != nil {
+				fl.lowerStmt(cc.Comm)
+			}
+			for _, s2 := range cc.Body {
+				fl.lowerStmt(s2)
+			}
+		}
+	case *ast.LabeledStmt:
+		fl.lowerStmt(st.Stmt)
+	}
+}
+
+// lowerLocalSpec lowers `var a, b T = ...` inside a body.
+func (fl *fnLowerer) lowerLocalSpec(vs *ast.ValueSpec) {
+	if len(vs.Values) == 1 && len(vs.Names) > 1 {
+		if call, ok := ast.Unparen(vs.Values[0]).(*ast.CallExpr); ok {
+			rs := fl.lowerCall(call)
+			for i, id := range vs.Names {
+				v := ""
+				if i < len(rs) {
+					v = rs[i]
+				}
+				fl.assignIdent(id, v, vs.Pos())
+			}
+			return
+		}
+	}
+	for i, id := range vs.Names {
+		v := ""
+		if i < len(vs.Values) {
+			v = fl.value(vs.Values[i])
+		}
+		fl.assignIdent(id, v, vs.Pos())
+	}
+}
+
+func (fl *fnLowerer) lowerAssign(st *ast.AssignStmt) {
+	if len(st.Rhs) == 1 && len(st.Lhs) > 1 {
+		if call, ok := ast.Unparen(st.Rhs[0]).(*ast.CallExpr); ok {
+			rs := fl.lowerCall(call)
+			for i, l := range st.Lhs {
+				v := ""
+				if i < len(rs) {
+					v = rs[i]
+				}
+				fl.assignTo(l, v, st.Pos())
+			}
+			return
+		}
+		// v, ok := m[k] / x.(T) / <-ch: the value goes to Lhs[0].
+		v := fl.value(st.Rhs[0])
+		fl.assignTo(st.Lhs[0], v, st.Pos())
+		for _, l := range st.Lhs[1:] {
+			fl.assignTo(l, "", st.Pos())
+		}
+		return
+	}
+	vals := make([]string, len(st.Rhs))
+	for i, r := range st.Rhs {
+		vals[i] = fl.value(r)
+	}
+	for i, l := range st.Lhs {
+		if i < len(vals) {
+			fl.assignTo(l, vals[i], st.Pos())
+		}
+	}
+}
+
+// assignTo stores src (an IR variable, or "" for untracked values)
+// into an lvalue.
+func (fl *fnLowerer) assignTo(l ast.Expr, src string, pos token.Pos) {
+	switch x := ast.Unparen(l).(type) {
+	case *ast.Ident:
+		fl.assignIdent(x, src, pos)
+	case *ast.StarExpr:
+		// *p = v with *T ≡ T: merge conservatively.
+		base := fl.value(x.X)
+		if base != "" && src != "" {
+			fl.emit(program.Stmt{Kind: program.StMove, Dst: base, Src: src}, pos)
+		}
+	case *ast.SelectorExpr:
+		fl.assignSelector(x, src, pos)
+	case *ast.IndexExpr:
+		base := fl.value(x.X)
+		t := fl.typeOf(x.X)
+		if isMapType(t) {
+			if k := fl.value(x.Index); base != "" && k != "" {
+				fl.emit(program.Stmt{Kind: program.StStore, Dst: base, Field: KeyField, Src: k}, pos)
+			}
+		} else {
+			fl.value(x.Index)
+		}
+		if base != "" && src != "" {
+			fl.emit(program.Stmt{Kind: program.StStore, Dst: base, Field: program.ArrayField, Src: src}, pos)
+		}
+	default:
+		fl.value(l)
+	}
+}
+
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := types.Unalias(t.Underlying()).(*types.Map)
+	return ok
+}
+
+func (fl *fnLowerer) assignIdent(id *ast.Ident, src string, pos token.Pos) {
+	if id.Name == "_" {
+		return
+	}
+	obj := fl.info().Defs[id]
+	if obj == nil {
+		obj = fl.info().Uses[id]
+	}
+	o, ok := obj.(*types.Var)
+	if !ok {
+		return
+	}
+	if isPkgLevel(o) {
+		if src != "" && fl.lw.tracked(o.Type()) {
+			if lp := fl.loadedPkgFor(o); lp != nil {
+				fl.emit(program.Stmt{Kind: program.StStoreGlobal, Field: globalField(lp.ImportPath, o.Name()), Src: src}, pos)
+			}
+		}
+		return
+	}
+	if !fl.lw.tracked(o.Type()) {
+		return
+	}
+	local := fl.varFor(o, id.Pos())
+	if src != "" {
+		fl.emit(program.Stmt{Kind: program.StMove, Dst: local, Src: src}, pos)
+	}
+	// Writes to captured variables propagate back into the closure
+	// object so later reads through the closure see them.
+	if field, captured := fl.captures[o]; captured && src != "" {
+		fl.emit(program.Stmt{Kind: program.StStore, Dst: "this", Field: field, Src: src}, pos)
+	}
+}
+
+func (fl *fnLowerer) assignSelector(x *ast.SelectorExpr, src string, pos token.Pos) {
+	if id, ok := x.X.(*ast.Ident); ok {
+		if _, isPkg := fl.info().ObjectOf(id).(*types.PkgName); isPkg {
+			if o, ok := fl.info().ObjectOf(x.Sel).(*types.Var); ok && src != "" && fl.lw.tracked(o.Type()) {
+				if lp := fl.loadedPkgFor(o); lp != nil {
+					fl.emit(program.Stmt{Kind: program.StStoreGlobal, Field: globalField(lp.ImportPath, o.Name()), Src: src}, pos)
+				}
+			}
+			return
+		}
+	}
+	sel := fl.info().Selections[x]
+	if sel == nil || sel.Kind() != types.FieldVal {
+		fl.value(x.X)
+		return
+	}
+	base, owner, fd := fl.walkSelection(x, sel)
+	if base == "" || src == "" || fd == nil {
+		return
+	}
+	if rec, ok := fl.lw.classes[owner]; ok && rec.superField == fd.Name() {
+		fl.emit(program.Stmt{Kind: program.StMove, Dst: base, Src: src}, pos)
+		return
+	}
+	if !fl.lw.tracked(fd.Type()) {
+		return
+	}
+	fl.emit(program.Stmt{Kind: program.StStore, Dst: base, Field: fl.lw.fieldName(owner, fd.Name()), Src: src}, pos)
+}
+
+func (fl *fnLowerer) lowerReturn(st *ast.ReturnStmt) {
+	shape := fl.lw.shapes[fl.m]
+	var vals []string
+	switch {
+	case len(st.Results) == 0:
+		vals = fl.resultVars // naked return: named results carry the values
+	case len(st.Results) == 1 && len(shape.resCls) > 1:
+		if call, ok := ast.Unparen(st.Results[0]).(*ast.CallExpr); ok {
+			vals = fl.lowerCall(call) // return f() spreading f's results
+		} else {
+			vals = []string{fl.value(st.Results[0])}
+		}
+	default:
+		vals = make([]string, len(st.Results))
+		for i, r := range st.Results {
+			vals[i] = fl.value(r)
+		}
+	}
+	if !fl.m.HasReturn() {
+		return
+	}
+	if shape.tuple {
+		tup := fl.fresh()
+		fl.declare(tup, shape.tupleClass)
+		fl.emit(program.Stmt{Kind: program.StNew, Dst: tup, Type: shape.tupleClass}, st.Pos())
+		for i, c := range shape.resCls {
+			if c == "" || i >= len(vals) || vals[i] == "" {
+				continue
+			}
+			fl.emit(program.Stmt{Kind: program.StStore, Dst: tup, Field: tupleField(i), Src: vals[i]}, st.Pos())
+		}
+		fl.emit(program.Stmt{Kind: program.StMove, Dst: fl.m.Ret.Name, Src: tup}, st.Pos())
+	} else {
+		for i, c := range shape.resCls {
+			if c != "" {
+				if i < len(vals) && vals[i] != "" {
+					fl.emit(program.Stmt{Kind: program.StMove, Dst: fl.m.Ret.Name, Src: vals[i]}, st.Pos())
+				}
+				break
+			}
+		}
+	}
+	fl.emit(program.Stmt{Kind: program.StReturn, Src: fl.m.Ret.Name}, st.Pos())
+}
+
+func (fl *fnLowerer) lowerRange(st *ast.RangeStmt) {
+	e := fl.value(st.X)
+	t := fl.typeOf(st.X)
+	var under types.Type
+	if t != nil {
+		under = types.Unalias(t.Underlying())
+		if p, ok := under.(*types.Pointer); ok { // range over *array
+			under = types.Unalias(p.Elem().Underlying())
+		}
+	}
+	var kv, vv string
+	switch u := under.(type) {
+	case *types.Map:
+		kv = fl.loadField(e, KeyField, u.Key(), st.Pos())
+		vv = fl.loadField(e, program.ArrayField, u.Elem(), st.Pos())
+	case *types.Slice:
+		vv = fl.loadField(e, program.ArrayField, u.Elem(), st.Pos())
+	case *types.Array:
+		vv = fl.loadField(e, program.ArrayField, u.Elem(), st.Pos())
+	case *types.Chan:
+		kv = fl.loadField(e, program.ArrayField, u.Elem(), st.Pos())
+	case *types.Signature:
+		// Range-over-func iterator: invoke it (with an opaque yield) so
+		// its body is analyzed; loop variables are conjured (caveat).
+		if e != "" {
+			cargs := []string{e}
+			if u.Params().Len() == 1 {
+				if y := fl.allocValue(u.Params().At(0).Type(), st.Pos()); y != "" {
+					cargs = append(cargs, y)
+				}
+			}
+			fl.emit(program.Stmt{Kind: program.StInvoke, Callee: InvokeMethod, Args: cargs, Virtual: true}, st.Pos())
+		}
+		if u.Params().Len() == 1 {
+			if ys, ok := types.Unalias(u.Params().At(0).Type().Underlying()).(*types.Signature); ok {
+				if ys.Params().Len() >= 1 {
+					kv = fl.allocValue(ys.Params().At(0).Type(), st.Pos())
+				}
+				if ys.Params().Len() >= 2 {
+					vv = fl.allocValue(ys.Params().At(1).Type(), st.Pos())
+				}
+			}
+		}
+	}
+	if st.Key != nil {
+		fl.assignTo(st.Key, kv, st.Pos())
+	}
+	if st.Value != nil {
+		fl.assignTo(st.Value, vv, st.Pos())
+	}
+	fl.lowerBlock(st.Body)
+}
+
+func (fl *fnLowerer) lowerTypeSwitch(st *ast.TypeSwitchStmt) {
+	if st.Init != nil {
+		fl.lowerStmt(st.Init)
+	}
+	var ta *ast.TypeAssertExpr
+	switch a := st.Assign.(type) {
+	case *ast.ExprStmt:
+		ta, _ = ast.Unparen(a.X).(*ast.TypeAssertExpr)
+	case *ast.AssignStmt:
+		if len(a.Rhs) == 1 {
+			ta, _ = ast.Unparen(a.Rhs[0]).(*ast.TypeAssertExpr)
+		}
+	}
+	subj := ""
+	if ta != nil {
+		subj = fl.value(ta.X)
+	}
+	for _, c := range st.Body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		// The per-clause implicit binding narrows the subject's type.
+		if obj, ok := fl.info().Implicits[cc].(*types.Var); ok && subj != "" && fl.lw.tracked(obj.Type()) {
+			name := fl.alloc(obj.Name())
+			fl.declare(name, fl.lw.classOf(obj.Type()))
+			fl.names[obj] = name
+			fl.emit(program.Stmt{Kind: program.StMove, Dst: name, Src: subj}, cc.Pos())
+		}
+		for _, s2 := range cc.Body {
+			fl.lowerStmt(s2)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Calls
+
+const (
+	callStatic = iota
+	callVirtual
+	callExtern
+)
+
+// pending is a call ready to emit: lowerCall emits it in place, while
+// `go` statements re-emit it inside a synthetic thread's run().
+type pending struct {
+	kind     int
+	class    string // static: holder class
+	callee   string // method name (IR name)
+	operands []string
+	opSigs   []*types.Signature // func-typed operands (extern callback model)
+	sig      *types.Signature   // Go signature at the call site (results)
+	shape    fnShape
+	hasShape bool
+}
+
+// lowerCall lowers a call expression and returns one IR variable per
+// Go result ("" for untracked results).
+func (fl *fnLowerer) lowerCall(call *ast.CallExpr) []string {
+	if tv, ok := fl.info().Types[call.Fun]; ok && tv.IsType() {
+		return fl.lowerConversion(call)
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := fl.info().Uses[id].(*types.Builtin); ok {
+			return fl.lowerBuiltin(b.Name(), call)
+		}
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if b, ok := fl.info().Uses[sel.Sel].(*types.Builtin); ok {
+			return fl.lowerBuiltin(b.Name(), call) // unsafe.*
+		}
+	}
+	p := fl.prepareCall(call)
+	if p == nil {
+		return nil
+	}
+	return fl.emitCall(p, call.Pos())
+}
+
+// lowerConversion lowers T(x): a typed move for tracked values, a
+// fresh allocation when a tracked value is conjured from a scalar
+// ([]byte(s), any(42)).
+func (fl *fnLowerer) lowerConversion(call *ast.CallExpr) []string {
+	if len(call.Args) != 1 {
+		return nil
+	}
+	v := fl.value(call.Args[0])
+	cls := fl.lw.classOf(fl.typeOf(call))
+	if cls == "" {
+		return []string{""}
+	}
+	if v == "" {
+		return []string{fl.allocValue(fl.typeOf(call), call.Pos())}
+	}
+	out := fl.fresh()
+	fl.declare(out, cls)
+	fl.emit(program.Stmt{Kind: program.StMove, Dst: out, Src: v}, call.Pos())
+	return []string{out}
+}
+
+func (fl *fnLowerer) lowerBuiltin(name string, call *ast.CallExpr) []string {
+	switch name {
+	case "new", "make":
+		return []string{fl.allocValue(fl.typeOf(call), call.Pos())}
+	case "append":
+		if len(call.Args) == 0 {
+			return nil
+		}
+		s := fl.value(call.Args[0])
+		if s == "" {
+			s = fl.allocValue(fl.typeOf(call), call.Pos())
+		}
+		last := call.Args[len(call.Args)-1]
+		for _, a := range call.Args[1:] {
+			v := fl.value(a)
+			if v == "" || s == "" {
+				continue
+			}
+			if call.Ellipsis.IsValid() && a == last {
+				// append(s, t...): element flow t["[]"] → s["[]"].
+				if el := fl.loadField(v, program.ArrayField, elemType(fl.typeOf(a)), a.Pos()); el != "" {
+					fl.emit(program.Stmt{Kind: program.StStore, Dst: s, Field: program.ArrayField, Src: el}, a.Pos())
+				}
+			} else {
+				fl.emit(program.Stmt{Kind: program.StStore, Dst: s, Field: program.ArrayField, Src: v}, a.Pos())
+			}
+		}
+		return []string{s}
+	case "copy":
+		if len(call.Args) == 2 {
+			dst := fl.value(call.Args[0])
+			src := fl.value(call.Args[1])
+			if dst != "" && src != "" {
+				if el := fl.loadField(src, program.ArrayField, elemType(fl.typeOf(call.Args[0])), call.Pos()); el != "" {
+					fl.emit(program.Stmt{Kind: program.StStore, Dst: dst, Field: program.ArrayField, Src: el}, call.Pos())
+				}
+			}
+		}
+		return nil
+	case "recover":
+		return []string{fl.allocValue(fl.typeOf(call), call.Pos())}
+	default:
+		// len, cap, delete, clear, close, panic, print, println, min,
+		// max, unsafe.*: evaluate for side effects only.
+		for _, a := range call.Args {
+			fl.value(a)
+		}
+		return nil
+	}
+}
+
+func elemType(t types.Type) types.Type {
+	if t == nil {
+		return nil
+	}
+	switch u := types.Unalias(t.Underlying()).(type) {
+	case *types.Slice:
+		return u.Elem()
+	case *types.Array:
+		return u.Elem()
+	case *types.Chan:
+		return u.Elem()
+	case *types.Map:
+		return u.Elem()
+	case *types.Pointer:
+		return elemType(u.Elem())
+	}
+	return nil
+}
+
+// prepareCall resolves a (non-builtin, non-conversion) call into a
+// pending emission.
+func (fl *fnLowerer) prepareCall(call *ast.CallExpr) *pending {
+	var sig *types.Signature
+	if t := fl.typeOf(call.Fun); t != nil {
+		sig, _ = types.Unalias(t.Underlying()).(*types.Signature)
+	}
+	fun := ast.Unparen(call.Fun)
+	switch ix := fun.(type) { // generic instantiation wrappers
+	case *ast.IndexExpr:
+		fun = ast.Unparen(ix.X)
+	case *ast.IndexListExpr:
+		fun = ast.Unparen(ix.X)
+	}
+	switch f := fun.(type) {
+	case *ast.Ident:
+		if fn, ok := fl.info().Uses[f].(*types.Func); ok {
+			return fl.knownCall(fn, "", false, sig, call)
+		}
+	case *ast.SelectorExpr:
+		if id, ok := f.X.(*ast.Ident); ok {
+			if _, isPkg := fl.info().ObjectOf(id).(*types.PkgName); isPkg {
+				switch o := fl.info().ObjectOf(f.Sel).(type) {
+				case *types.Func:
+					return fl.knownCall(o, "", false, sig, call)
+				case *types.Var:
+					// Package-level func-typed variable: value call below.
+				default:
+					return fl.externPending(call, sig) // placeholder pkg
+				}
+			}
+		}
+		if sel := fl.info().Selections[f]; sel != nil && sel.Kind() == types.MethodVal {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				recv := fl.methodRecv(f, sel)
+				return fl.knownCall(fn, recv, true, sig, call)
+			}
+		}
+	}
+	// Func-valued call: dispatch invoke on the value.
+	v := fl.value(call.Fun)
+	if v == "" {
+		return fl.externPending(call, sig)
+	}
+	args := fl.callArgs(call, sig)
+	return &pending{kind: callVirtual, callee: InvokeMethod, operands: append([]string{v}, args...), sig: sig}
+}
+
+// methodRecv evaluates a method selection's receiver, hopping through
+// embedded fields (promoted methods); hops through the absorbed
+// super-embed are identity.
+func (fl *fnLowerer) methodRecv(x *ast.SelectorExpr, sel *types.Selection) string {
+	base := fl.value(x.X)
+	cur := types.Unalias(sel.Recv())
+	idx := sel.Index()
+	for hop := 0; hop < len(idx)-1; hop++ {
+		st := derefStruct(cur)
+		if st == nil || base == "" {
+			return ""
+		}
+		fd := st.Field(idx[hop])
+		owner := fl.lw.classOf(peelToNamed(cur))
+		if rec, ok := fl.lw.classes[owner]; !ok || rec.superField != fd.Name() {
+			base = fl.loadField(base, fl.lw.fieldName(owner, fd.Name()), fd.Type(), x.Pos())
+		}
+		cur = fd.Type()
+	}
+	return base
+}
+
+// knownCall builds the pending call for a resolved *types.Func.
+func (fl *fnLowerer) knownCall(fn *types.Func, recv string, haveRecv bool, sig *types.Signature, call *ast.CallExpr) *pending {
+	m := fl.lw.methodFor(fn)
+	if m == nil {
+		if fl.loadedPkgFor(fn) != nil && haveRecv {
+			// A loaded interface's method: virtual dispatch by IR name.
+			if recv == "" {
+				recv = fl.unk()
+			}
+			args := fl.callArgs(call, sig)
+			return &pending{kind: callVirtual, callee: fl.lw.methodIRName(fn.Name()), operands: append([]string{recv}, args...), sig: sig}
+		}
+		var extra []string
+		if haveRecv && recv != "" {
+			extra = []string{recv}
+		}
+		return fl.externPending(call, sig, extra...)
+	}
+	shape := fl.lw.shapes[m]
+	args := fl.callArgs(call, sig)
+	if m.Static {
+		ops := args
+		if len(m.Params) == len(args)+1 {
+			// Demoted method: the receiver travels as parameter 0.
+			r := recv
+			if r == "" {
+				r = fl.unk()
+			}
+			ops = append([]string{r}, args...)
+		}
+		return &pending{kind: callStatic, class: m.Class, callee: m.Name, operands: ops, sig: sig, shape: shape, hasShape: true}
+	}
+	r := recv
+	if r == "" {
+		r = fl.unk()
+	}
+	return &pending{kind: callVirtual, callee: m.Name, operands: append([]string{r}, args...), sig: sig, shape: shape, hasShape: true}
+}
+
+// callArgs evaluates the arguments, shaped to the callee signature
+// when known: variadic tails are packed into a fresh slice object, and
+// untracked slots travel as the shared placeholder so positions align.
+func (fl *fnLowerer) callArgs(call *ast.CallExpr, sig *types.Signature) []string {
+	if sig != nil && sig.Params().Len() > 1 && len(call.Args) == 1 {
+		if inner, ok := ast.Unparen(call.Args[0]).(*ast.CallExpr); ok {
+			rs := fl.lowerCall(inner) // f(g()) spreads g's results
+			out := make([]string, sig.Params().Len())
+			for i := range out {
+				if i < len(rs) && rs[i] != "" {
+					out[i] = rs[i]
+				} else {
+					out[i] = fl.unk()
+				}
+			}
+			return out
+		}
+	}
+	raw := make([]string, len(call.Args))
+	for i, a := range call.Args {
+		raw[i] = fl.value(a)
+	}
+	if sig == nil {
+		for i := range raw {
+			if raw[i] == "" {
+				raw[i] = fl.unk()
+			}
+		}
+		return raw
+	}
+	n := sig.Params().Len()
+	var out []string
+	if sig.Variadic() && !call.Ellipsis.IsValid() && n >= 1 {
+		fixed := n - 1
+		for i := 0; i < fixed && i < len(raw); i++ {
+			out = append(out, raw[i])
+		}
+		for len(out) < fixed {
+			out = append(out, "")
+		}
+		vcls := fl.lw.classOf(sig.Params().At(n - 1).Type())
+		pack := ""
+		if vcls != "" {
+			pack = fl.fresh()
+			fl.declare(pack, vcls)
+			fl.emit(program.Stmt{Kind: program.StNew, Dst: pack, Type: vcls}, call.Pos())
+			for i := fixed; i < len(raw); i++ {
+				if raw[i] != "" {
+					fl.emit(program.Stmt{Kind: program.StStore, Dst: pack, Field: program.ArrayField, Src: raw[i]}, call.Pos())
+				}
+			}
+		}
+		out = append(out, pack)
+	} else {
+		out = raw
+		if len(out) > n {
+			out = out[:n]
+		}
+	}
+	for len(out) < n {
+		out = append(out, "")
+	}
+	for i := range out {
+		if out[i] == "" {
+			out[i] = fl.unk()
+		}
+	}
+	return out
+}
+
+// externPending models a call into unanalyzed code: tracked arguments
+// are retained (they escape into the callee), func-typed ones are
+// conservatively invoked, and results are conjured fresh at emission.
+func (fl *fnLowerer) externPending(call *ast.CallExpr, sig *types.Signature, extra ...string) *pending {
+	fl.lw.meta.ExternCalls++
+	p := &pending{kind: callExtern, sig: sig}
+	for _, op := range extra {
+		p.operands = append(p.operands, op)
+		p.opSigs = append(p.opSigs, nil)
+	}
+	for _, a := range call.Args {
+		v := fl.value(a)
+		if v == "" {
+			continue
+		}
+		var asig *types.Signature
+		if t := fl.typeOf(a); t != nil {
+			asig, _ = types.Unalias(t.Underlying()).(*types.Signature)
+		}
+		p.operands = append(p.operands, v)
+		p.opSigs = append(p.opSigs, asig)
+	}
+	return p
+}
+
+// emitCall emits a pending call and returns the per-result variables.
+func (fl *fnLowerer) emitCall(p *pending, pos token.Pos) []string {
+	if p.kind == callExtern {
+		for i, op := range p.operands {
+			if i >= len(p.opSigs) || p.opSigs[i] == nil {
+				continue
+			}
+			asig := p.opSigs[i]
+			cargs := []string{op}
+			for j := 0; j < asig.Params().Len(); j++ {
+				v := fl.allocValue(asig.Params().At(j).Type(), pos)
+				if v == "" {
+					v = fl.unk()
+				}
+				cargs = append(cargs, v)
+			}
+			// The unknown callee may invoke the callback with arbitrary
+			// (opaque) arguments.
+			fl.emit(program.Stmt{Kind: program.StInvoke, Callee: InvokeMethod, Args: cargs, Virtual: true}, pos)
+		}
+		if p.sig == nil {
+			out := fl.fresh()
+			fl.emit(program.Stmt{Kind: program.StNew, Dst: out, Type: fl.lw.externClass()}, pos)
+			return []string{out}
+		}
+		rs := make([]string, p.sig.Results().Len())
+		for i := range rs {
+			rs[i] = fl.allocValue(p.sig.Results().At(i).Type(), pos)
+		}
+		return rs
+	}
+
+	var shape fnShape
+	if p.hasShape {
+		shape = p.shape
+	} else if p.sig != nil {
+		shape = fl.lw.shapeOf(p.sig)
+	}
+	single := -1
+	if !shape.tuple {
+		for i, c := range shape.resCls {
+			if c != "" {
+				single = i
+				break
+			}
+		}
+	}
+	dst := ""
+	if shape.tuple {
+		dst = fl.fresh()
+	} else if single >= 0 {
+		dst = fl.fresh()
+		fl.declare(dst, shape.resCls[single])
+	}
+	st := program.Stmt{Kind: program.StInvoke, Dst: dst, Callee: p.callee, Args: p.operands}
+	if p.kind == callStatic {
+		st.Src = p.class
+	} else {
+		st.Virtual = true
+	}
+	fl.emit(st, pos)
+	rs := make([]string, len(shape.resCls))
+	if shape.tuple {
+		for i, c := range shape.resCls {
+			if c == "" {
+				continue
+			}
+			out := fl.fresh()
+			fl.declare(out, c)
+			fl.emit(program.Stmt{Kind: program.StLoad, Dst: out, Src: dst, Field: tupleField(i)}, pos)
+			rs[i] = out
+		}
+	} else if single >= 0 {
+		rs[single] = dst
+	}
+	return rs
+}
+
+// declaredClassOf reports a variable's declared IR class in this
+// method ("" = Object).
+func (fl *fnLowerer) declaredClassOf(v string) string {
+	if v == "this" {
+		return fl.m.Class
+	}
+	for _, p := range fl.m.Params {
+		if p.Name == v {
+			return p.Type
+		}
+	}
+	return fl.m.VarTypes[v]
+}
+
+// lowerGo lowers `go f(...)`: a synthetic java.lang.Thread subclass
+// carries the call's operands in fields, its run() performs the call,
+// and the spawn is t.start() — exactly the convention extract's
+// thread-escape machinery (Algorithm 7) understands.
+func (fl *fnLowerer) lowerGo(st *ast.GoStmt) {
+	call := st.Call
+	if tv, ok := fl.info().Types[call.Fun]; ok && tv.IsType() {
+		fl.lowerCall(call)
+		return
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, ok := fl.info().Uses[id].(*types.Builtin); ok {
+			fl.lowerCall(call)
+			return
+		}
+	}
+	p := fl.prepareCall(call)
+	if p == nil {
+		return
+	}
+	fl.lw.meta.Goroutines++
+	clsName := fl.lw.synthName(sanitizeTypeName(fl.m.QName()) + "$go")
+	rec := fl.lw.ensureClass(clsName)
+	rec.cls.Super = program.ThreadClass
+	run := &program.Method{Name: "run", Class: clsName, VarTypes: map[string]string{}}
+	rec.cls.Methods = append(rec.cls.Methods, run)
+
+	tv := fl.fresh()
+	fl.declare(tv, clsName)
+	fl.emit(program.Stmt{Kind: program.StNew, Dst: tv, Type: clsName}, st.Pos())
+
+	rf := fl.lw.newFnLowerer(fl.lp, run, nil)
+	rp := *p
+	rp.operands = make([]string, len(p.operands))
+	for i, op := range p.operands {
+		field := fmt.Sprintf("c%d", i)
+		fl.lw.addField(rec.cls, field)
+		fl.emit(program.Stmt{Kind: program.StStore, Dst: tv, Field: field, Src: op}, st.Pos())
+		local := rf.alloc(fmt.Sprintf("a%d", i))
+		rf.declare(local, fl.declaredClassOf(op))
+		rf.emit(program.Stmt{Kind: program.StLoad, Dst: local, Src: "this", Field: field}, st.Pos())
+		rp.operands[i] = local
+	}
+	rf.emitCall(&rp, st.Pos())
+	rf.finish()
+	fl.emit(program.Stmt{Kind: program.StInvoke, Callee: "start", Args: []string{tv}, Virtual: true}, st.Pos())
+}
+
+// ---------------------------------------------------------------------
+// Entry points
+
+// collectEntries decides the analysis roots per Options.Entries.
+// Synthetic package-variable initializers are always rooted.
+func (lw *lowerer) collectEntries() {
+	seen := make(map[program.MethodRef]bool)
+	add := func(r program.MethodRef) {
+		if !seen[r] {
+			seen[r] = true
+			lw.entries = append(lw.entries, r)
+		}
+	}
+	for _, r := range lw.initMethods {
+		add(r)
+	}
+	var mains []program.MethodRef
+	for _, lp := range lw.pkgs {
+		if !lp.Requested || lp.Pkg == nil || lp.Pkg.Name() != "main" {
+			continue
+		}
+		if fn, ok := lp.Pkg.Scope().Lookup("main").(*types.Func); ok {
+			if m := lw.methodFor(fn); m != nil {
+				mains = append(mains, program.MethodRef{Class: m.Class, Method: m.Name})
+			}
+		}
+	}
+	mode := lw.opts.Entries
+	if mode == EntryAuto {
+		if len(mains) > 0 {
+			mode = EntryMain
+		} else {
+			mode = EntryExported
+		}
+	}
+	addDecls := func(exportedOnly bool) {
+		for _, lp := range lw.pkgs {
+			if !lp.Requested {
+				continue
+			}
+			for _, file := range lp.Files {
+				for _, decl := range file.Decls {
+					fd, ok := decl.(*ast.FuncDecl)
+					if !ok || fd.Body == nil {
+						continue
+					}
+					fn, _ := lp.Info.Defs[fd.Name].(*types.Func)
+					if fn == nil || (exportedOnly && !fn.Exported()) {
+						continue
+					}
+					if m := lw.methodFor(fn); m != nil {
+						add(program.MethodRef{Class: m.Class, Method: m.Name})
+					}
+				}
+			}
+		}
+	}
+	switch mode {
+	case EntryMain:
+		for _, r := range mains {
+			add(r)
+		}
+	case EntryExported:
+		addDecls(true)
+	case EntryAll:
+		addDecls(false)
+	}
+	if len(lw.entries) == 0 {
+		addDecls(false) // nothing rooted: fall back to everything
+	}
+	sort.Slice(lw.entries, func(i, j int) bool {
+		if lw.entries[i].Class != lw.entries[j].Class {
+			return lw.entries[i].Class < lw.entries[j].Class
+		}
+		return lw.entries[i].Method < lw.entries[j].Method
+	})
+}

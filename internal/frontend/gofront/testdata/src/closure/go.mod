@@ -1,0 +1,3 @@
+module closure
+
+go 1.22

@@ -1,0 +1,17 @@
+package main
+
+type Box struct{ v *Box }
+
+func mk() func(*Box) *Box {
+	cache := &Box{}
+	return func(b *Box) *Box {
+		cache.v = b
+		return cache
+	}
+}
+
+func main() {
+	f := mk()
+	out := f(&Box{})
+	_ = out
+}

@@ -1,0 +1,3 @@
+module embed
+
+go 1.22

@@ -1,0 +1,22 @@
+package main
+
+type Animal struct{ tag *Toy }
+
+func (a *Animal) Self() *Animal { return a }
+
+type Dog struct {
+	Animal
+	toy *Toy
+}
+
+type Toy struct{}
+
+type Selfer interface{ Self() *Animal }
+
+func main() {
+	d := &Dog{}
+	d.toy = &Toy{}
+	var s Selfer = d
+	x := s.Self()
+	_ = x
+}

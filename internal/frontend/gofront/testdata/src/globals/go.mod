@@ -1,0 +1,3 @@
+module globals
+
+go 1.22

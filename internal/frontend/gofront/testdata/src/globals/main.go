@@ -1,0 +1,18 @@
+package main
+
+type Cfg struct{ items []*Item }
+type Item struct{}
+
+var registry = map[string]*Item{}
+var def *Item
+
+func init() {
+	def = &Item{}
+	registry["default"] = def
+}
+
+func main() {
+	c := &Cfg{}
+	c.items = append(c.items, registry["default"])
+	_ = c
+}

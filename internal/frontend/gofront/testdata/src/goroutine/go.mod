@@ -1,0 +1,3 @@
+module goroutine
+
+go 1.22

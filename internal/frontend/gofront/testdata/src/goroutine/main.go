@@ -1,0 +1,15 @@
+package main
+
+type Msg struct{ id int }
+
+func main() {
+	ch := make(chan *Msg, 1)
+	m := &Msg{}
+	go send(ch, m)
+	r := <-ch
+	_ = r
+}
+
+func send(ch chan *Msg, m *Msg) {
+	ch <- m
+}

@@ -1,0 +1,3 @@
+module hello
+
+go 1.22

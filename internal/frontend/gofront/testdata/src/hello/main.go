@@ -1,0 +1,13 @@
+package main
+
+type Node struct {
+	next *Node
+}
+
+func main() {
+	a := &Node{}
+	b := &Node{next: a}
+	a.next = b
+	c := b.next
+	_ = c
+}

@@ -1,0 +1,3 @@
+module multiret
+
+go 1.22

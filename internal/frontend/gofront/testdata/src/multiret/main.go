@@ -1,0 +1,23 @@
+package main
+
+type A struct{}
+type B struct{}
+
+func pair() (*A, *B) {
+	return &A{}, &B{}
+}
+
+func named() (a *A, n int) {
+	a = &A{}
+	return
+}
+
+func use(a *A, b *B) {}
+
+func main() {
+	x, y := pair()
+	z, _ := named()
+	use(pair())
+	_, _ = x, y
+	_ = z
+}

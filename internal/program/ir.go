@@ -179,6 +179,18 @@ type Program struct {
 	byName map[string]*Class
 }
 
+// New assembles and validates a program from pre-built classes and
+// entry points. Frontends that construct the IR wholesale (rather than
+// incrementally through Builder) use this; implicit roots (Object,
+// Thread) are added as in Parse.
+func New(classes []*Class, entries []MethodRef) (*Program, error) {
+	p := &Program{Classes: classes, Entries: entries}
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
 // Class returns the named class, or nil.
 func (p *Program) Class(name string) *Class { return p.byName[name] }
 
