@@ -26,14 +26,23 @@
 //	                          the analysis is context-sensitive)
 //	POST /query               ad-hoc Datalog (raw text or {"query":...})
 //	GET  /schema              domains and relation schemas
-//	GET  /healthz             liveness, replica count, degraded flag
-//	GET  /metrics             obs metrics snapshot as JSON
+//	GET  /healthz             liveness, replicas, build info, snapshot
+//	                          fingerprint, degraded flag
+//	GET  /metrics             obs metrics snapshot as JSON; Prometheus
+//	                          text format with Accept: text/plain or
+//	                          ?format=prom
+//	GET  /debug/timeseries    the background sampler's ring of substrate
+//	                          gauges (BDD nodes per replica, Go runtime)
 //
-// Query failures map to HTTP statuses: 400 malformed query, 422
-// well-formed but not evaluable here, 429 per-request budget exhausted
+// Every request gets an X-Request-Id (the client's, when sent) echoed
+// in the response and stamped into error bodies; -access-log writes one
+// JSON line per request carrying it. Query failures map to HTTP
+// statuses: 400 malformed query, 422 well-formed but not evaluable
+// here, 429 per-request budget exhausted
 // (-query-timeout/-query-max-nodes), 503 shed under load or draining.
 // SIGINT/SIGTERM drains gracefully: in-flight queries finish (up to
-// -grace), new ones get 503.
+// -grace), new ones get 503. SIGQUIT dumps the sampler's time series to
+// stderr and keeps serving.
 package main
 
 import (
@@ -41,6 +50,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"os/signal"
@@ -73,6 +83,9 @@ func main() {
 	maxStrata := flag.Int("max-query-strata", 1, "stratification depth allowed in ad-hoc queries")
 	grace := flag.Duration("grace", 10*time.Second, "shutdown grace period for in-flight requests")
 	typeFilter := flag.Bool("typefilter", true, "apply declared-type filtering (the paper's Algorithm 2/5)")
+	accessLog := flag.String("access-log", "", "append one JSON line per request to this file (\"-\" = stderr)")
+	sampleInterval := flag.Duration("sample-interval", time.Second, "background substrate sampler period for /debug/timeseries (negative disables)")
+	sampleCap := flag.Int("sample-cap", 0, "sampler ring capacity in samples (0 = 600)")
 	var oflags obs.Flags
 	oflags.Register(flag.CommandLine)
 	var rflags resilience.Flags
@@ -88,25 +101,47 @@ func main() {
 		fmt.Fprintln(os.Stderr, "bddbddbd:", err)
 		os.Exit(1)
 	}
+	var alog io.Writer
+	var alogFile *os.File
+	switch {
+	case *accessLog == "-":
+		alog = os.Stderr
+	case *accessLog != "":
+		alogFile, err = os.OpenFile(*accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bddbddbd: -access-log:", err)
+			os.Exit(1)
+		}
+		alog = alogFile
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	status := run(ctx, sess, rflags, config{
 		addr: *addr, algo: *algo, synthName: *synthName,
 		typeFilter: *typeFilter, grace: *grace,
 		serve: serve.Config{
-			Replicas:      *replicas,
-			QueryHeadroom: *headroom,
-			CacheEntries:  *cacheEntries,
-			CacheBytes:    *cacheBytes,
-			CacheTTL:      *cacheTTL,
-			MaxInFlight:   *maxInFlight,
-			QueryTimeout:  *queryTimeout,
-			QueryMaxNodes: *queryMaxNodes,
-			MaxTuples:     *maxTuples,
-			MaxStrata:     *maxStrata,
-			Metrics:       sess.Metrics,
+			Replicas:       *replicas,
+			QueryHeadroom:  *headroom,
+			CacheEntries:   *cacheEntries,
+			CacheBytes:     *cacheBytes,
+			CacheTTL:       *cacheTTL,
+			MaxInFlight:    *maxInFlight,
+			QueryTimeout:   *queryTimeout,
+			QueryMaxNodes:  *queryMaxNodes,
+			MaxTuples:      *maxTuples,
+			MaxStrata:      *maxStrata,
+			Metrics:        sess.Metrics,
+			Tracer:         sess.Tracer,
+			AccessLog:      alog,
+			SampleInterval: *sampleInterval,
+			SampleCap:      *sampleCap,
 		},
 	})
 	stop()
+	if alogFile != nil {
+		if err := alogFile.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "bddbddbd: -access-log:", err)
+		}
+	}
 	if err := sess.Close(); err != nil {
 		fmt.Fprintln(os.Stderr, "bddbddbd:", err)
 		if status == 0 {
@@ -166,11 +201,32 @@ func run(ctx context.Context, sess *obs.Session, rflags resilience.Flags, cfg co
 	if err != nil {
 		return fail(err)
 	}
+	// SIGQUIT dumps the sampler's time-series ring to stderr and keeps
+	// serving — a poor man's flight recorder for "the daemon felt slow
+	// five minutes ago". (Registering the handler replaces the Go
+	// runtime's default stack-dump-and-exit for SIGQUIT.)
+	quitc := make(chan os.Signal, 1)
+	signal.Notify(quitc, syscall.SIGQUIT)
+	defer signal.Stop(quitc)
+	go func() {
+		for range quitc {
+			if sm := srv.Sampler(); sm != nil {
+				fmt.Fprintf(os.Stderr, "bddbddbd: SIGQUIT time-series dump (snapshot %s):\n", srv.Fingerprint())
+				if err := sm.WriteJSON(os.Stderr); err != nil {
+					fmt.Fprintln(os.Stderr, "bddbddbd: timeseries dump:", err)
+				}
+				fmt.Fprintln(os.Stderr)
+			} else {
+				fmt.Fprintln(os.Stderr, "bddbddbd: SIGQUIT: sampler disabled (-sample-interval < 0)")
+			}
+		}
+	}()
+
 	hs := &http.Server{Addr: cfg.addr, Handler: srv}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "bddbddbd: serving on %s with %d replicas (%d BDD nodes each)\n",
-		cfg.addr, srv.Replicas(), serveNodes(srv))
+	fmt.Fprintf(os.Stderr, "bddbddbd: serving on %s with %d replicas (%d BDD nodes each, snapshot %s)\n",
+		cfg.addr, srv.Replicas(), serveNodes(srv), srv.Fingerprint())
 
 	select {
 	case err := <-errc:

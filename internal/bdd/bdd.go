@@ -235,6 +235,13 @@ func (s Stats) AddTo(reg *obs.Metrics) {
 // including the two terminals.
 func (m *Manager) LiveNodes() int { return len(m.nodes) - m.freeNum }
 
+// ProducedNodes returns the cumulative count of nodes ever allocated —
+// an O(1) read of one counter. Deltas of this across an operation
+// measure the nodes that operation materialized, which is the cheap
+// proxy for per-op result size (an exact result size would need an
+// O(result) BDD walk).
+func (m *Manager) ProducedNodes() int64 { return m.stats.Produced }
+
 // notePeak records the current live-node count into PeakLive.
 func (m *Manager) notePeak() {
 	if live := m.LiveNodes(); live > m.stats.PeakLive {

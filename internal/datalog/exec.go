@@ -29,7 +29,9 @@ func (s *Solver) execPlan(cr *compiledRule, p *plan.Plan, delta *rel.Relation) *
 		s.tr.Begin(ro.span)
 	}
 	defer func() {
-		ro.timer.Observe(time.Since(start))
+		d := time.Since(start)
+		ro.timer.Observe(d)
+		s.hRuleApply.Observe(d.Seconds())
 		if s.tr != nil {
 			s.tr.End()
 		}
@@ -42,6 +44,7 @@ func (s *Solver) execPlan(cr *compiledRule, p *plan.Plan, delta *rel.Relation) *
 		cur, curOwned := s.evalLit(cr, p, idx, delta)
 		jp := p.Joins[k]
 		s.countOp(jp)
+		opStart := s.u.M.ProducedNodes()
 		if s.tr != nil {
 			s.tr.Begin("op.JoinProject")
 		}
@@ -65,6 +68,7 @@ func (s *Solver) execPlan(cr *compiledRule, p *plan.Plan, delta *rel.Relation) *
 			}
 			acc, accOwned = next, true
 		}
+		s.hOpNodes.Observe(float64(s.u.M.ProducedNodes() - opStart))
 		if s.tr != nil {
 			s.tr.End()
 		}
@@ -78,6 +82,7 @@ func (s *Solver) execPlan(cr *compiledRule, p *plan.Plan, delta *rel.Relation) *
 	}
 	for _, o := range p.HeadOps {
 		s.countOp(o)
+		opStart := s.u.M.ProducedNodes()
 		if s.tr != nil {
 			s.tr.Begin("op." + o.Kind())
 		}
@@ -94,6 +99,7 @@ func (s *Solver) execPlan(cr *compiledRule, p *plan.Plan, delta *rel.Relation) *
 		default:
 			panic(fmt.Sprintf("datalog: unexpected head op %T in %s", o, cr.rule))
 		}
+		s.hOpNodes.Observe(float64(s.u.M.ProducedNodes() - opStart))
 		if s.tr != nil {
 			s.tr.End()
 		}
@@ -153,6 +159,7 @@ func (s *Solver) runPipeline(l *plan.Lit, src *rel.Relation) *rel.Relation {
 	cur, owned := src, false
 	for _, o := range l.Ops[1:] {
 		s.countOp(o)
+		opStart := s.u.M.ProducedNodes()
 		if s.tr != nil {
 			s.tr.Begin("op." + o.Kind())
 		}
@@ -171,6 +178,7 @@ func (s *Solver) runPipeline(l *plan.Lit, src *rel.Relation) *rel.Relation {
 		default:
 			panic(fmt.Sprintf("datalog: unexpected literal op %T for %s", o, l.Pred))
 		}
+		s.hOpNodes.Observe(float64(s.u.M.ProducedNodes() - opStart))
 		if s.tr != nil {
 			s.tr.End()
 		}

@@ -125,3 +125,39 @@ func TestSolveTraceGolden(t *testing.T) {
 		t.Fatalf("trace differs from %s (rerun with -update after intended changes)\ngot:\n%s", golden, got)
 	}
 }
+
+// TestSolveHistograms: the solver's shared apply-time and op-result-size
+// histograms fill during Solve and land in an external registry.
+func TestSolveHistograms(t *testing.T) {
+	reg := obs.New()
+	s, err := NewSolver(MustParse(tcSrc), Options{Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := s.Relation("e")
+	for _, row := range [][]uint64{{0, 1}, {1, 2}, {2, 3}} {
+		e.AddTuple(row...)
+	}
+	if err := s.Solve(); err != nil {
+		t.Fatal(err)
+	}
+	apps := s.Stats().RuleApplications
+	h := s.Metrics().Histogram("datalog.rule.apply_sec", nil)
+	if h.Count() != apps {
+		t.Errorf("apply_sec count = %d, want %d (one observation per rule application)", h.Count(), apps)
+	}
+	ops := s.Metrics().Histogram("datalog.op.result_nodes", nil)
+	if ops.Count() == 0 {
+		t.Errorf("result_nodes histogram is empty")
+	}
+	// The flattened copy in opts.Metrics carries the derived keys.
+	snap := reg.Snapshot()
+	for _, k := range []string{
+		"datalog.rule.apply_sec.count", "datalog.rule.apply_sec.p99",
+		"datalog.op.result_nodes.count", "datalog.op.result_nodes.p99",
+	} {
+		if _, ok := snap[k]; !ok {
+			t.Errorf("external registry missing %s", k)
+		}
+	}
+}

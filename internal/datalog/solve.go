@@ -192,6 +192,13 @@ type Solver struct {
 	cHoistMisses *obs.Counter
 	ruleObs      map[*Rule]*ruleObs
 	relCards     []RelationCard
+	// hRuleApply aggregates every rule application's wall time into one
+	// latency distribution (datalog.rule.apply_sec); hOpNodes records
+	// each plan op's materialized result size as the delta of the BDD
+	// manager's produced-node counter (datalog.op.result_nodes) — an
+	// O(1) proxy that avoids walking result BDDs on the hot path.
+	hRuleApply *obs.Histogram
+	hOpNodes   *obs.Histogram
 }
 
 // ruleObs bundles one rule's metric handles: the timer's count is the
@@ -336,6 +343,8 @@ func (s *Solver) initObs() {
 	}
 	s.cHoistHits = s.reg.Counter("datalog.op.norm_cache_hits")
 	s.cHoistMisses = s.reg.Counter("datalog.op.norm_cache_misses")
+	s.hRuleApply = s.reg.Histogram("datalog.rule.apply_sec", obs.LatencyBuckets())
+	s.hOpNodes = s.reg.Histogram("datalog.op.result_nodes", obs.SizeBuckets())
 	for i, rule := range s.prog.Rules {
 		if rule.IsFact() {
 			continue

@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// AccessLogger writes one JSON object per request (JSON lines), the
+// daemon's machine-readable access log. Records carry the request ID,
+// so a 422/429 response, its access-log line, and the per-request
+// trace spans and tagged resilience errors all join on one key.
+type AccessLogger struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// AccessRecord is one served request. Field order is fixed by the
+// struct so lines diff and grep cleanly.
+type AccessRecord struct {
+	Time       time.Time `json:"time"`
+	RequestID  string    `json:"request_id"`
+	Method     string    `json:"method"`
+	Path       string    `json:"path"`
+	Query      string    `json:"query,omitempty"`
+	Status     int       `json:"status"`
+	Bytes      int       `json:"bytes"`
+	DurationMS float64   `json:"duration_ms"`
+	// Cache is the X-Cache disposition: "hit", "miss", or "" for
+	// endpoints that never touch the result cache.
+	Cache string `json:"cache,omitempty"`
+	// Class is the failure class for non-2xx responses (the same
+	// taxonomy the error JSON carries): bad_query, rejected, budget, …
+	Class string `json:"class,omitempty"`
+}
+
+// NewAccessLogger returns a logger writing JSON lines to w. A nil
+// receiver is valid and drops records, so call sites need no guards.
+func NewAccessLogger(w io.Writer) *AccessLogger { return &AccessLogger{w: w} }
+
+// Log writes one record as a single JSON line.
+func (l *AccessLogger) Log(rec AccessRecord) {
+	if l == nil {
+		return
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	line = append(line, '\n')
+	l.mu.Lock()
+	l.w.Write(line)
+	l.mu.Unlock()
+}

@@ -6,15 +6,18 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"time"
 )
 
 // Flags bundles the observability flags every command shares:
-// -trace, -metrics, -v, -cpuprofile, -memprofile. Register them on a
-// FlagSet, then Start a Session after flag parsing and defer Close.
+// -trace, -metrics, -v, -progress, -cpuprofile, -memprofile. Register
+// them on a FlagSet, then Start a Session after flag parsing and defer
+// Close.
 type Flags struct {
 	TracePath   string
 	MetricsPath string
 	Verbose     bool
+	Progress    time.Duration
 	CPUProfile  string
 	MemProfile  string
 }
@@ -24,6 +27,7 @@ func (f *Flags) Register(fs *flag.FlagSet) {
 	fs.StringVar(&f.TracePath, "trace", "", "write a Chrome trace-event JSON file (open in Perfetto or chrome://tracing)")
 	fs.StringVar(&f.MetricsPath, "metrics", "", "write a flat metrics JSON file")
 	fs.BoolVar(&f.Verbose, "v", false, "log phase progress to stderr")
+	fs.DurationVar(&f.Progress, "progress", 0, "print a one-line heartbeat (phase, stratum/iteration, live nodes) to stderr at this interval (e.g. 2s; 0 = off)")
 	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
 	fs.StringVar(&f.MemProfile, "memprofile", "", "write a heap profile to this file at exit")
 }
@@ -38,10 +42,11 @@ type Session struct {
 	// Metrics is the session registry; Close writes it to -metrics.
 	Metrics *Metrics
 
-	name    string
-	flags   Flags
-	chrome  *ChromeTrace
-	cpuFile *os.File
+	name      string
+	flags     Flags
+	chrome    *ChromeTrace
+	cpuFile   *os.File
+	heartbeat *Sampler
 }
 
 // Start opens a session named name (the name lands in the metrics
@@ -55,6 +60,11 @@ func (f *Flags) Start(name string) (*Session, error) {
 	}
 	if f.Verbose {
 		tracers = append(tracers, NewLogTracer(os.Stderr))
+	}
+	if f.Progress > 0 {
+		p := NewProgress()
+		tracers = append(tracers, p)
+		s.heartbeat = StartHeartbeat(p, os.Stderr, f.Progress)
 	}
 	s.Tracer = Multi(tracers...)
 	if f.CPUProfile != "" {
@@ -79,6 +89,10 @@ func (s *Session) Close() error {
 		if err != nil && first == nil {
 			first = err
 		}
+	}
+	if s.heartbeat != nil {
+		s.heartbeat.Stop()
+		s.heartbeat = nil
 	}
 	if s.cpuFile != nil {
 		pprof.StopCPUProfile()

@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	if len(b) != len(want) {
+		t.Fatalf("got %v", b)
+	}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("bucket %d: got %g want %g", i, b[i], want[i])
+		}
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram([]float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 50, 500} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 5 {
+		t.Errorf("Count = %d, want 5", got)
+	}
+	if got := h.Sum(); got != 556.5 {
+		t.Errorf("Sum = %g, want 556.5", got)
+	}
+	// 0.5 and 1 land in bucket ≤1 (SearchFloat64s: first bound >= v),
+	// 5 in ≤10, 50 in ≤100, 500 overflows.
+	want := []int64{2, 1, 1, 1}
+	got := h.BucketCounts()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("bucket %d = %d, want %d (%v)", i, got[i], want[i], got)
+		}
+	}
+	// Overflow clamps to the last bound.
+	if q := h.Quantile(1); q != 100 {
+		t.Errorf("Quantile(1) = %g, want 100 (overflow clamp)", q)
+	}
+}
+
+func TestHistogramEmptyQuantile(t *testing.T) {
+	h := NewHistogram(nil)
+	if q := h.Quantile(0.5); q != 0 {
+		t.Errorf("empty Quantile = %g, want 0", q)
+	}
+}
+
+// TestHistogramQuantileAccuracy checks the interpolation estimate
+// against an exact sorted reference on fixed seeds: the estimate must
+// land within one bucket of the true quantile (the documented error
+// bound for exponential buckets).
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	bounds := ExpBuckets(1e-6, 2, 30)
+	for _, seed := range []int64{1, 7, 42} {
+		rng := rand.New(rand.NewSource(seed))
+		h := NewHistogram(bounds)
+		samples := make([]float64, 20000)
+		for i := range samples {
+			// Log-uniform latencies between ~2µs and ~2s.
+			v := math.Exp(rng.Float64()*math.Log(1e6)) * 2e-6
+			samples[i] = v
+			h.Observe(v)
+		}
+		sort.Float64s(samples)
+		for _, q := range []float64{0.5, 0.95, 0.99} {
+			exact := samples[int(q*float64(len(samples)-1))]
+			est := h.Quantile(q)
+			// The estimate may be off by at most the width of the
+			// bucket holding the exact value: with ×2 growth that is a
+			// factor of 2 either way.
+			if est < exact/2 || est > exact*2 {
+				t.Errorf("seed %d q%.2f: estimate %g vs exact %g (off by more than one bucket)",
+					seed, q, est, exact)
+			}
+		}
+	}
+}
+
+// TestHistogramConcurrencyHammer drives many writers concurrently
+// (run under -race in CI) and checks the final totals are exact.
+func TestHistogramConcurrencyHammer(t *testing.T) {
+	h := NewHistogram(ExpBuckets(1, 2, 10))
+	const (
+		goroutines = 8
+		perG       = 5000
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < perG; i++ {
+				h.Observe(float64(rng.Intn(2000)))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := h.Count(); got != goroutines*perG {
+		t.Errorf("Count = %d, want %d", got, goroutines*perG)
+	}
+	var bucketTotal int64
+	for _, c := range h.BucketCounts() {
+		bucketTotal += c
+	}
+	if bucketTotal != goroutines*perG {
+		t.Errorf("bucket total = %d, want %d", bucketTotal, goroutines*perG)
+	}
+	if h.Sum() <= 0 {
+		t.Errorf("Sum = %g, want > 0", h.Sum())
+	}
+}
+
+func TestHistogramRegistryIntegration(t *testing.T) {
+	reg := New()
+	h := reg.Histogram("test.lat", nil)
+	if reg.Histogram("test.lat", SizeBuckets()) != h {
+		t.Fatal("second registration returned a different histogram")
+	}
+	h.ObserveDuration(10 * time.Millisecond)
+	snap := reg.Snapshot()
+	if snap["test.lat.count"] != 1 {
+		t.Errorf("snapshot count = %g, want 1", snap["test.lat.count"])
+	}
+	if snap["test.lat.sum"] < 0.009 || snap["test.lat.sum"] > 0.011 {
+		t.Errorf("snapshot sum = %g, want ~0.01", snap["test.lat.sum"])
+	}
+	for _, k := range []string{"test.lat.p50", "test.lat.p95", "test.lat.p99"} {
+		if _, ok := snap[k]; !ok {
+			t.Errorf("snapshot missing %s", k)
+		}
+	}
+}

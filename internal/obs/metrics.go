@@ -2,6 +2,7 @@ package obs
 
 import (
 	"math"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -17,6 +18,7 @@ type Metrics struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	timers   map[string]*Timer
+	hists    map[string]*Histogram
 }
 
 // New returns an empty registry.
@@ -25,6 +27,7 @@ func New() *Metrics {
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
 		timers:   make(map[string]*Timer),
+		hists:    make(map[string]*Histogram),
 	}
 }
 
@@ -45,6 +48,17 @@ type Gauge struct{ bits atomic.Uint64 }
 
 // Set stores v.
 func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add atomically adjusts the gauge by d (live counts: in-flight
+// requests, unreleased query states).
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
 
 // SetMax stores v if it exceeds the current value (high-water marks).
 func (g *Gauge) SetMax(v float64) {
@@ -116,16 +130,51 @@ func (m *Metrics) Timer(name string) *Timer {
 	return t
 }
 
+// Histogram returns (registering on first use) the named histogram.
+// bounds applies only at registration (nil = LatencyBuckets); later
+// lookups return the existing histogram whatever bounds they pass.
+func (m *Metrics) Histogram(name string, bounds []float64) *Histogram {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h := m.hists[name]
+	if h == nil {
+		h = NewHistogram(bounds)
+		m.hists[name] = h
+	}
+	return h
+}
+
+// EachHistogram calls f for every registered histogram in name order —
+// the iteration behind the Prometheus exposition, which needs raw
+// bucket counts rather than the flattened Snapshot view.
+func (m *Metrics) EachHistogram(f func(name string, h *Histogram)) {
+	m.mu.Lock()
+	names := make([]string, 0, len(m.hists))
+	for name := range m.hists {
+		names = append(names, name)
+	}
+	hists := make([]*Histogram, len(names))
+	sort.Strings(names)
+	for i, name := range names {
+		hists[i] = m.hists[name]
+	}
+	m.mu.Unlock()
+	for i, name := range names {
+		f(name, hists[i])
+	}
+}
+
 // Set is shorthand for Gauge(name).Set(v).
 func (m *Metrics) Set(name string, v float64) { m.Gauge(name).Set(v) }
 
 // Snapshot flattens the registry into name → value. Counters and
 // gauges export under their own names; a timer named t exports
-// "t.count" and "t.sec" (total seconds).
+// "t.count" and "t.sec" (total seconds); a histogram named h exports
+// "h.count", "h.sum", and the estimated "h.p50"/"h.p95"/"h.p99".
 func (m *Metrics) Snapshot() map[string]float64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	out := make(map[string]float64, len(m.counters)+len(m.gauges)+2*len(m.timers))
+	out := make(map[string]float64, len(m.counters)+len(m.gauges)+2*len(m.timers)+5*len(m.hists))
 	for name, c := range m.counters {
 		out[name] = float64(c.Value())
 	}
@@ -135,6 +184,9 @@ func (m *Metrics) Snapshot() map[string]float64 {
 	for name, t := range m.timers {
 		out[name+".count"] = float64(t.Count())
 		out[name+".sec"] = t.Total().Seconds()
+	}
+	for name, h := range m.hists {
+		h.addTo(name, out)
 	}
 	return out
 }

@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Progress is a Tracer that distills span traffic into a handful of
+// live atomic gauges — which phase is running, the current stratum and
+// iteration, rule applications so far, BDD live nodes at the last GC —
+// without buffering anything. A Sampler reads it periodically and
+// prints the batch commands' -progress heartbeat, so a multi-minute
+// context-sensitive solve shows a per-stratum/iteration pulse on
+// stderr instead of silence.
+//
+// Begin/End stay cheap on the hot path: rule and op spans cost one
+// prefix check and at most one atomic add.
+type Progress struct {
+	start     time.Time
+	ruleApps  atomic.Int64
+	stratum   atomic.Int64 // +1, 0 = none seen yet
+	iteration atomic.Int64
+	liveNodes atomic.Int64
+
+	mu    sync.Mutex
+	phase string // innermost coarse phase span
+}
+
+// NewProgress returns a Progress tracer with the clock started.
+func NewProgress() *Progress { return &Progress{start: time.Now()} }
+
+// Begin implements Tracer.
+func (p *Progress) Begin(name string, args ...Arg) {
+	switch {
+	case strings.HasPrefix(name, "rule "):
+		p.ruleApps.Add(1)
+	case strings.HasPrefix(name, "op."):
+		// Too hot and too fine for a heartbeat.
+	case strings.HasPrefix(name, "stratum "):
+		p.stratum.Store(parseTrailingInt(name) + 1)
+		p.iteration.Store(0)
+	case strings.HasPrefix(name, "iteration "):
+		p.iteration.Store(parseTrailingInt(name))
+	case name == "bdd.gc":
+		// GC spans carry live_before/live_after in args; the Counter
+		// sample below is the one we read.
+	default:
+		p.mu.Lock()
+		p.phase = name
+		p.mu.Unlock()
+	}
+}
+
+// End implements Tracer.
+func (p *Progress) End(args ...Arg) {}
+
+// Instant implements Tracer.
+func (p *Progress) Instant(name string, args ...Arg) {}
+
+// Counter implements Tracer; the BDD manager's live-node samples keep
+// the heartbeat's memory column current.
+func (p *Progress) Counter(name string, values map[string]float64) {
+	if name == "bdd.live_nodes" {
+		if v, ok := values["live"]; ok {
+			p.liveNodes.Store(int64(v))
+		}
+	}
+}
+
+func parseTrailingInt(name string) int64 {
+	i := strings.LastIndexByte(name, ' ')
+	if i < 0 {
+		return 0
+	}
+	var n int64
+	for _, r := range name[i+1:] {
+		if r < '0' || r > '9' {
+			return n
+		}
+		n = n*10 + int64(r-'0')
+	}
+	return n
+}
+
+// Values reports the current progress state as sampler series
+// (progress.* keys).
+func (p *Progress) Values() map[string]float64 {
+	return map[string]float64{
+		"progress.rule_apps":      float64(p.ruleApps.Load()),
+		"progress.stratum":        float64(p.stratum.Load() - 1),
+		"progress.iteration":      float64(p.iteration.Load()),
+		"progress.bdd_live_nodes": float64(p.liveNodes.Load()),
+	}
+}
+
+// Heartbeat formats one -progress line: phase, stratum/iteration
+// position, work counters, and memory.
+func (p *Progress) Heartbeat() string {
+	p.mu.Lock()
+	phase := p.phase
+	p.mu.Unlock()
+	if phase == "" {
+		phase = "startup"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "progress: %s", phase)
+	if st := p.stratum.Load(); st > 0 {
+		fmt.Fprintf(&sb, " stratum=%d", st-1)
+		fmt.Fprintf(&sb, " iter=%d", p.iteration.Load())
+	}
+	fmt.Fprintf(&sb, " rule-apps=%d", p.ruleApps.Load())
+	if live := p.liveNodes.Load(); live > 0 {
+		fmt.Fprintf(&sb, " live-nodes=%d", live)
+	}
+	rt := RuntimeStats()
+	fmt.Fprintf(&sb, " heap=%.0fMB elapsed=%s",
+		rt["go.heap_inuse_bytes"]/(1<<20),
+		time.Since(p.start).Round(time.Second))
+	return sb.String()
+}
+
+// StartHeartbeat wires a Progress tracer to a Sampler printing one
+// heartbeat line per interval to w. The caller owns the returned
+// sampler's lifetime (Stop it when the run finishes).
+func StartHeartbeat(p *Progress, w io.Writer, interval time.Duration) *Sampler {
+	s := NewSampler(interval, 0, func() map[string]float64 {
+		out := RuntimeStats()
+		for k, v := range p.Values() {
+			out[k] = v
+		}
+		return out
+	})
+	s.OnSample(func(SamplePoint) { fmt.Fprintln(w, p.Heartbeat()) })
+	s.Start()
+	return s
+}

@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (version 0.0.4) for the registry — the
+// content-negotiated alternative to the flat metrics JSON on a
+// daemon's /metrics endpoint. Counters and gauges export under their
+// sanitized names, timers as summaries (sum + count), histograms as
+// full histogram families with cumulative le buckets. Families are
+// emitted in sorted name order so successive scrapes of an idle
+// process are byte-identical.
+
+// PromInfo is an info-style metric: a gauge fixed at 1 whose labels
+// carry identity strings (build revision, snapshot fingerprint) that
+// have no numeric encoding. Label order is preserved as given.
+type PromInfo struct {
+	Name   string
+	Labels [][2]string
+}
+
+// PromName sanitizes a dotted metric name into the Prometheus
+// identifier charset [a-zA-Z0-9_:]: every other rune becomes '_', and
+// a leading digit gets a '_' prefix.
+func PromName(name string) string {
+	var sb strings.Builder
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if r >= '0' && r <= '9' && i == 0 {
+			sb.WriteByte('_')
+			sb.WriteRune(r)
+			continue
+		}
+		if ok {
+			sb.WriteRune(r)
+		} else {
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}
+
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func promLabels(labels [][2]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	parts := make([]string, len(labels))
+	for i, kv := range labels {
+		parts[i] = fmt.Sprintf("%s=%q", PromName(kv[0]), kv[1])
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// WritePrometheus writes the registry in the Prometheus text format,
+// appending the given info metrics (each a constant 1 with labels).
+func (m *Metrics) WritePrometheus(w io.Writer, infos ...PromInfo) error {
+	bw := bufio.NewWriter(w)
+
+	m.mu.Lock()
+	type sample struct {
+		name string
+		typ  string // counter | gauge | summary
+		val  float64
+		sum  float64 // summaries only
+	}
+	var samples []sample
+	for name, c := range m.counters {
+		samples = append(samples, sample{name: name, typ: "counter", val: float64(c.Value())})
+	}
+	for name, g := range m.gauges {
+		samples = append(samples, sample{name: name, typ: "gauge", val: g.Value()})
+	}
+	for name, t := range m.timers {
+		samples = append(samples, sample{name: name, typ: "summary", val: float64(t.Count()), sum: t.Total().Seconds()})
+	}
+	histNames := make([]string, 0, len(m.hists))
+	for name := range m.hists {
+		histNames = append(histNames, name)
+	}
+	hists := make([]*Histogram, 0, len(histNames))
+	sort.Strings(histNames)
+	for _, name := range histNames {
+		hists = append(hists, m.hists[name])
+	}
+	m.mu.Unlock()
+
+	sort.Slice(samples, func(i, j int) bool { return samples[i].name < samples[j].name })
+	for _, s := range samples {
+		pn := PromName(s.name)
+		fmt.Fprintf(bw, "# TYPE %s %s\n", pn, s.typ)
+		switch s.typ {
+		case "summary":
+			fmt.Fprintf(bw, "%s_sum %s\n", pn, promFloat(s.sum))
+			fmt.Fprintf(bw, "%s_count %s\n", pn, promFloat(s.val))
+		default:
+			fmt.Fprintf(bw, "%s %s\n", pn, promFloat(s.val))
+		}
+	}
+	for i, name := range histNames {
+		h := hists[i]
+		pn := PromName(name)
+		fmt.Fprintf(bw, "# TYPE %s histogram\n", pn)
+		counts := h.BucketCounts()
+		bounds := h.Bounds()
+		var cum int64
+		for j, b := range bounds {
+			cum += counts[j]
+			fmt.Fprintf(bw, "%s_bucket{le=%q} %d\n", pn, promFloat(b), cum)
+		}
+		cum += counts[len(bounds)]
+		fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", pn, cum)
+		fmt.Fprintf(bw, "%s_sum %s\n", pn, promFloat(h.Sum()))
+		fmt.Fprintf(bw, "%s_count %d\n", pn, cum)
+	}
+	for _, info := range infos {
+		pn := PromName(info.Name)
+		fmt.Fprintf(bw, "# TYPE %s gauge\n", pn)
+		fmt.Fprintf(bw, "%s%s 1\n", pn, promLabels(info.Labels))
+	}
+	return bw.Flush()
+}

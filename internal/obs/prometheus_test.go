@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"serve.cache.hits":  "serve_cache_hits",
+		"already_fine":      "already_fine",
+		"a:b":               "a:b",
+		"9lives":            "_9lives",
+		"datalog.rule.007":  "datalog_rule_007",
+		"weird-chars space": "weird_chars_space",
+	}
+	for in, want := range cases {
+		if got := PromName(in); got != want {
+			t.Errorf("PromName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestWritePrometheusGolden locks the full exposition format: family
+// ordering, counter/gauge/summary encodings, cumulative histogram
+// buckets, and trailing info gauges.
+func TestWritePrometheusGolden(t *testing.T) {
+	m := New()
+	m.Counter("serve.requests").Add(3)
+	m.Gauge("serve.inflight").Set(2)
+	m.Timer("serve.query").Observe(1500 * time.Millisecond)
+	m.Timer("serve.query").Observe(500 * time.Millisecond)
+	h := m.Histogram("serve.latency", []float64{0.001, 0.01, 0.1})
+	h.Observe(0.0005) // ≤0.001
+	h.Observe(0.05)   // ≤0.1
+	h.Observe(0.05)   // ≤0.1
+	h.Observe(5)      // +Inf
+
+	var sb strings.Builder
+	err := m.WritePrometheus(&sb, PromInfo{
+		Name:   "bddbddb.build.info",
+		Labels: [][2]string{{"version", "v1.2.3"}, {"go_version", "go1.x"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE serve_inflight gauge
+serve_inflight 2
+# TYPE serve_query summary
+serve_query_sum 2
+serve_query_count 2
+# TYPE serve_requests counter
+serve_requests 3
+# TYPE serve_latency histogram
+serve_latency_bucket{le="0.001"} 1
+serve_latency_bucket{le="0.01"} 1
+serve_latency_bucket{le="0.1"} 3
+serve_latency_bucket{le="+Inf"} 4
+serve_latency_sum 5.1005
+serve_latency_count 4
+# TYPE bddbddb_build_info gauge
+bddbddb_build_info{version="v1.2.3",go_version="go1.x"} 1
+`
+	if got := sb.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestWritePrometheusDeterministic: two writes of an idle registry are
+// byte-identical (scrape stability).
+func TestWritePrometheusDeterministic(t *testing.T) {
+	m := New()
+	for _, name := range []string{"z.last", "a.first", "m.mid"} {
+		m.Counter(name).Add(1)
+	}
+	m.Histogram("h.two", []float64{1, 2}).Observe(1.5)
+	m.Histogram("h.one", []float64{1, 2}).Observe(0.5)
+	var a, b strings.Builder
+	if err := m.WritePrometheus(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("successive writes differ:\n%s\nvs\n%s", a.String(), b.String())
+	}
+	// Sorted family order within each section.
+	out := a.String()
+	if strings.Index(out, "a_first") > strings.Index(out, "m_mid") ||
+		strings.Index(out, "m_mid") > strings.Index(out, "z_last") {
+		t.Errorf("counter families not sorted:\n%s", out)
+	}
+	if strings.Index(out, "h_one_bucket") > strings.Index(out, "h_two_bucket") {
+		t.Errorf("histogram families not sorted:\n%s", out)
+	}
+}
+
+func TestBuildInfoPromInfo(t *testing.T) {
+	b := BuildInfo{Version: "(devel)", GoVersion: "go1.22", Revision: "abc123", Modified: true}
+	info := b.PromInfo("bddbddb", [2]string{"fingerprint", "deadbeef"})
+	if info.Name != "bddbddb_build_info" {
+		t.Errorf("Name = %q", info.Name)
+	}
+	var sb strings.Builder
+	m := New()
+	if err := m.WritePrometheus(&sb, info); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{`version="(devel)"`, `go_version="go1.22"`, `revision="abc123+dirty"`, `fingerprint="deadbeef"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %s:\n%s", want, out)
+		}
+	}
+}

@@ -53,6 +53,7 @@ type Controller struct {
 	budget   Budget
 	iters    int64
 	polls    uint32
+	tag      string
 }
 
 // NewController creates a controller for one run. ctx may be nil
@@ -85,6 +86,26 @@ func NewController(ctx context.Context, budget Budget) *Controller {
 	return c
 }
 
+// SetTag attaches an identity (the daemon's request ID) to the run;
+// every typed error this controller raises carries it, so a budget
+// trip deep inside a BDD recursion still names the request it killed.
+// Safe on nil controllers (no-op). Set before the run starts — the
+// Controller is single-run and the tag is read from the run's own
+// goroutine.
+func (c *Controller) SetTag(tag string) {
+	if c != nil {
+		c.tag = tag
+	}
+}
+
+// Tag returns the identity set by SetTag ("" for nil controllers).
+func (c *Controller) Tag() string {
+	if c == nil {
+		return ""
+	}
+	return c.tag
+}
+
 // Budget returns the controller's budget (zero for nil controllers).
 func (c *Controller) Budget() Budget {
 	if c == nil {
@@ -115,9 +136,9 @@ func (c *Controller) Err() error {
 			if !c.deadline.IsZero() {
 				limit = int64(c.deadline.Sub(c.start))
 			}
-			return &BudgetError{Resource: "deadline", Limit: limit, Used: int64(time.Since(c.start))}
+			return &BudgetError{Resource: "deadline", Limit: limit, Used: int64(time.Since(c.start)), Tag: c.tag}
 		}
-		return &CancelError{Cause: err}
+		return &CancelError{Cause: err, Tag: c.tag}
 	default:
 	}
 	if !c.deadline.IsZero() && time.Now().After(c.deadline) {
@@ -125,6 +146,7 @@ func (c *Controller) Err() error {
 			Resource: "deadline",
 			Limit:    int64(c.deadline.Sub(c.start)),
 			Used:     int64(time.Since(c.start)),
+			Tag:      c.tag,
 		}
 	}
 	return nil
@@ -169,7 +191,7 @@ func (c *Controller) CheckNodes(live int) {
 		return
 	}
 	if live > c.budget.MaxLiveNodes {
-		Abort(&BudgetError{Resource: "nodes", Limit: int64(c.budget.MaxLiveNodes), Used: int64(live)})
+		Abort(&BudgetError{Resource: "nodes", Limit: int64(c.budget.MaxLiveNodes), Used: int64(live), Tag: c.tag})
 	}
 }
 
@@ -181,7 +203,7 @@ func (c *Controller) AddIteration() {
 	}
 	c.iters++
 	if c.budget.MaxIterations > 0 && c.iters > c.budget.MaxIterations {
-		Abort(&BudgetError{Resource: "iterations", Limit: c.budget.MaxIterations, Used: c.iters})
+		Abort(&BudgetError{Resource: "iterations", Limit: c.budget.MaxIterations, Used: c.iters, Tag: c.tag})
 	}
 	c.Check()
 }

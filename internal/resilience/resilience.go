@@ -57,10 +57,15 @@ type BudgetError struct {
 	// Limit and Used are the budget and the observed value when the
 	// check fired (for "deadline", nanoseconds of wall clock).
 	Limit, Used int64
+	// Tag identifies the run the budget belonged to (the serving
+	// daemon's request ID), so a 422/429 in an access log joins back to
+	// the failure it reports. Empty outside request-scoped runs.
+	Tag string
 }
 
 func (e *BudgetError) Error() string {
-	return fmt.Sprintf("resilience: %s budget exceeded (limit %d, used %d)", e.Resource, e.Limit, e.Used)
+	return fmt.Sprintf("resilience: %s budget exceeded (limit %d, used %d)%s",
+		e.Resource, e.Limit, e.Used, tagSuffix(e.Tag))
 }
 
 // Unwrap ties the error to the ErrBudgetExceeded class.
@@ -69,10 +74,19 @@ func (e *BudgetError) Unwrap() error { return ErrBudgetExceeded }
 // CancelError reports a context cancellation, keeping the cause.
 type CancelError struct {
 	Cause error // the context's Err()
+	// Tag identifies the canceled run; see BudgetError.Tag.
+	Tag string
 }
 
 func (e *CancelError) Error() string {
-	return fmt.Sprintf("resilience: canceled: %v", e.Cause)
+	return fmt.Sprintf("resilience: canceled: %v%s", e.Cause, tagSuffix(e.Tag))
+}
+
+func tagSuffix(tag string) string {
+	if tag == "" {
+		return ""
+	}
+	return " [" + tag + "]"
 }
 
 // Unwrap ties the error to the ErrCanceled class.

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 )
@@ -229,5 +230,47 @@ func TestCheckpointDue(t *testing.T) {
 	c.EveryIterations = 3
 	if c.Due(1) || c.Due(2) || !c.Due(3) || !c.Due(6) {
 		t.Fatal("stride 3 misbehaves")
+	}
+}
+
+// TestControllerTag: a tagged controller stamps every typed error it
+// raises with the run's identity (the daemon's request ID).
+func TestControllerTag(t *testing.T) {
+	c := NewController(context.Background(), Budget{MaxLiveNodes: 10})
+	c.SetTag("req-abc123")
+	if c.Tag() != "req-abc123" {
+		t.Fatalf("Tag = %q", c.Tag())
+	}
+	var err error
+	func() {
+		defer Recover(&err)
+		c.CheckNodes(11)
+	}()
+	var be *BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("err = %v", err)
+	}
+	if be.Tag != "req-abc123" {
+		t.Errorf("BudgetError.Tag = %q", be.Tag)
+	}
+	if !strings.Contains(be.Error(), "[req-abc123]") {
+		t.Errorf("Error() missing tag: %s", be.Error())
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	c2 := NewController(ctx, Budget{})
+	c2.SetTag("req-def")
+	cancel()
+	cerr := c2.Err()
+	var ce *CancelError
+	if !errors.As(cerr, &ce) || ce.Tag != "req-def" {
+		t.Errorf("cancel err = %v", cerr)
+	}
+
+	// Nil controllers accept and report tags safely.
+	var nilC *Controller
+	nilC.SetTag("x")
+	if nilC.Tag() != "" {
+		t.Errorf("nil Tag = %q", nilC.Tag())
 	}
 }

@@ -174,3 +174,90 @@ func TestWriteServeBench(t *testing.T) {
 		t.Errorf("cached speedup %.1fx, want >= 10x", speedup)
 	}
 }
+
+// TestWriteObsBench records the serving percentiles as the daemon
+// itself observes them — read back from the serve.latency.* histograms
+// the request middleware feeds, not recomputed from caller-side
+// stopwatches — into BENCH_obs.json. This exercises the full
+// production observability path: middleware → lock-free histogram →
+// registry snapshot → percentile estimation. Gated behind
+// BENCH_OBS_OUT:
+//
+//	BENCH_OBS_OUT=BENCH_obs.json go test ./internal/serve -run TestWriteObsBench
+func TestWriteObsBench(t *testing.T) {
+	out := os.Getenv("BENCH_OBS_OUT")
+	if out == "" {
+		t.Skip("set BENCH_OBS_OUT=path to record observability benchmarks")
+	}
+	res, vars := benchSolver(t)
+
+	drive := func(s *Server, rounds int) {
+		for r := 0; r < rounds; r++ {
+			for _, v := range vars {
+				serveOne(t, s, "/aliases?var="+v)
+			}
+		}
+	}
+	newServer := func(reg *obs.Metrics, cacheEntries int) *Server {
+		s, err := New(res.Solver, Config{
+			Replicas: 4, CacheEntries: cacheEntries, MaxInFlight: 256,
+			Metrics: reg, SampleInterval: -1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(s.Close)
+		return s
+	}
+
+	// Cold: cache disabled, every request is a replica evaluation, so
+	// every 200 lands in the ...miss histogram.
+	coldReg := obs.New()
+	drive(newServer(coldReg, -1), 5)
+
+	// Cached: warm every key once, then measure; the measured rounds all
+	// land in the ...hit histogram.
+	cachedReg := obs.New()
+	cachedSrv := newServer(cachedReg, 4096)
+	drive(cachedSrv, 6)
+
+	coldVals := coldReg.Snapshot()
+	cachedVals := cachedReg.Snapshot()
+	const miss = "serve.latency.aliases.ci.miss"
+	const hit = "serve.latency.aliases.ci.hit"
+	if coldVals[miss+".count"] != float64(5*len(vars)) {
+		t.Fatalf("cold miss histogram count = %v, want %d", coldVals[miss+".count"], 5*len(vars))
+	}
+	if cachedVals[hit+".count"] != float64(5*len(vars)) {
+		t.Fatalf("cached hit histogram count = %v, want %d", cachedVals[hit+".count"], 5*len(vars))
+	}
+	coldP50 := coldVals[miss+".p50"]
+	cachedP50 := cachedVals[hit+".p50"]
+	if coldP50 <= 0 || cachedP50 <= 0 {
+		t.Fatalf("histogram percentiles not recorded: cold p50 %v, cached p50 %v", coldP50, cachedP50)
+	}
+	vals := map[string]float64{
+		"serve.obs.cold.p50_us":     coldP50 * 1e6,
+		"serve.obs.cold.p99_us":     coldVals[miss+".p99"] * 1e6,
+		"serve.obs.cold.requests":   coldVals[miss+".count"],
+		"serve.obs.cached.p50_us":   cachedP50 * 1e6,
+		"serve.obs.cached.p99_us":   cachedVals[hit+".p99"] * 1e6,
+		"serve.obs.cached.requests": cachedVals[hit+".count"],
+		"serve.obs.cached.speedup":  coldP50 / cachedP50,
+		"serve.obs.replicas":        4,
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := obs.WriteMetricsJSON(f, "serve_obs", vals); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("histogram-path percentiles: cold p50 %.0fµs p99 %.0fµs; cached p50 %.0fµs p99 %.0fµs (%.1fx)",
+		vals["serve.obs.cold.p50_us"], vals["serve.obs.cold.p99_us"],
+		vals["serve.obs.cached.p50_us"], vals["serve.obs.cached.p99_us"], vals["serve.obs.cached.speedup"])
+	if vals["serve.obs.cached.speedup"] < 2 {
+		t.Errorf("cached speedup from histograms %.2fx, want >= 2x", vals["serve.obs.cached.speedup"])
+	}
+}

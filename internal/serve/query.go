@@ -126,6 +126,9 @@ type resultJSON struct {
 type errorJSON struct {
 	Error string `json:"error"`
 	Class string `json:"class"`
+	// RequestID echoes the request's trace identity so an error body
+	// alone is enough to find the matching access-log line.
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // renderResult serializes a finished query. Each output relation is

@@ -54,6 +54,19 @@ type Config struct {
 	// Degraded is surfaced in /healthz: the daemon fell back to a less
 	// precise analysis when the startup solve ran out of budget.
 	Degraded bool
+	// Tracer, when set, receives one instant event per served request
+	// (request ID, endpoint, status, cache outcome). With Replicas == 1
+	// it additionally flows into each query's solve spans; with more
+	// replicas concurrent workers would interleave span nesting, so only
+	// the flat per-request instants are emitted.
+	Tracer obs.Tracer
+	// AccessLog, when set, receives one JSON line per request.
+	AccessLog io.Writer
+	// SampleInterval is the background sampler's period for the
+	// /debug/timeseries substrate gauges (0 = 1s; negative disables the
+	// sampler). SampleCap bounds its ring buffer (0 = 600 samples).
+	SampleInterval time.Duration
+	SampleCap      int
 }
 
 func (c *Config) fill() {
@@ -81,6 +94,9 @@ func (c *Config) fill() {
 	if c.MaxStrata <= 0 {
 		c.MaxStrata = 1
 	}
+	if c.SampleInterval == 0 {
+		c.SampleInterval = time.Second
+	}
 }
 
 // Server dispatches HTTP queries to a pool of replica-owning workers.
@@ -92,28 +108,36 @@ func (c *Config) fill() {
 // exit). Close must come after the HTTP layer stops delivering
 // requests.
 type Server struct {
-	cfg   Config
-	snap  *Snapshot
-	sh    shape
-	val   *datalog.QueryBase // replica 0's base: immutable name tables for validation
-	mux   *http.ServeMux
-	jobs  chan *job
-	wg    sync.WaitGroup
-	cache *Cache
-	reg   *obs.Metrics
+	cfg     Config
+	snap    *Snapshot
+	sh      shape
+	val     *datalog.QueryBase // replica 0's base: immutable name tables for validation
+	mux     *http.ServeMux
+	jobs    chan *job
+	wg      sync.WaitGroup
+	cache   *Cache
+	reg     *obs.Metrics
+	tracer  obs.Tracer
+	alog    *obs.AccessLogger
+	sampler *obs.Sampler
+	build   obs.BuildInfo
+	start   time.Time
 
 	draining  atomic.Bool
 	inflight  atomic.Int64
 	closeOnce sync.Once
 
-	cRequests *obs.Counter
-	cShed     *obs.Counter
-	tQuery    *obs.Timer
+	cRequests   *obs.Counter
+	cShed       *obs.Counter
+	tQuery      *obs.Timer
+	gInflight   *obs.Gauge
+	gLiveStates *obs.Gauge
 }
 
 type job struct {
 	ctx  context.Context
 	src  string
+	rid  string // request ID, stamped into the query's resilience errors
 	done chan struct{}
 	body []byte
 	err  error
@@ -137,15 +161,23 @@ func newFromSnapshot(snap *Snapshot, cfg Config) (*Server, error) {
 		reg = obs.New()
 	}
 	s := &Server{
-		cfg:  cfg,
-		snap: snap,
-		jobs: make(chan *job, cfg.MaxInFlight),
-		reg:  reg,
+		cfg:    cfg,
+		snap:   snap,
+		jobs:   make(chan *job, cfg.MaxInFlight),
+		reg:    reg,
+		tracer: cfg.Tracer,
+		build:  obs.ReadBuildInfo(),
+		start:  time.Now(),
+	}
+	if cfg.AccessLog != nil {
+		s.alog = obs.NewAccessLogger(cfg.AccessLog)
 	}
 	s.cache = NewCache(cfg.CacheEntries, cfg.CacheBytes, cfg.CacheTTL, reg)
 	s.cRequests = reg.Counter("serve.requests")
 	s.cShed = reg.Counter("serve.shed")
 	s.tQuery = reg.Timer("serve.query")
+	s.gInflight = reg.Gauge("serve.inflight")
+	s.gLiveStates = reg.Gauge("serve.query.live_states")
 	reg.Set("serve.replicas", float64(cfg.Replicas))
 	extra := make(map[string]int, len(snap.domains))
 	for _, dm := range snap.domains {
@@ -161,8 +193,9 @@ func newFromSnapshot(snap *Snapshot, cfg Config) (*Server, error) {
 			s.val = rep.Base
 			s.sh = shapeOf(rep.Base.HasRelation)
 		}
+		s.pushReplicaStats(i, rep)
 		s.wg.Add(1)
-		go s.worker(rep)
+		go s.worker(i, rep)
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/pointsto", s.handlePointsTo)
@@ -172,11 +205,19 @@ func newFromSnapshot(snap *Snapshot, cfg Config) (*Server, error) {
 	mux.HandleFunc("/schema", s.handleSchema)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/timeseries", s.handleTimeseries)
 	s.mux = mux
+	// The sampler reads only the registry and the Go runtime — never a
+	// replica's manager directly; workers push per-replica substrate
+	// gauges into the registry, so the single-threaded managers stay
+	// single-threaded.
+	if cfg.SampleInterval > 0 {
+		s.sampler = obs.NewSampler(cfg.SampleInterval, cfg.SampleCap,
+			obs.RegistrySource(reg, "serve.", "go."))
+		s.sampler.Start()
+	}
 	return s, nil
 }
-
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
 // Replicas returns the worker-pool size.
 func (s *Server) Replicas() int { return s.cfg.Replicas }
@@ -193,22 +234,54 @@ func (s *Server) Cache() *Cache { return s.cache }
 // it before http.Server.Shutdown for a graceful SIGTERM.
 func (s *Server) BeginDrain() { s.draining.Store(true) }
 
-// Close stops the worker pool after the in-flight jobs drain. The HTTP
-// layer must already have stopped delivering requests (BeginDrain +
-// http.Server.Shutdown); submitting after Close panics by design.
+// Close stops the sampler and the worker pool after the in-flight jobs
+// drain. The HTTP layer must already have stopped delivering requests
+// (BeginDrain + http.Server.Shutdown); submitting after Close panics by
+// design.
 func (s *Server) Close() {
+	if s.sampler != nil {
+		s.sampler.Stop()
+	}
 	s.closeOnce.Do(func() { close(s.jobs) })
 	s.wg.Wait()
 }
 
+// Sampler exposes the background substrate sampler (nil when disabled)
+// — the daemon dumps its buffer on SIGQUIT.
+func (s *Server) Sampler() *obs.Sampler { return s.sampler }
+
+// Fingerprint identifies the snapshot the server answers from.
+func (s *Server) Fingerprint() string { return s.snap.Fingerprint() }
+
 // worker owns one replica for the server's lifetime: jobs arrive over
 // the shared channel and run on this goroutine only, so the replica's
 // BDD manager never sees concurrency.
-func (s *Server) worker(rep *Replica) {
+func (s *Server) worker(i int, rep *Replica) {
 	defer s.wg.Done()
 	for j := range s.jobs {
 		s.runJob(rep, j)
+		s.pushReplicaStats(i, rep)
 	}
+}
+
+// pushReplicaStats publishes one replica's BDD substrate state as
+// gauges. Only the owning worker goroutine calls it (plus once at
+// hydration, before the worker starts), so the manager is never read
+// concurrently; the sampler and /metrics read the registry, which is
+// safe.
+func (s *Server) pushReplicaStats(i int, rep *Replica) {
+	m := rep.U.M
+	st := m.Stats()
+	prefix := fmt.Sprintf("serve.replica.%d.", i)
+	s.reg.Set(prefix+"live_nodes", float64(m.LiveNodes()))
+	s.reg.Set(prefix+"produced_nodes", float64(st.Produced))
+	s.reg.Set(prefix+"gcs", float64(st.GCs))
+	total := st.CacheHits + st.CacheMiss
+	ratio := 0.0
+	if total > 0 {
+		ratio = float64(st.CacheHits) / float64(total)
+	}
+	s.reg.Set(prefix+"op_cache_hit_ratio", ratio)
 }
 
 func (s *Server) runJob(rep *Replica, j *job) {
@@ -218,16 +291,29 @@ func (s *Server) runJob(rep *Replica, j *job) {
 		Timeout:      s.cfg.QueryTimeout,
 		MaxLiveNodes: s.cfg.QueryMaxNodes,
 	})
+	ctl.SetTag(j.rid)
+	// Solve spans nest globally in the Chrome/log tracers, so the
+	// per-query solve trace is only safe single-replica; the flat
+	// per-request instants in ServeHTTP cover the concurrent case.
+	var tr obs.Tracer
+	if s.cfg.Replicas == 1 {
+		tr = s.tracer
+	}
 	t0 := time.Now()
 	res, err := rep.Base.Eval(j.src, datalog.QueryOptions{
 		Control:   ctl,
+		Tracer:    tr,
 		MaxStrata: s.cfg.MaxStrata,
 	})
 	if err != nil {
 		j.err = err
 		return
 	}
-	defer res.Close()
+	s.gLiveStates.Add(1)
+	defer func() {
+		res.Close()
+		s.gLiveStates.Add(-1)
+	}()
 	j.body, j.err = renderResult(j.src, res, s.cfg.MaxTuples, time.Since(t0))
 	rep.MaybeGC()
 	s.tQuery.Observe(time.Since(t0))
@@ -252,13 +338,15 @@ func (s *Server) runQuery(w http.ResponseWriter, r *http.Request, src string) {
 	// Admission control: beyond MaxInFlight concurrent requests, shed
 	// instead of queueing — a bounded worker pool with an unbounded
 	// queue just converts overload into timeouts.
-	if cur := s.inflight.Add(1); cur > int64(s.cfg.MaxInFlight) {
-		s.inflight.Add(-1)
+	cur := s.inflight.Add(1)
+	s.gInflight.Set(float64(cur))
+	if cur > int64(s.cfg.MaxInFlight) {
+		s.gInflight.Set(float64(s.inflight.Add(-1)))
 		s.shed(w, "overloaded")
 		return
 	}
-	defer s.inflight.Add(-1)
-	j := &job{ctx: r.Context(), src: src, done: make(chan struct{})}
+	defer func() { s.gInflight.Set(float64(s.inflight.Add(-1))) }()
+	j := &job{ctx: r.Context(), src: src, rid: requestID(w), done: make(chan struct{})}
 	select {
 	case s.jobs <- j:
 	case <-r.Context().Done():
@@ -280,17 +368,19 @@ func (s *Server) runQuery(w http.ResponseWriter, r *http.Request, src string) {
 func (s *Server) shed(w http.ResponseWriter, why string) {
 	s.cShed.Inc()
 	s.reg.Counter("serve.errors." + why).Inc()
+	setErrorClass(w, why)
 	w.Header().Set("Retry-After", "1")
-	writeJSON(w, http.StatusServiceUnavailable, errorJSON{Error: "server " + why, Class: why})
+	writeJSON(w, http.StatusServiceUnavailable, errorJSON{Error: "server " + why, Class: why, RequestID: requestID(w)})
 }
 
 func (s *Server) writeError(w http.ResponseWriter, err error) {
 	status, class := statusFor(err)
 	s.reg.Counter("serve.errors." + class).Inc()
+	setErrorClass(w, class)
 	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
 		w.Header().Set("Retry-After", "1")
 	}
-	writeJSON(w, status, errorJSON{Error: err.Error(), Class: class})
+	writeJSON(w, status, errorJSON{Error: err.Error(), Class: class, RequestID: requestID(w)})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -441,12 +531,23 @@ func relKindString(k datalog.RelKind) string {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	type health struct {
-		Status   string `json:"status"`
-		Replicas int    `json:"replicas"`
-		Nodes    int    `json:"snapshot_nodes"`
-		Degraded bool   `json:"degraded"`
+		Status      string        `json:"status"`
+		Replicas    int           `json:"replicas"`
+		Nodes       int           `json:"snapshot_nodes"`
+		Degraded    bool          `json:"degraded"`
+		Fingerprint string        `json:"snapshot_fingerprint"`
+		UptimeSec   float64       `json:"uptime_sec"`
+		Build       obs.BuildInfo `json:"build"`
 	}
-	h := health{Status: "ok", Replicas: s.cfg.Replicas, Nodes: s.snap.Nodes(), Degraded: s.cfg.Degraded}
+	h := health{
+		Status:      "ok",
+		Replicas:    s.cfg.Replicas,
+		Nodes:       s.snap.Nodes(),
+		Degraded:    s.cfg.Degraded,
+		Fingerprint: s.snap.Fingerprint(),
+		UptimeSec:   time.Since(s.start).Seconds(),
+		Build:       s.build,
+	}
 	status := http.StatusOK
 	if s.draining.Load() {
 		h.Status = "draining"
@@ -455,9 +556,42 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, status, h)
 }
 
+// wantsPrometheus decides the /metrics representation: explicit
+// ?format=prom (or ?format=json) wins, then the Accept header
+// (text/plain is what Prometheus scrapers send). Default is the flat
+// metrics JSON, which existing tooling parses.
+func wantsPrometheus(r *http.Request) bool {
+	switch r.URL.Query().Get("format") {
+	case "prom", "prometheus":
+		return true
+	case "json":
+		return false
+	}
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "text/plain") && !strings.Contains(accept, "application/json")
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.reg.Set("serve.inflight", float64(s.inflight.Load()))
 	s.reg.Set("serve.cache.entries", float64(s.cache.Len()))
+	s.reg.Set("serve.uptime_sec", time.Since(s.start).Seconds())
+	if wantsPrometheus(r) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.reg.WritePrometheus(w, s.build.PromInfo("bddbddbd",
+			[2]string{"snapshot_fingerprint", s.snap.Fingerprint()}))
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	obs.WriteMetricsJSON(w, "bddbddbd", s.reg.Snapshot())
+}
+
+// handleTimeseries dumps the background sampler's ring buffer — the
+// recent per-replica substrate gauges and Go runtime series.
+func (s *Server) handleTimeseries(w http.ResponseWriter, r *http.Request) {
+	if s.sampler == nil {
+		writeJSON(w, http.StatusNotFound, errorJSON{Error: "sampler disabled (SampleInterval < 0)", Class: "bad_query", RequestID: requestID(w)})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	s.sampler.WriteJSON(w)
 }

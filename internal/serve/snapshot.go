@@ -13,6 +13,8 @@ package serve
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 
 	"bddbddb/internal/bdd"
@@ -95,6 +97,16 @@ func NewSnapshot(s *datalog.Solver) (*Snapshot, error) {
 
 // Bytes returns the size of the serialized DAG.
 func (sn *Snapshot) Bytes() int { return len(sn.dag) }
+
+// Fingerprint identifies the snapshot's contents: the first 12 hex
+// digits of the SHA-256 of the serialized relation DAG. /healthz and
+// the metrics exposition report it, so an operator can tell whether
+// two replicas (or a daemon and a BENCH file) answer from the same
+// solved state.
+func (sn *Snapshot) Fingerprint() string {
+	sum := sha256.Sum256(sn.dag)
+	return hex.EncodeToString(sum[:])[:12]
+}
 
 // Nodes returns the number of distinct BDD nodes in the snapshot.
 func (sn *Snapshot) Nodes() int { return sn.nodeCount }
