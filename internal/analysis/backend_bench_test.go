@@ -1,0 +1,125 @@
+package analysis
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"bddbddb/internal/datalog"
+	"bddbddb/internal/datalog/plan"
+	"bddbddb/internal/extract"
+	"bddbddb/internal/obs"
+	"bddbddb/internal/synth"
+)
+
+// benchTCSrc is the sparse workload: transitive closure over a 2048-
+// element domain with random layered edges — no regularity for the BDD
+// encoding to exploit, few enough paths that sorted rows stay small.
+const benchTCSrc = `
+.domain V 2048
+.relation e (a : V, b : V) input
+.relation t (a : V, b : V) output
+
+t(a, b) :- e(a, b).
+t(a, c) :- t(a, b), e(b, c).
+`
+
+// benchTCEdges generates the deterministic random DAG: four layers of
+// 512 nodes, out-degree 2 between adjacent layers.
+func benchTCEdges() [][]uint64 {
+	seed := uint64(0x9e3779b97f4a7c15)
+	next := func() uint64 {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		return seed >> 33
+	}
+	var rows [][]uint64
+	for layer := 0; layer < 3; layer++ {
+		base := uint64(layer) * 512
+		for i := uint64(0); i < 512; i++ {
+			for d := 0; d < 2; d++ {
+				rows = append(rows, []uint64{base + i, base + 512 + next()%512})
+			}
+		}
+	}
+	return rows
+}
+
+// TestWriteBackendBench records the storage-backend crossover numbers
+// into BENCH_backend.json (the repo's flat metrics format): the largest
+// BENCH_figure4 synthetic configuration solved context-sensitively
+// under each -backend mode, plus a small sparse workload where explicit
+// rows should win. Gated behind BENCH_BACKEND_OUT so the regular test
+// run stays fast:
+//
+//	BENCH_BACKEND_OUT=BENCH_backend.json go test ./internal/analysis -run TestWriteBackendBench
+func TestWriteBackendBench(t *testing.T) {
+	out := os.Getenv("BENCH_BACKEND_OUT")
+	if out == "" {
+		t.Skip("set BENCH_BACKEND_OUT=path to record backend benchmarks")
+	}
+	modes := []plan.BackendMode{plan.BackendBDD, plan.BackendExplicit, plan.BackendAuto}
+	vals := map[string]float64{}
+
+	// Largest of the BENCH_figure4 subset (joone), context-sensitive —
+	// the workload the BDD representation exists for. Auto must stay
+	// close to pure BDD here: the context-domain pin keeps the cloned
+	// relations out of explicit storage.
+	big := synth.BenchmarkByName("joone")
+	bf, err := extract.Extract(synth.Generate(big.Params), extract.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range modes {
+		r, err := RunContextSensitive(bf, nil, Config{Plan: datalog.PlanConfig{Backend: mode}})
+		if err != nil {
+			t.Fatalf("joone/cs/%s: %v", mode, err)
+		}
+		st := r.Stats()
+		vals["backend.joone.cs."+mode.String()+".solve_sec"] = st.SolveTime.Seconds()
+		vals["backend.joone.cs."+mode.String()+".peak_live_nodes"] = float64(st.PeakLiveNodes)
+		t.Logf("joone/cs/%-8s solve %v, peak %d live nodes", mode, st.SolveTime, st.PeakLiveNodes)
+	}
+	vals["backend.joone.cs.auto_vs_bdd"] =
+		vals["backend.joone.cs.auto.solve_sec"] / vals["backend.joone.cs.bdd.solve_sec"]
+
+	// Small sparse workload, best of five runs per mode: random
+	// transitive closure, where the BDD has no regularity to compress
+	// and sorted rows with a hash join win outright.
+	edges := benchTCEdges()
+	for _, mode := range modes {
+		var best time.Duration
+		var peak float64
+		for rep := 0; rep < 5; rep++ {
+			s, err := datalog.NewSolver(datalog.MustParse(benchTCSrc),
+				datalog.Options{Plan: datalog.PlanConfig{Backend: mode}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, row := range edges {
+				s.Relation("e").AddTuple(row...)
+			}
+			start := time.Now()
+			if err := s.Solve(); err != nil {
+				t.Fatalf("tc2048/%s: %v", mode, err)
+			}
+			if el := time.Since(start); rep == 0 || el < best {
+				best = el
+				peak = float64(s.Stats().PeakLiveNodes)
+			}
+		}
+		vals["backend.tc2048."+mode.String()+".solve_sec"] = best.Seconds()
+		vals["backend.tc2048."+mode.String()+".peak_live_nodes"] = peak
+		t.Logf("tc2048/%-8s solve %v, peak %.0f live nodes", mode, best, peak)
+	}
+	vals["backend.tc2048.auto_vs_bdd"] =
+		vals["backend.tc2048.auto.solve_sec"] / vals["backend.tc2048.bdd.solve_sec"]
+
+	f, err := os.Create(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := obs.WriteMetricsJSON(f, "backend", vals); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,11 +1,13 @@
 package analysis
 
 import (
+	"math/big"
 	"reflect"
 	"sort"
 	"testing"
 
 	"bddbddb/internal/datalog"
+	"bddbddb/internal/datalog/plan"
 	"bddbddb/internal/extract"
 	"bddbddb/internal/synth"
 )
@@ -53,29 +55,35 @@ class Main {
 }
 `
 
-// relationFingerprint captures cardinality plus a bounded tuple sample
-// for every relation the solve declared, keyed by relation name.
+// relationFingerprint captures cardinality plus the full sorted tuple
+// set for every relation the solve declared, keyed by relation name.
+// Enumeration order is a representation detail (BDD variable order vs
+// explicit row order), so a prefix sample would not be comparable
+// across storage backends; relations past the cap compare by
+// cardinality alone.
+const fingerprintTupleCap = 50000
+
 func relationFingerprint(t *testing.T, r *Result) map[string]relFP {
 	t.Helper()
 	out := map[string]relFP{}
 	for _, name := range r.Solver.RelationNames() {
 		rel := r.Solver.Relation(name)
 		fp := relFP{Card: rel.Size().String()}
-		n := 0
-		rel.Iterate(func(vals []uint64) bool {
-			fp.Sample = append(fp.Sample, append([]uint64(nil), vals...))
-			n++
-			return n < 500
-		})
-		sort.Slice(fp.Sample, func(i, j int) bool {
-			a, b := fp.Sample[i], fp.Sample[j]
-			for k := range a {
-				if a[k] != b[k] {
-					return a[k] < b[k]
+		if rel.Size().Cmp(big.NewInt(fingerprintTupleCap)) <= 0 {
+			rel.Iterate(func(vals []uint64) bool {
+				fp.Sample = append(fp.Sample, append([]uint64(nil), vals...))
+				return true
+			})
+			sort.Slice(fp.Sample, func(i, j int) bool {
+				a, b := fp.Sample[i], fp.Sample[j]
+				for k := range a {
+					if a[k] != b[k] {
+						return a[k] < b[k]
+					}
 				}
-			}
-			return false
-		})
+				return false
+			})
+		}
 		out[name] = fp
 	}
 	return out
@@ -139,12 +147,27 @@ func TestPlannerDifferentialAllAlgorithms(t *testing.T) {
 			return RunContextInsensitive(pf, true, cfg)
 		}},
 	}
+	// The sweep is a backend × plan-config matrix: the planner variants
+	// under the default BDD backend, plus every storage backend under
+	// the default and a degraded plan. The baseline is (optimizer on,
+	// pure BDD); all variants must reproduce it bit-for-bit.
+	allOff := datalog.PlanConfig{NoReorder: true, NoPushdown: true, NoHoist: true, NoDeadOps: true}
+	explicitPlan := datalog.PlanConfig{Backend: plan.BackendExplicit}
+	autoPlan := datalog.PlanConfig{Backend: plan.BackendAuto}
+	autoAllOff := allOff
+	autoAllOff.Backend = plan.BackendAuto
+	legacyExplicit := datalog.LegacyPlan()
+	legacyExplicit.Backend = plan.BackendExplicit
 	variants := []struct {
 		name string
 		plan datalog.PlanConfig
 	}{
 		{"legacy", datalog.LegacyPlan()},
-		{"all-off", datalog.PlanConfig{NoReorder: true, NoPushdown: true, NoHoist: true, NoDeadOps: true}},
+		{"all-off", allOff},
+		{"explicit", explicitPlan},
+		{"auto", autoPlan},
+		{"auto-all-off", autoAllOff},
+		{"legacy-explicit", legacyExplicit},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -38,23 +38,29 @@ type compiledRule struct {
 	cache []*litCache
 }
 
-// litCache holds one literal's hoisted normalized form. srcRoot is the
-// source relation's root at normalization time, kept referenced so the
-// node id cannot be recycled — root equality is then a sound validity
-// check (BDDs are canonical).
+// litCache holds one literal's hoisted normalized form, validated by
+// (source relation pointer, modification stamp). Stamps come from the
+// universe's monotone counter: the held pointer keeps the Go object
+// alive (so its address cannot be recycled) and every content mutation
+// bumps the stamp, so an equal pair later proves the source is
+// unchanged. Unlike the previous BDD-root comparison this works for
+// any storage backend, and backend migrations — which change
+// representation, not content — correctly keep the cache valid.
 type litCache struct {
-	srcRoot bdd.Node
-	norm    *rel.Relation
+	src   *rel.Relation
+	stamp uint64
+	norm  *rel.Relation
 }
 
-// clear drops the cached form and its guard reference.
+// clear drops the cached form.
 func (c *litCache) clear(m *bdd.Manager) {
 	if c.norm == nil {
 		return
 	}
 	c.norm.Free()
-	m.Deref(c.srcRoot)
 	c.norm = nil
+	c.src = nil
+	c.stamp = 0
 }
 
 // clearCaches drops every hoisted normalization the rule holds.

@@ -120,11 +120,11 @@ func (s *Solver) execPlan(cr *compiledRule, p *plan.Plan, delta *rel.Relation) *
 // and must not be freed by the caller.
 //
 // Non-delta literals with real normalization work are hoisted: the
-// result is cached per compiled rule and revalidated by comparing the
-// source relation's BDD root (canonical, and guarded by a held
-// reference so the id cannot be recycled). Within a stratum the
-// sources of non-recursive literals never change, so the fixpoint loop
-// pays for normalization once instead of every iteration.
+// result is cached per compiled rule and revalidated by the source
+// relation's (pointer, modification stamp) pair — see litCache. Within
+// a stratum the sources of non-recursive literals never change, so the
+// fixpoint loop pays for normalization once instead of every
+// iteration.
 func (s *Solver) evalLit(cr *compiledRule, p *plan.Plan, idx int, delta *rel.Relation) (*rel.Relation, bool) {
 	l := &p.Lits[idx]
 	src := s.rels[l.Pred]
@@ -140,14 +140,15 @@ func (s *Solver) evalLit(cr *compiledRule, p *plan.Plan, idx int, delta *rel.Rel
 		return s.runPipeline(l, src), true
 	}
 	c := cr.cache[idx]
-	if c.norm != nil && c.srcRoot == src.Root() {
+	if c.norm != nil && c.src == src && c.stamp == src.Stamp() {
 		s.cHoistHits.Inc()
 		return c.norm, false
 	}
 	s.cHoistMisses.Inc()
 	norm := s.runPipeline(l, src)
 	c.clear(s.u.M)
-	c.srcRoot = s.u.M.Ref(src.Root())
+	c.src = src
+	c.stamp = src.Stamp()
 	c.norm = norm
 	return norm, false
 }

@@ -1,0 +1,67 @@
+package plan
+
+import "fmt"
+
+// BackendMode selects how the solver assigns tuple-storage backends to
+// relations (rel.Backend per relation). The zero value is BackendBDD —
+// pure BDD storage, the pre-refactor behavior — so library callers and
+// the serving path are unchanged unless they opt in.
+type BackendMode int
+
+const (
+	// BackendBDD stores every relation as a BDD (the default).
+	BackendBDD BackendMode = iota
+	// BackendExplicit forces explicit sorted-tuple storage wherever it
+	// is representable (nullary and over-cap relations stay BDD — the
+	// safety valve for context-cloned relations).
+	BackendExplicit
+	// BackendAuto chooses per relation per stratum from observed
+	// cardinality, with context-domain pinning and hysteresis; see the
+	// solver's selectBackends.
+	BackendAuto
+)
+
+func (m BackendMode) String() string {
+	switch m {
+	case BackendBDD:
+		return "bdd"
+	case BackendExplicit:
+		return "explicit"
+	case BackendAuto:
+		return "auto"
+	default:
+		return fmt.Sprintf("BackendMode(%d)", int(m))
+	}
+}
+
+// ParseBackendMode parses "auto", "bdd", or "explicit".
+func ParseBackendMode(s string) (BackendMode, error) {
+	switch s {
+	case "auto":
+		return BackendAuto, nil
+	case "bdd":
+		return BackendBDD, nil
+	case "explicit":
+		return BackendExplicit, nil
+	default:
+		return BackendBDD, fmt.Errorf("plan: unknown backend mode %q (want auto, bdd, or explicit)", s)
+	}
+}
+
+// BackendFlag is the commands' shared -backend flag: a flag.Value
+// holding a BackendMode. The commands default to BackendAuto; library
+// callers constructing Config directly keep the pure-BDD zero value.
+type BackendFlag struct {
+	Mode BackendMode
+}
+
+func (f *BackendFlag) String() string { return f.Mode.String() }
+
+func (f *BackendFlag) Set(s string) error {
+	m, err := ParseBackendMode(s)
+	if err != nil {
+		return err
+	}
+	f.Mode = m
+	return nil
+}

@@ -1,0 +1,379 @@
+package rel
+
+import (
+	"fmt"
+
+	"bddbddb/internal/bdd"
+	"math/big"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// The cross-backend equivalence properties: every relational op must
+// produce the same tuple set no matter which backend holds each
+// operand (bdd×bdd, bdd×explicit, explicit×bdd, explicit×explicit),
+// and bridging a relation through both representations must round-trip
+// exactly. Expected results are computed natively on Go maps so the
+// check is independent of both backends.
+
+var backendPair = [2]Backend{BDD, Explicit}
+
+type equivUniverse struct {
+	u        *Universe
+	aV, aH   Attr // A(v,h) on V0,H0
+	bH, bF   Attr // B(h,f) on H0,F0
+	eV1, eV2 Attr // E(v1,v2) on V0,V1
+	zZ1, zZ2 Attr // Z(z1,z2) on Z0,Z1 — volume past the complement cap
+	vSz, hSz uint64
+	fSz, zSz uint64
+}
+
+func newEquivUniverse(t *testing.T) *equivUniverse {
+	t.Helper()
+	u := NewUniverse()
+	u.Declare("V", 12)
+	u.Declare("H", 9)
+	u.Declare("F", 4)
+	u.Declare("Z", 2048)
+	u.EnsureInstances("V", 2)
+	u.EnsureInstances("Z", 2)
+	if err := u.Finalize(FinalizeOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	return &equivUniverse{
+		u:  u,
+		aV: u.A("v", "V", 0), aH: u.A("h", "H", 0),
+		bH: u.A("h", "H", 0), bF: u.A("f", "F", 0),
+		eV1: u.A("v1", "V", 0), eV2: u.A("v2", "V", 1),
+		zZ1: u.A("z1", "Z", 0), zZ2: u.A("z2", "Z", 1),
+		vSz: 12, hSz: 9, fSz: 4, zSz: 2048,
+	}
+}
+
+func randTuples(rng *rand.Rand, n int, sizes ...uint64) [][]uint64 {
+	out := make([][]uint64, 0, n)
+	for i := 0; i < n; i++ {
+		row := make([]uint64, len(sizes))
+		for j, s := range sizes {
+			row[j] = rng.Uint64() % s
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+func makeRel(t *testing.T, u *Universe, name string, k Backend, tuples [][]uint64, attrs ...Attr) *Relation {
+	t.Helper()
+	r := u.NewRelation(name, attrs...)
+	for _, row := range tuples {
+		r.AddTuple(row...)
+	}
+	if r.Backend() != BDD {
+		t.Fatalf("%s: fresh relation on %v, want bdd", name, r.Backend())
+	}
+	r.SetBackend(k)
+	if r.Backend() != k {
+		t.Fatalf("%s: SetBackend(%v) left backend %v", name, k, r.Backend())
+	}
+	return r
+}
+
+func rowKey(row []uint64) string {
+	parts := make([]string, len(row))
+	for i, v := range row {
+		parts[i] = fmt.Sprint(v)
+	}
+	return strings.Join(parts, ",")
+}
+
+func tupleKeySet(tuples [][]uint64) map[string]bool {
+	m := make(map[string]bool)
+	for _, row := range tuples {
+		m[rowKey(row)] = true
+	}
+	return m
+}
+
+func canon(m map[string]bool) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ";")
+}
+
+func relCanon(r *Relation) string { return canon(tupleKeySet(r.Tuples())) }
+
+func checkRel(t *testing.T, label string, r *Relation, want map[string]bool) {
+	t.Helper()
+	if got := relCanon(r); got != canon(want) {
+		t.Errorf("%s: tuples diverge\n got %s\nwant %s", label, got, canon(want))
+	}
+	if wantN := int64(len(want)); r.Size().Int64() != wantN {
+		t.Errorf("%s: Size=%v want %d", label, r.Size(), wantN)
+	}
+	if r.IsEmpty() != (len(want) == 0) {
+		t.Errorf("%s: IsEmpty=%v with %d tuples", label, r.IsEmpty(), len(want))
+	}
+}
+
+func TestBackendEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			runBackendEquiv(t, seed)
+		})
+	}
+}
+
+func runBackendEquiv(t *testing.T, seed int64) {
+	eu := newEquivUniverse(t)
+	u := eu.u
+	rng := rand.New(rand.NewSource(seed))
+
+	aT := randTuples(rng, 1+rng.Intn(40), eu.vSz, eu.hSz)
+	cT := randTuples(rng, 1+rng.Intn(40), eu.vSz, eu.hSz)
+	bT := randTuples(rng, 1+rng.Intn(30), eu.hSz, eu.fSz)
+	aSet, cSet := tupleKeySet(aT), tupleKeySet(cT)
+
+	for _, ka := range backendPair {
+		for _, kc := range backendPair {
+			pair := fmt.Sprintf("[%v×%v]", ka, kc)
+			a := makeRel(t, u, "A", ka, aT, eu.aV, eu.aH)
+			c := makeRel(t, u, "C", kc, cT, eu.aV, eu.aH)
+			b := makeRel(t, u, "B", kc, bT, eu.bH, eu.bF)
+
+			// Union / Minus / SameTuples across backend pairs.
+			want := make(map[string]bool)
+			for k := range aSet {
+				want[k] = true
+			}
+			for k := range cSet {
+				want[k] = true
+			}
+			un := a.Union("A∪C", c)
+			checkRel(t, pair+" union", un, want)
+
+			want = make(map[string]bool)
+			for k := range aSet {
+				if !cSet[k] {
+					want[k] = true
+				}
+			}
+			mi := a.Minus("A−C", c)
+			checkRel(t, pair+" minus", mi, want)
+
+			if got, wantEq := a.SameTuples(c), canon(aSet) == canon(cSet); got != wantEq {
+				t.Errorf("%s SameTuples=%v want %v", pair, got, wantEq)
+			}
+			if !a.SameTuples(a.Clone("A'")) {
+				t.Errorf("%s SameTuples(self clone)=false", pair)
+			}
+
+			// Join and JoinProject on the shared attribute h.
+			wantJoin := make(map[string]bool)
+			wantJP := make(map[string]bool)
+			for _, ar := range aT {
+				for _, br := range bT {
+					if ar[1] == br[0] {
+						wantJoin[rowKey([]uint64{ar[0], ar[1], br[1]})] = true
+						wantJP[rowKey([]uint64{ar[0], br[1]})] = true
+					}
+				}
+			}
+			j := a.Join("A⋈B", b)
+			checkRel(t, pair+" join", j, wantJoin)
+			jp := a.JoinProject("A⋈B−h", b, "h")
+			checkRel(t, pair+" joinProject", jp, wantJP)
+
+			// UnionWith mutates in place and reports growth.
+			acl := a.Clone("A″")
+			grew := acl.UnionWith(c)
+			wantGrew := false
+			for k := range cSet {
+				if !aSet[k] {
+					wantGrew = true
+				}
+			}
+			if grew != wantGrew {
+				t.Errorf("%s UnionWith changed=%v want %v", pair, grew, wantGrew)
+			}
+			checkRel(t, pair+" unionWith", acl, tupleKeySet(un.Tuples()))
+
+			for _, r := range []*Relation{a, b, c, un, mi, j, jp, acl} {
+				r.Free()
+			}
+		}
+	}
+
+	// Unary ops per backend.
+	for _, k := range backendPair {
+		lbl := fmt.Sprintf("[%v]", k)
+		a := makeRel(t, u, "A", k, aT, eu.aV, eu.aH)
+
+		want := make(map[string]bool)
+		for _, row := range aT {
+			want[rowKey(row[:1])] = true
+		}
+		p := a.ProjectOut("A−h", "h")
+		checkRel(t, lbl+" projectOut", p, want)
+
+		sel := uint64(int(eu.hSz) / 2)
+		want = make(map[string]bool)
+		for _, row := range aT {
+			if row[1] == sel {
+				want[rowKey(row)] = true
+			}
+		}
+		se := a.SelectEq("A[h=k]", "h", sel)
+		checkRel(t, lbl+" selectEq", se, want)
+
+		// Complement within the schema volume.
+		want = make(map[string]bool)
+		for v := uint64(0); v < eu.vSz; v++ {
+			for h := uint64(0); h < eu.hSz; h++ {
+				if !aSet[rowKey([]uint64{v, h})] {
+					want[rowKey([]uint64{v, h})] = true
+				}
+			}
+		}
+		co := a.Complement("¬A")
+		checkRel(t, lbl+" complement", co, want)
+
+		// Rename to another physical instance, Reshape back, and a pure
+		// metadata RenameAttr: tuples must ride along unchanged.
+		rn := a.Rename("A@V1", map[string]*bdd.Domain{"v": u.Phys("V", 1)})
+		checkRel(t, lbl+" rename", rn, aSet)
+		if rn.Attr("v").Phys != u.Phys("V", 1) {
+			t.Errorf("%s rename left phys %s", lbl, rn.Attr("v").Phys.Name)
+		}
+		rs := rn.Reshape("A@V0", map[string]Remap{"v": {NewName: "var", NewPhys: u.Phys("V", 0)}})
+		checkRel(t, lbl+" reshape", rs, aSet)
+		if !rs.HasAttr("var") || rs.Attr("var").Phys != u.Phys("V", 0) {
+			t.Errorf("%s reshape metadata wrong: %s", lbl, rs)
+		}
+		ra := a.RenameAttr("A'", "h", "heap")
+		checkRel(t, lbl+" renameAttr", ra, aSet)
+
+		for _, r := range []*Relation{a, p, se, co, rn, rs, ra} {
+			r.Free()
+		}
+
+		// SelectEqualAttrs over two instances of one logical domain.
+		eT := randTuples(rng, 1+rng.Intn(40), eu.vSz, eu.vSz)
+		e := makeRel(t, u, "E", k, eT, eu.eV1, eu.eV2)
+		want = make(map[string]bool)
+		for _, row := range eT {
+			if row[0] == row[1] {
+				want[rowKey(row)] = true
+			}
+		}
+		eq := e.SelectEqualAttrs("E[v1=v2]", "v1", "v2")
+		checkRel(t, lbl+" selectEqualAttrs", eq, want)
+		e.Free()
+		eq.Free()
+	}
+
+	// Round-trip through both bridges preserves tuples and does not
+	// bump the modification stamp (migration changes representation,
+	// not content).
+	rt := makeRel(t, u, "RT", BDD, aT, eu.aV, eu.aH)
+	stamp := rt.Stamp()
+	rt.SetBackend(Explicit)
+	rt.SetBackend(BDD)
+	rt.SetBackend(Explicit)
+	checkRel(t, "round-trip", rt, aSet)
+	if rt.Stamp() != stamp {
+		t.Errorf("round-trip bumped stamp %d→%d", stamp, rt.Stamp())
+	}
+	if rt.AddTuple(0, 0); rt.Stamp() == stamp {
+		t.Error("AddTuple did not bump stamp")
+	}
+	rt.Free()
+}
+
+// TestExplicitComplementBridge drives the volume-capped Complement
+// path: a schema too large to enumerate negates through the BDD
+// backend, exactly.
+func TestExplicitComplementBridge(t *testing.T) {
+	eu := newEquivUniverse(t)
+	rng := rand.New(rand.NewSource(7))
+	zT := randTuples(rng, 25, eu.zSz, eu.zSz)
+	z := makeRel(t, eu.u, "Zr", Explicit, zT, eu.zZ1, eu.zZ2)
+	n := z.Size().Int64()
+	co := z.Complement("¬Zr")
+	if co.Backend() != BDD {
+		t.Errorf("large-volume explicit complement on %v, want bridged to bdd", co.Backend())
+	}
+	vol := new(big.Int).Mul(big.NewInt(int64(eu.zSz)), big.NewInt(int64(eu.zSz)))
+	want := new(big.Int).Sub(vol, big.NewInt(n))
+	if co.Size().Cmp(want) != 0 {
+		t.Errorf("complement size %v want %v", co.Size(), want)
+	}
+	z.Free()
+	co.Free()
+}
+
+// TestExplicitGrowthValve lowers the promotion cap and checks that an
+// explicit relation mutated past it migrates back to BDD instead of
+// materializing rows without bound.
+func TestExplicitGrowthValve(t *testing.T) {
+	old := explicitPromoteRows
+	explicitPromoteRows = big.NewInt(10)
+	defer func() { explicitPromoteRows = old }()
+
+	eu := newEquivUniverse(t)
+	rng := rand.New(rand.NewSource(11))
+	small := randTuples(rng, 4, eu.vSz, eu.hSz)
+	grow := randTuples(rng, 40, eu.vSz, eu.hSz)
+	r := makeRel(t, eu.u, "G", Explicit, small, eu.aV, eu.aH)
+	o := makeRel(t, eu.u, "Go", BDD, grow, eu.aV, eu.aH)
+	r.UnionWith(o)
+	if r.Backend() != BDD {
+		t.Errorf("growth valve left backend %v, want bdd", r.Backend())
+	}
+	want := tupleKeySet(small)
+	for k := range tupleKeySet(grow) {
+		want[k] = true
+	}
+	checkRel(t, "valve union", r, want)
+	r.Free()
+	o.Free()
+}
+
+// TestRootPanicsOnExplicit pins the contract checkpointing and serving
+// rely on: Root is only for BDD-backed relations, BDDRoot bridges.
+func TestRootPanicsOnExplicit(t *testing.T) {
+	eu := newEquivUniverse(t)
+	r := makeRel(t, eu.u, "R", Explicit, [][]uint64{{1, 2}, {3, 4}}, eu.aV, eu.aH)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Root on explicit relation did not panic")
+			}
+		}()
+		r.Root()
+	}()
+	root, release := r.BDDRoot()
+	chk := eu.u.NewRelationFromBDD("chk", eu.u.M.Ref(root), eu.aV, eu.aH)
+	if got := relCanon(chk); got != relCanon(r) {
+		t.Errorf("BDDRoot tuples diverge: %s vs %s", got, relCanon(r))
+	}
+	release()
+	chk.Free()
+	r.Free()
+
+	// Freeze pins to BDD so snapshots can take roots.
+	f := makeRel(t, eu.u, "F", Explicit, [][]uint64{{1, 2}}, eu.aV, eu.aH)
+	f.Freeze()
+	if f.Backend() != BDD || !f.Frozen() {
+		t.Errorf("Freeze left backend=%v frozen=%v", f.Backend(), f.Frozen())
+	}
+	_ = f.Root()
+	if f.SetBackend(Explicit) {
+		t.Error("frozen relation migrated")
+	}
+}
