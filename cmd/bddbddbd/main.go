@@ -25,7 +25,12 @@
 //	                          to the heap object (with contexts when
 //	                          the analysis is context-sensitive)
 //	POST /query               ad-hoc Datalog (raw text or {"query":...})
-//	GET  /schema              domains and relation schemas
+//	POST /update              live input-tuple delta (JSON add/remove
+//	                          sets); incrementally re-solves, cuts a new
+//	                          snapshot generation and hot-swaps it in
+//	                          with zero downtime
+//	GET  /schema              domains and relation schemas, plus the
+//	                          update delta wire format
 //	GET  /healthz             liveness, replicas, build info, snapshot
 //	                          fingerprint, degraded flag
 //	GET  /metrics             obs metrics snapshot as JSON; Prometheus
@@ -42,11 +47,17 @@
 // (-query-timeout/-query-max-nodes), 503 shed under load or draining.
 // SIGINT/SIGTERM drains gracefully: in-flight queries finish (up to
 // -grace), new ones get 503. SIGQUIT dumps the sampler's time series to
-// stderr and keeps serving.
+// stderr and keeps serving. SIGHUP reloads the -update-file delta and
+// applies it through the same lifecycle as POST /update; each update is
+// bounded by -update-timeout/-update-max-nodes and degrades to a full
+// background re-solve when the incremental path exhausts the budget.
+// Any update failure rolls back completely — the previous generation
+// keeps serving.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -55,10 +66,12 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"bddbddb/internal/analysis"
+	"bddbddb/internal/datalog"
 	"bddbddb/internal/extract"
 	"bddbddb/internal/obs"
 	"bddbddb/internal/program"
@@ -86,6 +99,10 @@ func main() {
 	accessLog := flag.String("access-log", "", "append one JSON line per request to this file (\"-\" = stderr)")
 	sampleInterval := flag.Duration("sample-interval", time.Second, "background substrate sampler period for /debug/timeseries (negative disables)")
 	sampleCap := flag.Int("sample-cap", 0, "sampler ring capacity in samples (0 = 600)")
+	updateFile := flag.String("update-file", "", "JSON delta file re-read and applied on SIGHUP")
+	updateSlack := flag.Int("update-slack", 64, "spare domain capacity for element names arriving in live updates")
+	updateTimeout := flag.Duration("update-timeout", 2*time.Minute, "per-update budget before degrading to a full background re-solve")
+	updateMaxNodes := flag.Int("update-max-nodes", 0, "per-update live BDD node budget (0 = unlimited)")
 	var oflags obs.Flags
 	oflags.Register(flag.CommandLine)
 	var rflags resilience.Flags
@@ -118,7 +135,10 @@ func main() {
 	status := run(ctx, sess, rflags, config{
 		addr: *addr, algo: *algo, synthName: *synthName,
 		typeFilter: *typeFilter, grace: *grace,
+		updateFile: *updateFile, updateSlack: *updateSlack,
 		serve: serve.Config{
+			UpdateTimeout:  *updateTimeout,
+			UpdateMaxNodes: *updateMaxNodes,
 			Replicas:       *replicas,
 			QueryHeadroom:  *headroom,
 			CacheEntries:   *cacheEntries,
@@ -155,10 +175,25 @@ type config struct {
 	addr, algo, synthName string
 	typeFilter            bool
 	grace                 time.Duration
+	updateFile            string
+	updateSlack           int
 	serve                 serve.Config
 }
 
 func run(ctx context.Context, sess *obs.Session, rflags resilience.Flags, cfg config) int {
+	// BDDBDDBD_FAULT=<point> arms a one-shot panic at the named
+	// resilience fault point (update.apply, update.resolve,
+	// snapshot.hydrate, snapshot.swap, ...). CI's update smoke uses it
+	// to prove a mid-update failure rolls back cleanly and the daemon
+	// keeps serving; one-shot so the retry can then succeed.
+	if fp := os.Getenv("BDDBDDBD_FAULT"); fp != "" {
+		var fired atomic.Bool
+		resilience.SetFaultHook(func(name string) {
+			if name == fp && fired.CompareAndSwap(false, true) {
+				panic("injected fault at " + name)
+			}
+		})
+	}
 	prog, err := loadProgram(cfg.synthName)
 	if err != nil {
 		return fail(err)
@@ -174,6 +209,7 @@ func run(ctx context.Context, sess *obs.Session, rflags resilience.Flags, cfg co
 		Budget:        rflags.Budget(),
 		CheckpointDir: rflags.CheckpointDir,
 		Resume:        rflags.Resume,
+		DomainSlack:   cfg.updateSlack,
 	}
 	fmt.Fprintf(os.Stderr, "bddbddbd: solving (%s, %d vars, %d heap objects)...\n",
 		cfg.algo, len(facts.Vars), len(facts.Heaps))
@@ -197,10 +233,46 @@ func run(ctx context.Context, sess *obs.Session, rflags resilience.Flags, cfg co
 	}
 
 	cfg.serve.Degraded = res.Degraded
+	live, err := analysis.Live(res)
+	if err != nil {
+		return fail(err)
+	}
+	cfg.serve.Updater = live
 	srv, err := serve.New(res.Solver, cfg.serve)
 	if err != nil {
 		return fail(err)
 	}
+	// SIGHUP re-reads -update-file and applies it as a live delta —
+	// the same lifecycle as POST /update: incremental re-solve, new
+	// snapshot generation, atomic swap; rollback on any failure.
+	hupc := make(chan os.Signal, 1)
+	signal.Notify(hupc, syscall.SIGHUP)
+	defer signal.Stop(hupc)
+	go func() {
+		for range hupc {
+			if cfg.updateFile == "" {
+				fmt.Fprintln(os.Stderr, "bddbddbd: SIGHUP: no -update-file configured")
+				continue
+			}
+			raw, err := os.ReadFile(cfg.updateFile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bddbddbd: SIGHUP:", err)
+				continue
+			}
+			var wd datalog.WireDelta
+			if err := json.Unmarshal(raw, &wd); err != nil {
+				fmt.Fprintf(os.Stderr, "bddbddbd: SIGHUP: bad delta in %s: %v\n", cfg.updateFile, err)
+				continue
+			}
+			ur, err := srv.ApplyUpdate(ctx, wd)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bddbddbd: SIGHUP: update rolled back:", err)
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "bddbddbd: SIGHUP: update applied: generation %d, snapshot %s (+%d/-%d tuples, full=%v, %v)\n",
+				ur.Generation, ur.Fingerprint, ur.Stats.Added, ur.Stats.Removed, ur.Stats.Full, ur.Stats.Duration.Round(time.Microsecond))
+		}
+	}()
 	// SIGQUIT dumps the sampler's time-series ring to stderr and keeps
 	// serving — a poor man's flight recorder for "the daemon felt slow
 	// five minutes ago". (Registering the handler replaces the Go

@@ -58,6 +58,15 @@ type Config struct {
 	// Resume restores the primary solve from a checkpoint directory
 	// written by a previous run of the same program.
 	Resume string
+	// PreSolve, when set, runs inside the primary solve after facts are
+	// applied and before the first stratum — the hook live updates and
+	// their differential oracles use to edit input tuples with exact
+	// update semantics. Auxiliary solves never see it.
+	PreSolve func(*datalog.Solver) error
+	// DomainSlack adds spare capacity to every fact-sized domain so
+	// live updates can register new element names (methods, variables)
+	// without rebuilding the universe. 0 means exact sizing.
+	DomainSlack int
 
 	// ctl is the pipeline's one controller, built by the outermost
 	// entry point and shared by every nested phase so budgets are
@@ -86,13 +95,15 @@ func (c Config) withControl() Config {
 	return c
 }
 
-// checkpointOpts applies the checkpoint/resume configuration to the
-// primary solve's options.
+// checkpointOpts applies the primary-solve-only configuration —
+// checkpoint/resume and the PreSolve input-delta hook. Auxiliary
+// solves go through auxConfig, which carries neither.
 func (c Config) checkpointOpts(opts *datalog.Options) {
 	if c.CheckpointDir != "" {
 		opts.Checkpoint = &resilience.CheckpointConfig{Dir: c.CheckpointDir}
 	}
 	opts.ResumeFrom = c.Resume
+	opts.PreSolve = c.PreSolve
 }
 
 // auxConfig strips the checkpoint/resume settings for an auxiliary
@@ -158,9 +169,9 @@ func (r *Result) Stats() datalog.SolverStats { return r.Solver.Stats() }
 func baseOptions(f *extract.Facts, cfg Config, order []string) datalog.Options {
 	sz := func(n int) uint64 {
 		if n < 1 {
-			return 1
+			n = 1
 		}
-		return uint64(n)
+		return uint64(n + cfg.DomainSlack)
 	}
 	return datalog.Options{
 		Order:     cfg.order(order),

@@ -89,6 +89,14 @@ type Options struct {
 	// previous run of the same program (verified by fingerprint) and
 	// continues the evaluation from it instead of starting fresh.
 	ResumeFrom string
+	// PreSolve, when set, runs inside Solve after facts are applied and
+	// before the first stratum evaluates — the one point where input
+	// relations hold their complete pre-fixpoint contents (fills and
+	// facts alike), so a caller can apply an input-tuple delta there and
+	// get exactly the semantics of IncrementalSolver.Update's edits to a
+	// live solver. Skipped when resuming from a checkpoint (the restored
+	// relations already include everything up to the checkpoint).
+	PreSolve func(*Solver) error
 }
 
 // SolverStats reports the work a Solve performed; the benchmark harness
@@ -514,6 +522,11 @@ func (s *Solver) Solve() (err error) {
 		// must not re-apply them.
 		if err := s.applyFacts(); err != nil {
 			return err
+		}
+		if s.opts.PreSolve != nil {
+			if err := s.opts.PreSolve(s); err != nil {
+				return err
+			}
 		}
 	}
 	for i, st := range s.strata {

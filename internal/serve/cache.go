@@ -104,6 +104,18 @@ func (c *Cache) Put(key string, body []byte) {
 	}
 }
 
+// Flush atomically drops every entry — called at a generation swap so
+// superseded answers stop occupying budget. (Correctness does not
+// depend on it: keys carry the generation, so a stale body could never
+// be returned for a post-swap request anyway.)
+func (c *Cache) Flush() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[string]*list.Element)
+	c.lru.Init()
+	c.bytes = 0
+}
+
 // Len returns the live entry count.
 func (c *Cache) Len() int {
 	c.mu.Lock()

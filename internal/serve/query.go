@@ -170,11 +170,15 @@ func renderResult(query string, res *datalog.QueryResult, maxTuples int, elapsed
 	return json.Marshal(out)
 }
 
-// statusFor maps the query-evaluation error taxonomy to HTTP statuses:
+// statusFor maps the query- and update-error taxonomy to HTTP
+// statuses:
 //
 //	nil                        → 200
 //	*check.Error               → 400 bad_query   (malformed query text)
 //	datalog.ErrQueryRejected   → 422 rejected    (well-formed, not evaluable)
+//	datalog.ErrUpdateRejected  → 422 rejected    (delta not applicable)
+//	ErrUpdateInProgress        → 409 update_conflict
+//	ErrUpdatesDisabled         → 501 updates_disabled
 //	resilience.ErrBudgetExceeded → 429 budget    (per-request budget tripped)
 //	resilience.ErrCanceled     → 503 canceled    (drain or client gone)
 //	anything else              → 500 internal    (converted panic etc.)
@@ -187,6 +191,12 @@ func statusFor(err error) (int, string) {
 		return http.StatusBadRequest, "bad_query"
 	case errors.Is(err, datalog.ErrQueryRejected):
 		return http.StatusUnprocessableEntity, "rejected"
+	case errors.Is(err, datalog.ErrUpdateRejected):
+		return http.StatusUnprocessableEntity, "rejected"
+	case errors.Is(err, ErrUpdateInProgress):
+		return http.StatusConflict, "update_conflict"
+	case errors.Is(err, ErrUpdatesDisabled):
+		return http.StatusNotImplemented, "updates_disabled"
 	case errors.Is(err, resilience.ErrBudgetExceeded):
 		return http.StatusTooManyRequests, "budget"
 	case errors.Is(err, resilience.ErrCanceled):

@@ -123,7 +123,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	cache := rec.Header().Get("X-Cache")
 	if rec.status == http.StatusOK && queryEndpoints[endpoint] {
 		sh := "ci"
-		if s.sh.hasVPC {
+		if s.current().sh.hasVPC {
 			sh = "cs"
 		}
 		outcome := "miss"

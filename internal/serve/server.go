@@ -67,6 +67,15 @@ type Config struct {
 	// sampler). SampleCap bounds its ring buffer (0 = 600 samples).
 	SampleInterval time.Duration
 	SampleCap      int
+	// Updater, when set, enables the live-update lifecycle (POST
+	// /update and SIGHUP delta reload): it owns the solver the serve
+	// snapshots are cut from. Nil disables updates (501).
+	Updater Updater
+	// UpdateTimeout / UpdateMaxNodes bound each update's incremental
+	// re-solve (per-update resilience.Controller); exceeding them
+	// degrades to a full background re-solve. Defaults 2m, unlimited.
+	UpdateTimeout  time.Duration
+	UpdateMaxNodes int
 }
 
 func (c *Config) fill() {
@@ -97,24 +106,41 @@ func (c *Config) fill() {
 	if c.SampleInterval == 0 {
 		c.SampleInterval = time.Second
 	}
+	if c.UpdateTimeout == 0 {
+		c.UpdateTimeout = 2 * time.Minute
+	}
+}
+
+// pool is one snapshot generation's worker set: the hydrated replicas,
+// their job channel, and the bookkeeping that lets a swapped-out
+// generation retire only after its last in-flight request finishes.
+type pool struct {
+	gen  uint64
+	snap *Snapshot
+	sh   shape
+	val  *datalog.QueryBase // replica 0's base: immutable name tables for validation
+	jobs chan *job
+	wg   sync.WaitGroup // worker goroutines
+	// pending counts requests holding this pool. Acquired under the
+	// server's read lock (so a swap, which takes the write lock, can
+	// never miss an acquisition), waited on by the retire goroutine
+	// before the job channel closes — no send-on-closed-channel, no
+	// dropped request.
+	pending sync.WaitGroup
 }
 
 // Server dispatches HTTP queries to a pool of replica-owning workers.
 // It implements http.Handler; pair it with an http.Server (or httptest)
 // for the listener.
 //
-// Lifecycle: New → serve traffic → BeginDrain (new requests 503) →
+// Lifecycle: New → serve traffic (ApplyUpdate may hot-swap the pool
+// any number of times) → BeginDrain (new requests 503) →
 // http.Server.Shutdown (in-flight handlers finish) → Close (workers
 // exit). Close must come after the HTTP layer stops delivering
 // requests.
 type Server struct {
 	cfg     Config
-	snap    *Snapshot
-	sh      shape
-	val     *datalog.QueryBase // replica 0's base: immutable name tables for validation
 	mux     *http.ServeMux
-	jobs    chan *job
-	wg      sync.WaitGroup
 	cache   *Cache
 	reg     *obs.Metrics
 	tracer  obs.Tracer
@@ -122,6 +148,16 @@ type Server struct {
 	sampler *obs.Sampler
 	build   obs.BuildInfo
 	start   time.Time
+
+	// mu guards cur, the serving generation. Requests acquire it via
+	// acquire() (read lock + pending count); ApplyUpdate swaps it under
+	// the write lock. retired tracks swapped-out pools still draining.
+	mu      sync.RWMutex
+	cur     *pool
+	retired sync.WaitGroup
+	// updateMu serializes updates: a second concurrent update is
+	// rejected with 409, not queued.
+	updateMu chan struct{}
 
 	draining  atomic.Bool
 	inflight  atomic.Int64
@@ -132,6 +168,7 @@ type Server struct {
 	tQuery      *obs.Timer
 	gInflight   *obs.Gauge
 	gLiveStates *obs.Gauge
+	gGeneration *obs.Gauge
 }
 
 type job struct {
@@ -161,13 +198,12 @@ func newFromSnapshot(snap *Snapshot, cfg Config) (*Server, error) {
 		reg = obs.New()
 	}
 	s := &Server{
-		cfg:    cfg,
-		snap:   snap,
-		jobs:   make(chan *job, cfg.MaxInFlight),
-		reg:    reg,
-		tracer: cfg.Tracer,
-		build:  obs.ReadBuildInfo(),
-		start:  time.Now(),
+		cfg:      cfg,
+		reg:      reg,
+		tracer:   cfg.Tracer,
+		build:    obs.ReadBuildInfo(),
+		start:    time.Now(),
+		updateMu: make(chan struct{}, 1),
 	}
 	if cfg.AccessLog != nil {
 		s.alog = obs.NewAccessLogger(cfg.AccessLog)
@@ -178,30 +214,20 @@ func newFromSnapshot(snap *Snapshot, cfg Config) (*Server, error) {
 	s.tQuery = reg.Timer("serve.query")
 	s.gInflight = reg.Gauge("serve.inflight")
 	s.gLiveStates = reg.Gauge("serve.query.live_states")
+	s.gGeneration = reg.Gauge("serve.generation")
 	reg.Set("serve.replicas", float64(cfg.Replicas))
-	extra := make(map[string]int, len(snap.domains))
-	for _, dm := range snap.domains {
-		extra[dm.name] = cfg.QueryHeadroom
+	p, err := s.buildPool(snap, 1)
+	if err != nil {
+		return nil, err
 	}
-	for i := 0; i < cfg.Replicas; i++ {
-		rep, err := snap.Hydrate(extra)
-		if err != nil {
-			close(s.jobs)
-			return nil, fmt.Errorf("serve: hydrating replica %d: %w", i, err)
-		}
-		if i == 0 {
-			s.val = rep.Base
-			s.sh = shapeOf(rep.Base.HasRelation)
-		}
-		s.pushReplicaStats(i, rep)
-		s.wg.Add(1)
-		go s.worker(i, rep)
-	}
+	s.cur = p
+	s.gGeneration.Set(float64(p.gen))
 	mux := http.NewServeMux()
 	mux.HandleFunc("/pointsto", s.handlePointsTo)
 	mux.HandleFunc("/aliases", s.handleAliases)
 	mux.HandleFunc("/whodunnit", s.handleWhodunnit)
 	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/update", s.handleUpdate)
 	mux.HandleFunc("/schema", s.handleSchema)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
@@ -219,12 +245,77 @@ func newFromSnapshot(snap *Snapshot, cfg Config) (*Server, error) {
 	return s, nil
 }
 
+// buildPool hydrates a full replica set from snap and starts its
+// workers. On hydration failure the partial pool is torn down.
+func (s *Server) buildPool(snap *Snapshot, gen uint64) (*pool, error) {
+	p := &pool{
+		gen:  gen,
+		snap: snap,
+		jobs: make(chan *job, s.cfg.MaxInFlight),
+	}
+	extra := make(map[string]int, len(snap.domains))
+	for _, dm := range snap.domains {
+		extra[dm.name] = s.cfg.QueryHeadroom
+	}
+	for i := 0; i < s.cfg.Replicas; i++ {
+		rep, err := snap.Hydrate(extra)
+		if err != nil {
+			close(p.jobs)
+			p.wg.Wait()
+			return nil, fmt.Errorf("serve: hydrating replica %d: %w", i, err)
+		}
+		if i == 0 {
+			p.val = rep.Base
+			p.sh = shapeOf(rep.Base.HasRelation)
+		}
+		s.pushReplicaStats(i, rep)
+		p.wg.Add(1)
+		go s.worker(i, rep, p)
+	}
+	return p, nil
+}
+
+// acquire pins the serving pool for one request: the returned pool's
+// job channel is guaranteed open until the matching pending.Done().
+func (s *Server) acquire() *pool {
+	s.mu.RLock()
+	p := s.cur
+	p.pending.Add(1)
+	s.mu.RUnlock()
+	return p
+}
+
+// current reads the serving pool for metadata (schema, health,
+// fingerprint) without pinning it.
+func (s *Server) current() *pool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.cur
+}
+
+// retire drains a swapped-out generation in the background: once the
+// last request holding it finishes, the job channel closes and its
+// workers (and their BDD managers) become garbage.
+func (s *Server) retire(old *pool) {
+	s.retired.Add(1)
+	go func() {
+		defer s.retired.Done()
+		old.pending.Wait()
+		close(old.jobs)
+		old.wg.Wait()
+	}()
+}
+
 // Replicas returns the worker-pool size.
 func (s *Server) Replicas() int { return s.cfg.Replicas }
 
 // SnapshotNodes returns the BDD node count of the frozen snapshot each
 // replica hydrates.
-func (s *Server) SnapshotNodes() int { return s.snap.Nodes() }
+func (s *Server) SnapshotNodes() int { return s.current().snap.Nodes() }
+
+// Generation returns the serving snapshot generation (1 at startup,
+// bumped by every applied update).
+func (s *Server) Generation() uint64 { return s.current().gen }
 
 // Cache exposes the result cache (tests and the stats endpoint).
 func (s *Server) Cache() *Cache { return s.cache }
@@ -242,8 +333,13 @@ func (s *Server) Close() {
 	if s.sampler != nil {
 		s.sampler.Stop()
 	}
-	s.closeOnce.Do(func() { close(s.jobs) })
-	s.wg.Wait()
+	s.closeOnce.Do(func() {
+		p := s.current()
+		p.pending.Wait()
+		close(p.jobs)
+		p.wg.Wait()
+		s.retired.Wait()
+	})
 }
 
 // Sampler exposes the background substrate sampler (nil when disabled)
@@ -251,14 +347,14 @@ func (s *Server) Close() {
 func (s *Server) Sampler() *obs.Sampler { return s.sampler }
 
 // Fingerprint identifies the snapshot the server answers from.
-func (s *Server) Fingerprint() string { return s.snap.Fingerprint() }
+func (s *Server) Fingerprint() string { return s.current().snap.Fingerprint() }
 
-// worker owns one replica for the server's lifetime: jobs arrive over
-// the shared channel and run on this goroutine only, so the replica's
+// worker owns one replica for its pool's lifetime: jobs arrive over
+// the pool's channel and run on this goroutine only, so the replica's
 // BDD manager never sees concurrency.
-func (s *Server) worker(i int, rep *Replica) {
-	defer s.wg.Done()
-	for j := range s.jobs {
+func (s *Server) worker(i int, rep *Replica, p *pool) {
+	defer p.wg.Done()
+	for j := range p.jobs {
 		s.runJob(rep, j)
 		s.pushReplicaStats(i, rep)
 	}
@@ -320,14 +416,21 @@ func (s *Server) runJob(rep *Replica, j *job) {
 }
 
 // runQuery is the shared endpoint path: cache lookup, admission,
-// dispatch, render. src must already be normalized.
+// dispatch, render. src must already be normalized. The whole request
+// runs against one pinned generation — the pool acquired here — so a
+// concurrent hot-swap can never hand it mixed state, and the cache key
+// carries the generation so a post-swap request can never read a
+// pre-swap answer.
 func (s *Server) runQuery(w http.ResponseWriter, r *http.Request, src string) {
 	s.cRequests.Inc()
 	if s.draining.Load() {
 		s.shed(w, "draining")
 		return
 	}
-	key := src
+	p := s.acquire()
+	defer p.pending.Done()
+	w.Header().Set("X-Generation", fmt.Sprint(p.gen))
+	key := fmt.Sprintf("g%d|%s", p.gen, src)
 	if s.cfg.CacheEntries >= 0 {
 		if body := s.cache.Get(key); body != nil {
 			w.Header().Set("X-Cache", "hit")
@@ -348,7 +451,7 @@ func (s *Server) runQuery(w http.ResponseWriter, r *http.Request, src string) {
 	defer func() { s.gInflight.Set(float64(s.inflight.Add(-1))) }()
 	j := &job{ctx: r.Context(), src: src, rid: requestID(w), done: make(chan struct{})}
 	select {
-	case s.jobs <- j:
+	case p.jobs <- j:
 	case <-r.Context().Done():
 		s.writeError(w, resilience.NewController(r.Context(), resilience.Budget{}).Err())
 		return
@@ -413,7 +516,7 @@ func (s *Server) namedParam(w http.ResponseWriter, r *http.Request, param, domai
 		s.writeError(w, &datalog.QueryRejectError{Reason: fmt.Sprintf("name %q is not expressible in a query", name)})
 		return "", false
 	}
-	if _, ok := s.val.ElemIndex(domain, name); !ok {
+	if _, ok := s.current().val.ElemIndex(domain, name); !ok {
 		s.writeError(w, &datalog.QueryRejectError{Reason: fmt.Sprintf("unknown %s name %q", domain, name)})
 		return "", false
 	}
@@ -425,7 +528,7 @@ func (s *Server) handlePointsTo(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	src, err := s.sh.pointstoQuery(name)
+	src, err := s.current().sh.pointstoQuery(name)
 	if err != nil {
 		s.writeError(w, err)
 		return
@@ -438,7 +541,7 @@ func (s *Server) handleAliases(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	src, err := s.sh.aliasesQuery(name)
+	src, err := s.current().sh.aliasesQuery(name)
 	if err != nil {
 		s.writeError(w, err)
 		return
@@ -451,7 +554,7 @@ func (s *Server) handleWhodunnit(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	src, err := s.sh.whodunnitQuery(name)
+	src, err := s.current().sh.whodunnitQuery(name)
 	if err != nil {
 		s.writeError(w, err)
 		return
@@ -501,19 +604,34 @@ func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
 		Size  uint64 `json:"size"`
 		Named bool   `json:"named"`
 	}
+	type updateJSON struct {
+		Enabled bool   `json:"enabled"`
+		Format  string `json:"delta_format"`
+		Example string `json:"example"`
+	}
 	out := struct {
-		Domains   []domJSON `json:"domains"`
-		Relations []relJSON `json:"relations"`
+		Domains   []domJSON  `json:"domains"`
+		Relations []relJSON  `json:"relations"`
+		Update    updateJSON `json:"update"`
 	}{}
-	for _, dm := range s.snap.domains {
+	p := s.current()
+	for _, dm := range p.snap.domains {
 		out.Domains = append(out.Domains, domJSON{Name: dm.name, Size: dm.size, Named: dm.elemNames != nil})
 	}
-	for _, rm := range s.snap.relations {
+	for _, rm := range p.snap.relations {
 		rj := relJSON{Name: rm.name, Kind: relKindString(rm.kind)}
 		for _, am := range rm.attrs {
 			rj.Attrs = append(rj.Attrs, attrJSON{Name: am.name, Domain: am.dom})
 		}
 		out.Relations = append(out.Relations, rj)
+	}
+	out.Update = updateJSON{
+		Enabled: s.cfg.Updater != nil,
+		Format: "POST /update a JSON delta {\"add\": {relation: [tuple, ...]}, \"remove\": {...}}; " +
+			"each tuple is an array of attribute values, a value is a numeric domain index or " +
+			"an element-name string (new names are registered on additions; removals may only " +
+			"name known elements). Only input relations accept deltas.",
+		Example: `{"add":{"assign":[["dst","src"],[3,0]]},"remove":{"vP0":[["v","h0"]]}}`,
 	}
 	writeJSON(w, http.StatusOK, out)
 }
@@ -536,15 +654,18 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Nodes       int           `json:"snapshot_nodes"`
 		Degraded    bool          `json:"degraded"`
 		Fingerprint string        `json:"snapshot_fingerprint"`
+		Generation  uint64        `json:"generation"`
 		UptimeSec   float64       `json:"uptime_sec"`
 		Build       obs.BuildInfo `json:"build"`
 	}
+	p := s.current()
 	h := health{
 		Status:      "ok",
 		Replicas:    s.cfg.Replicas,
-		Nodes:       s.snap.Nodes(),
+		Nodes:       p.snap.Nodes(),
 		Degraded:    s.cfg.Degraded,
-		Fingerprint: s.snap.Fingerprint(),
+		Fingerprint: p.snap.Fingerprint(),
+		Generation:  p.gen,
 		UptimeSec:   time.Since(s.start).Seconds(),
 		Build:       s.build,
 	}
@@ -578,7 +699,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if wantsPrometheus(r) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		s.reg.WritePrometheus(w, s.build.PromInfo("bddbddbd",
-			[2]string{"snapshot_fingerprint", s.snap.Fingerprint()}))
+			[2]string{"snapshot_fingerprint", s.current().snap.Fingerprint()}))
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")

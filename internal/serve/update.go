@@ -1,0 +1,167 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"bddbddb/internal/datalog"
+	"bddbddb/internal/obs"
+	"bddbddb/internal/resilience"
+)
+
+// Updater is the serve layer's contract with the live solver it cuts
+// snapshots from (satisfied by *datalog.LiveSolver). Begin applies a
+// delta under a budget and leaves it uncommitted — Solver() then
+// reflects the new fixpoint for snapshotting — and exactly one of
+// Commit or Rollback finishes the update. The server calls all four
+// from a single goroutine at a time (updates are serialized).
+type Updater interface {
+	Begin(ctl *resilience.Controller, wd datalog.WireDelta) (datalog.UpdateStats, error)
+	Solver() *datalog.Solver
+	Commit()
+	Rollback()
+}
+
+// ErrUpdatesDisabled rejects /update when no Updater is configured
+// (the daemon kept no live solver to apply deltas to).
+var ErrUpdatesDisabled = errors.New("serve: live updates disabled (daemon started without an updater)")
+
+// ErrUpdateInProgress rejects an update that would overlap another.
+var ErrUpdateInProgress = errors.New("serve: another update is in progress")
+
+// UpdateResult reports an applied update.
+type UpdateResult struct {
+	Generation  uint64              `json:"generation"`
+	Fingerprint string              `json:"snapshot_fingerprint"`
+	Stats       datalog.UpdateStats `json:"stats"`
+	DurationSec float64             `json:"duration_sec"`
+}
+
+// ApplyUpdate runs the full live-update lifecycle: apply the delta to
+// the live solver (incremental re-solve, degrading to a full re-solve
+// on budget exhaustion), cut a new snapshot, hydrate a standby replica
+// pool, and atomically swap it in as the next generation. In-flight
+// requests finish on the generation they started on; the result cache
+// is generation-keyed and flushed at the swap.
+//
+// Any failure — rejection, budget, fault injection, hydration error —
+// leaves the server exactly on the previous generation: the solver
+// rolls back, the standby pool (if built) is torn down, and no request
+// observes mixed state.
+func (s *Server) ApplyUpdate(ctx context.Context, wd datalog.WireDelta) (UpdateResult, error) {
+	if s.cfg.Updater == nil {
+		return UpdateResult{}, ErrUpdatesDisabled
+	}
+	if s.draining.Load() {
+		return UpdateResult{}, fmt.Errorf("serve: draining: %w", resilience.ErrCanceled)
+	}
+	select {
+	case s.updateMu <- struct{}{}:
+		defer func() { <-s.updateMu }()
+	default:
+		return UpdateResult{}, ErrUpdateInProgress
+	}
+	start := time.Now()
+	res, err := s.applyUpdateLocked(ctx, wd)
+	if err != nil {
+		s.reg.Counter("serve.update.failed").Inc()
+		return UpdateResult{}, err
+	}
+	res.DurationSec = time.Since(start).Seconds()
+	s.reg.Counter("serve.update.applied").Inc()
+	if res.Stats.Full {
+		s.reg.Counter("serve.update.degraded_full").Inc()
+		s.reg.Histogram("serve.update.full_sec", obs.LatencyBuckets()).Observe(res.Stats.Duration.Seconds())
+	} else {
+		s.reg.Histogram("serve.update.incremental_sec", obs.LatencyBuckets()).Observe(res.Stats.Duration.Seconds())
+	}
+	return res, nil
+}
+
+func (s *Server) applyUpdateLocked(ctx context.Context, wd datalog.WireDelta) (UpdateResult, error) {
+	up := s.cfg.Updater
+	ctl := resilience.NewController(ctx, resilience.Budget{
+		Timeout:      s.cfg.UpdateTimeout,
+		MaxLiveNodes: s.cfg.UpdateMaxNodes,
+	})
+	stats, err := up.Begin(ctl, wd)
+	if err != nil {
+		// Begin leaves the solver rolled back on error by contract.
+		return UpdateResult{}, err
+	}
+	var np *pool
+	err = func() (err error) {
+		defer resilience.Recover(&err)
+		resilience.FaultPoint(resilience.FaultSnapshotHydrate)
+		snap, err := NewSnapshot(up.Solver())
+		if err != nil {
+			return err
+		}
+		old := s.current()
+		p, err := s.buildPool(snap, old.gen+1)
+		if err != nil {
+			return err
+		}
+		np = p
+		resilience.FaultPoint(resilience.FaultSnapshotSwap)
+		return nil
+	}()
+	if err != nil {
+		if np != nil {
+			close(np.jobs)
+			np.wg.Wait()
+		}
+		up.Rollback()
+		return UpdateResult{}, err
+	}
+	// Point of no return: swap the standby pool in. Everything that
+	// could fail already has; the swap itself is a pointer exchange.
+	s.mu.Lock()
+	old := s.cur
+	s.cur = np
+	s.mu.Unlock()
+	up.Commit()
+	// Cache keys carry the generation, so stale entries can never be
+	// served post-swap; the flush just reclaims their memory promptly.
+	s.cache.Flush()
+	s.gGeneration.Set(float64(np.gen))
+	s.retire(old)
+	return UpdateResult{
+		Generation:  np.gen,
+		Fingerprint: np.snap.Fingerprint(),
+		Stats:       stats,
+	}, nil
+}
+
+// handleUpdate is POST /update: a JSON WireDelta body, applied through
+// the full lifecycle. Success reports the new generation; failures map
+// through the resilience taxonomy (422 rejected, 409 conflict, 429
+// budget, 501 disabled).
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, errorJSON{Error: "POST a JSON tuple delta", Class: "bad_query"})
+		return
+	}
+	raw, err := io.ReadAll(io.LimitReader(r.Body, 8<<20))
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	var wd datalog.WireDelta
+	if err := json.Unmarshal(raw, &wd); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: "bad delta JSON: " + err.Error(), Class: "bad_query", RequestID: requestID(w)})
+		return
+	}
+	res, err := s.ApplyUpdate(r.Context(), wd)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
