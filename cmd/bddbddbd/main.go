@@ -5,13 +5,16 @@
 //
 // Usage:
 //
-//	bddbddbd [-addr :8077] [-algo cs|ci] [-replicas N] (-synth NAME | program.jp)
+//	bddbddbd [-addr :8077] [-algo cs|ci|heap-cs] [-replicas N] (-synth NAME | program.jp)
 //
 // The input program comes from a synthetic benchmark (-synth quick, or
 // any name from the Figure 3 suite) or a .jp file argument. -algo cs
 // (default) runs the cloning-based context-sensitive analysis with
 // on-the-fly call graph discovery; ci runs the context-insensitive
-// one. Startup resilience flags (-timeout, -max-nodes,
+// one; heap-cs runs Algorithm 8's heap-cloned analysis, which makes
+// the canned /pointsto and /aliases templates heap-sensitive
+// (answers distinguish the per-context clones of each allocation
+// site). Startup resilience flags (-timeout, -max-nodes,
 // -checkpoint-dir, -resume) bound and checkpoint the initial solve; if
 // the context-sensitive solve exhausts its budget the daemon degrades
 // to the context-insensitive result and reports degraded:true in
@@ -24,6 +27,8 @@
 //	GET  /whodunnit?heap=NAME stores that may have written a reference
 //	                          to the heap object (with contexts when
 //	                          the analysis is context-sensitive)
+//	GET  /precision           the startup {ci, cs, heap-cs} precision
+//	                          comparison (404 unless -precision was set)
 //	POST /query               ad-hoc Datalog (raw text or {"query":...})
 //	POST /update              live input-tuple delta (JSON add/remove
 //	                          sets); incrementally re-solves, cuts a new
@@ -74,6 +79,7 @@ import (
 	"bddbddb/internal/datalog"
 	"bddbddb/internal/extract"
 	"bddbddb/internal/obs"
+	"bddbddb/internal/precision"
 	"bddbddb/internal/program"
 	"bddbddb/internal/resilience"
 	"bddbddb/internal/serve"
@@ -82,7 +88,8 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8077", "listen address")
-	algo := flag.String("algo", "cs", "analysis to serve: cs (context-sensitive) or ci (context-insensitive)")
+	algo := flag.String("algo", "cs", "analysis to serve: cs (context-sensitive), ci (context-insensitive), or heap-cs (heap-cloned)")
+	precisionFlag := flag.Bool("precision", false, "compute the {ci, cs, heap-cs} precision comparison at startup and serve it at /precision")
 	synthName := flag.String("synth", "", "generate the input program from the named synthetic benchmark (e.g. quick)")
 	replicas := flag.Int("replicas", runtime.GOMAXPROCS(0), "snapshot replicas / worker goroutines")
 	headroom := flag.Int("query-headroom", 1, "extra physical instances per domain for ad-hoc query variables")
@@ -134,7 +141,7 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	status := run(ctx, sess, rflags, config{
 		addr: *addr, algo: *algo, synthName: *synthName,
-		typeFilter: *typeFilter, grace: *grace,
+		typeFilter: *typeFilter, grace: *grace, precision: *precisionFlag,
 		updateFile: *updateFile, updateSlack: *updateSlack,
 		serve: serve.Config{
 			UpdateTimeout:  *updateTimeout,
@@ -174,6 +181,7 @@ func main() {
 type config struct {
 	addr, algo, synthName string
 	typeFilter            bool
+	precision             bool
 	grace                 time.Duration
 	updateFile            string
 	updateSlack           int
@@ -220,11 +228,27 @@ func run(ctx context.Context, sess *obs.Session, rflags resilience.Flags, cfg co
 		res, err = analysis.RunContextSensitive(facts, nil, acfg)
 	case "ci":
 		res, err = analysis.RunContextInsensitive(facts, cfg.typeFilter, acfg)
+	case "heap-cs":
+		res, err = analysis.RunHeapCloned(facts, nil, acfg)
 	default:
-		err = fmt.Errorf("unknown -algo %q (want cs or ci)", cfg.algo)
+		err = fmt.Errorf("unknown -algo %q (want cs, ci, or heap-cs)", cfg.algo)
 	}
 	if err != nil {
 		return fail(err)
+	}
+	if cfg.precision {
+		// The comparison re-solves all three modes on a private config:
+		// no checkpointing (three solves would fight over the directory)
+		// and no domain slack (the report never serves updates).
+		pcfg := analysis.Config{Tracer: sess.Tracer, Context: ctx, Budget: rflags.Budget()}
+		t1 := time.Now()
+		rep, perr := precision.Compare(workloadName(cfg), facts, pcfg, precision.Options{})
+		if perr != nil {
+			return fail(perr)
+		}
+		cfg.serve.Precision = rep
+		fmt.Fprintf(os.Stderr, "bddbddbd: precision comparison ready in %v (heap contexts %d, cloned sites %d)\n",
+			time.Since(t1).Round(time.Millisecond), rep.HeapContexts, rep.ClonedSites)
 	}
 	fmt.Fprintf(os.Stderr, "bddbddbd: solved in %v%s\n", time.Since(t0).Round(time.Millisecond),
 		map[bool]string{true: " (degraded to context-insensitive)", false: ""}[res.Degraded])
@@ -321,6 +345,14 @@ func run(ctx context.Context, sess *obs.Session, rflags resilience.Flags, cfg co
 	}
 	fmt.Fprintln(os.Stderr, "bddbddbd: bye")
 	return 0
+}
+
+// workloadName labels the precision report with the input's identity.
+func workloadName(cfg config) string {
+	if cfg.synthName != "" {
+		return cfg.synthName
+	}
+	return flag.Arg(0)
 }
 
 func loadProgram(synthName string) (*program.Program, error) {

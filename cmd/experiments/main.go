@@ -6,6 +6,7 @@
 //	experiments -figure 4 -benches freetts,jetty
 //	experiments -figure all -small   # every figure on the small subset
 //	experiments -figure 4 -json BENCH_figure4.json
+//	experiments -figure precision -json BENCH_precision.json
 //
 // -json writes the figure tables as flat metrics JSON (the BENCH_*.json
 // trajectory format) with keys like figure4.<bench>.cs_pointer.time_sec.
@@ -36,7 +37,7 @@ import (
 )
 
 func main() {
-	figure := flag.String("figure", "all", "which figure to regenerate: 3|4|5|6|all")
+	figure := flag.String("figure", "all", "which figure to regenerate: 3|4|5|6|precision|all")
 	benches := flag.String("benches", "", "comma-separated benchmark names (default: all for figure 3, the small subset otherwise)")
 	small := flag.Bool("small", false, "restrict every figure to the small subset")
 	search := flag.String("ordersearch", "", "run the Section 2.4.2 empirical variable-order search for Algorithm 5 on this benchmark")
@@ -124,6 +125,14 @@ func main() {
 			fmt.Println("Figure 6: type refinement precision (multi-typed % / refinable %)")
 			experiments.WriteFigure6(os.Stdout, rows)
 			merge(table, experiments.Figure6Metrics(rows))
+		case "precision":
+			reps, err := s.Precision(pick(*benches, names, experiments.PrecisionNames()))
+			if err != nil {
+				return err
+			}
+			fmt.Println("Precision: {ci, cs, heap-cs} mode comparison")
+			experiments.WritePrecision(os.Stdout, reps)
+			merge(table, experiments.PrecisionMetrics(reps))
 		default:
 			return fmt.Errorf("unknown figure %q", fig)
 		}
@@ -186,7 +195,7 @@ func runOrderSearch(bench string, trials int) error {
 	if err != nil {
 		return err
 	}
-	initial := []string{"N", "F", "I", "M", "Z", "V", "C", "T", "H"}
+	initial := order.Default(order.ModeCS)
 	res, err := order.Search(initial, func(ord []string) order.Cost {
 		start := time.Now()
 		r, err := analysis.RunContextSensitive(p.Facts, p.Graph, analysis.Config{Order: ord})

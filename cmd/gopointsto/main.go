@@ -11,17 +11,24 @@
 // IR by internal/frontend/gofront, and solved exactly like a .jp
 // program — the whole downstream pipeline is shared with cmd/pointsto.
 //
-// Algorithms (-algo): ci, cif, otf, cs (default), type, threads — the
-// same set as pointsto. -entries picks the analysis roots: auto
-// (main.main when present, else every exported function), main,
-// exported, or all.
+// Algorithms (-algo): ci, cif, otf, cs (default), heap-cs, type,
+// threads — the same set as pointsto plus Algorithm 8's heap-cloned
+// mode. -entries picks the analysis roots: auto (main.main when
+// present, else every exported function), main, exported, or all.
 //
 // Reports (-report, comma-separated):
 //
-//	nil     dereferences of variables with empty points-to sets
-//	escape  goroutine escape analysis: allocation sites reachable
-//	        from more than one goroutine, with source positions
-//	        (runs Algorithm 7 in addition to -algo if needed)
+//	nil        dereferences of variables with empty points-to sets
+//	escape     goroutine escape analysis: allocation sites reachable
+//	           from more than one goroutine, with source positions
+//	           (runs Algorithm 7 in addition to -algo if needed)
+//	precision  {ci, cs, heap-cs} mode comparison: how much each
+//	           refinement shrinks the points-to and alias relations
+//	           (solves all three modes regardless of -algo)
+//
+// Allocation sites in reports are labeled `file:line new T` when the
+// lowering metadata can resolve them, falling back to the raw
+// Class.method@site:Type heap name for synthetic objects.
 //
 // Both reports are heuristics bounded by the frontend's documented
 // approximations — see the Caveats table in internal/frontend/gofront
@@ -49,6 +56,7 @@ import (
 	"bddbddb/internal/extract"
 	"bddbddb/internal/frontend/gofront"
 	"bddbddb/internal/obs"
+	"bddbddb/internal/precision"
 	"bddbddb/internal/resilience"
 )
 
@@ -56,9 +64,9 @@ import (
 const maxReportLines = 20
 
 func main() {
-	algo := flag.String("algo", "cs", "analysis: ci|cif|otf|cs|type|threads")
+	algo := flag.String("algo", "cs", "analysis: ci|cif|otf|cs|heap-cs|type|threads")
 	entries := flag.String("entries", "auto", "analysis roots: auto|main|exported|all")
-	report := flag.String("report", "", "comma-separated reports: nil,escape")
+	report := flag.String("report", "", "comma-separated reports: nil,escape,precision")
 	varName := flag.String("var", "", "print the points-to set of this variable (Class.method/v)")
 	noOpt := flag.Bool("noopt", false, "disable the Datalog plan optimizer (pinned textual-order execution)")
 	backend := datalog.BackendFlag{Mode: datalog.BackendAuto}
@@ -100,8 +108,8 @@ func run(ctx context.Context, sess *obs.Session, rflags resilience.Flags,
 		if r == "" {
 			continue
 		}
-		if r != "nil" && r != "escape" {
-			return fmt.Errorf("unknown report %q (want nil or escape)", r)
+		if r != "nil" && r != "escape" && r != "precision" {
+			return fmt.Errorf("unknown report %q (want nil, escape, or precision)", r)
 		}
 		reports[r] = true
 	}
@@ -150,6 +158,8 @@ func run(ctx context.Context, sess *obs.Session, rflags resilience.Flags,
 		r, err = analysis.RunOnTheFly(f, cfg)
 	case "cs":
 		r, err = analysis.RunContextSensitive(f, nil, cfg)
+	case "heap-cs":
+		r, err = analysis.RunHeapCloned(f, nil, cfg)
 	case "type":
 		r, err = analysis.RunTypeAnalysis(f, nil, cfg)
 	case "threads":
@@ -182,15 +192,25 @@ func run(ctx context.Context, sess *obs.Session, rflags resilience.Flags,
 			return fmt.Errorf("unknown variable %q (names are Class.method/var)", varName)
 		}
 		fmt.Printf("%s points to:\n", varName)
+		var labels []string
 		for pair := range pairs {
 			if pair[0] == uint64(v) {
-				fmt.Printf("  %s\n", f.Heaps[pair[1]])
+				labels = append(labels, heapLabel(f.Heaps[pair[1]], meta))
 			}
+		}
+		sort.Strings(labels)
+		for _, l := range labels {
+			fmt.Printf("  %s\n", l)
 		}
 	}
 
 	if reports["nil"] {
 		printNilReport(res, f, pairs)
+	}
+	if reports["precision"] {
+		if err := printPrecisionReport(tr, res, f, cfg); err != nil {
+			return err
+		}
 	}
 	if reports["escape"] || algo == "threads" {
 		er := r
@@ -211,6 +231,37 @@ func run(ctx context.Context, sess *obs.Session, rflags resilience.Flags,
 		}
 		fmt.Printf("metrics written to %s\n", benchOut)
 	}
+	return nil
+}
+
+// heapLabel renders a heap object as `file:line new T` when the
+// lowering metadata resolves its allocation site, else the raw name.
+func heapLabel(heap string, meta *gofront.Meta) string {
+	s, ok := gofront.ParseHeapSite(heap, meta)
+	if !ok || !s.Pos.IsValid() {
+		return heap
+	}
+	return fmt.Sprintf("%s:%d new %s", s.Pos.Filename, s.Pos.Line, s.Type)
+}
+
+// printPrecisionReport solves the {ci, cs, heap-cs} ladder over the
+// lowered program and prints how much each refinement step shrinks
+// the relations, with source-resolved allocation-site labels and the
+// nil-deref heuristic as the per-mode client proxy.
+func printPrecisionReport(tr obs.Tracer, res *gofront.Result, f *extract.Facts, cfg analysis.Config) error {
+	obs.Begin(tr, "gopointsto.precision")
+	defer obs.End(tr)
+	rep, err := precision.Compare("go", f, cfg, precision.Options{
+		HeapLabel: func(h int) string { return heapLabel(f.Heaps[h], res.Meta) },
+		NilReport: func(pairs map[[2]uint64]bool) int {
+			return len(gofront.NilDerefs(res.Prog, res.Meta, f, pairs))
+		},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	rep.WriteText(os.Stdout)
 	return nil
 }
 

@@ -24,12 +24,15 @@ func TestShippedProgramsCheckClean(t *testing.T) {
 		{"Algorithm5OTF", Algorithm5OTFSrc},
 		{"Algorithm6", Algorithm6Src},
 		{"Algorithm7", Algorithm7Src},
+		{"Algorithm8", Algorithm8Src},
 		{"TypeAnalysisCI", TypeAnalysisCISrc},
 
 		// Section 5 queries on the algorithm each documents.
 		{"Algorithm5+MemoryLeak", Algorithm5Src + MemoryLeakQuerySrc("a.java:57")},
 		{"Algorithm5+Security", Algorithm5Src + SecurityQuerySrc("java.lang.String", "Crypto.init")},
 		{"Algorithm5+ModRef", Algorithm5Src + ModRefQuerySrc},
+		// Algorithm 8's projected vPC satisfies the same query fragments.
+		{"Algorithm8+ModRef", Algorithm8Src + ModRefQuerySrc},
 
 		// The Figure 6 refinement ladder (experiments.RunFigure6).
 		{"Algorithm1+RefineCIPointer",

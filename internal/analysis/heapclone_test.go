@@ -1,0 +1,202 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"bddbddb/internal/extract"
+	"bddbddb/internal/program"
+	"bddbddb/internal/synth"
+)
+
+// factorySrc is the canonical heap-cloning motivation: one factory
+// method called twice. Call-path cloning (Algorithm 5) distinguishes
+// the two mkBox invocations but still conflates the two Box objects —
+// both calls allocate the *same* heap object, so b1.contents and
+// b2.contents share field storage and `got` reads both Items.
+// Algorithm 8 clones the Box allocation per context and keeps the two
+// boxes' contents apart.
+const factorySrc = `
+entry Main.main
+
+class Item {
+}
+
+class Box {
+    field contents
+    method put(v: Item) {
+        this.contents = v
+    }
+    method take() returns r: Item {
+        r = this.contents
+        return r
+    }
+}
+
+class Factory {
+    static method mkBox() returns r: Box {
+        r = new Box
+        return r
+    }
+}
+
+class Main {
+    static method main(args) {
+        var b1: Box
+        var b2: Box
+        var i1: Item
+        var i2: Item
+        var got: Item
+        b1 = Factory::mkBox()
+        b2 = Factory::mkBox()
+        i1 = new Item
+        i2 = new Item
+        b1.put(i1)
+        b2.put(i2)
+        got = b1.take()
+    }
+}
+`
+
+func factoryFacts(t *testing.T) *extract.Facts {
+	t.Helper()
+	prog := program.MustParse(factorySrc)
+	f, err := extract.Extract(prog, extract.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// pointsToSet collects the projected heap targets of one variable.
+func pointsToSet(pairs map[[2]uint64]bool, v int64) map[uint64]bool {
+	out := make(map[uint64]bool)
+	for p := range pairs {
+		if int64(p[0]) == v {
+			out[p[1]] = true
+		}
+	}
+	return out
+}
+
+func TestHeapCloningFactoryPrecision(t *testing.T) {
+	f := factoryFacts(t)
+	cs, err := RunContextSensitive(f, nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hcs, err := RunHeapCloned(f, nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hcs.Degraded {
+		t.Fatalf("heap-cloned run degraded: %v", hcs.DegradedCause)
+	}
+	csPairs, hcsPairs := cs.PointsToPairs(), hcs.PointsToPairs()
+	for p := range hcsPairs {
+		if !csPairs[p] {
+			t.Errorf("unsound refinement: heap-cs pair %v absent from cs", p)
+		}
+	}
+	if len(hcsPairs) >= len(csPairs) {
+		t.Fatalf("heap cloning not strictly more precise: %d pairs vs cs %d", len(hcsPairs), len(csPairs))
+	}
+	got := f.LocalRep("Main.main", "got")
+	if got < 0 {
+		t.Fatal("variable Main.main/got not extracted")
+	}
+	if n := len(pointsToSet(csPairs, got)); n != 2 {
+		t.Fatalf("cs points-to size of got = %d, want 2 (conflated boxes)", n)
+	}
+	if n := len(pointsToSet(hcsPairs, got)); n != 1 {
+		t.Fatalf("heap-cs points-to size of got = %d, want 1", n)
+	}
+	// The Box allocation really got >1 heap contexts: cvP must mention a
+	// clone beyond the context-insensitive hctx 0 and the first clone.
+	maxHC := uint64(0)
+	hcs.Solver.Relation("cvP").Iterate(func(vals []uint64) bool {
+		if vals[2] > maxHC {
+			maxHC = vals[2]
+		}
+		return true
+	})
+	if maxHC < 2 {
+		t.Fatalf("max heap context = %d, want >= 2", maxHC)
+	}
+}
+
+func TestHeapCloningHeapContextLimit(t *testing.T) {
+	f := factoryFacts(t)
+	// A limit of 1 excludes mkBox's Box site (2 contexts) from cloning —
+	// it allocates hctx 0 like a global — while single-context sites
+	// keep their one trivial clone. With the only multi-context site
+	// uncloned, the projected results collapse to Algorithm 5's.
+	hcs, err := RunHeapCloned(f, nil, Config{HeapContextLimit: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := RunContextSensitive(f, nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(hcs.PointsToPairs()), len(cs.PointsToPairs()); got != want {
+		t.Fatalf("limited heap-cs pairs = %d, want cs-equal %d", got, want)
+	}
+	hcs.Solver.Relation("cvP").Iterate(func(vals []uint64) bool {
+		if vals[2] > 1 {
+			t.Fatalf("cvP heap context %d despite HeapContextLimit 1", vals[2])
+		}
+		return true
+	})
+	var boxSite uint64
+	found := false
+	for h, name := range f.Heaps {
+		if strings.HasSuffix(name, ":Box") {
+			boxSite, found = uint64(h), true
+		}
+	}
+	if !found {
+		t.Fatalf("no Box allocation site in %v", f.Heaps)
+	}
+	hcs.Solver.Relation("heapCloned").Iterate(func(vals []uint64) bool {
+		if vals[0] == boxSite {
+			t.Fatal("mkBox's Box site cloned despite HeapContextLimit 1")
+		}
+		return true
+	})
+}
+
+// TestHeapCloningSynthSoundness runs Algorithm 8 on a synthetic
+// workload and checks the projected results refine Algorithm 5's.
+func TestHeapCloningSynthSoundness(t *testing.T) {
+	prog := synth.Generate(synth.Params{
+		Name: "hc", Seed: 7,
+		Classes: 6, Interfaces: 2, FieldsPerClass: 2,
+		Layers: 4, Width: 2, Fanout: 2,
+		VirtualFrac: 0.4, OverrideFrac: 0.4, RecursionFrac: 0.2,
+	})
+	f, err := extract.Extract(prog, extract.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := RunContextSensitive(f, nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hcs, err := RunHeapCloned(f, nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	csPairs, hcsPairs := cs.PointsToPairs(), hcs.PointsToPairs()
+	if len(hcsPairs) == 0 {
+		t.Fatal("heap-cs produced no points-to pairs")
+	}
+	for p := range hcsPairs {
+		if !csPairs[p] {
+			t.Fatalf("unsound refinement: heap-cs pair %v absent from cs", p)
+		}
+	}
+	if sz := hcs.Solver.Relation("heapCloned").Size(); sz.Sign() == 0 {
+		t.Fatal("no allocation site was heap-cloned")
+	}
+}

@@ -130,6 +130,7 @@ func TestPlannerDifferentialAllAlgorithms(t *testing.T) {
 		{"alg6-typeci", func(cfg Config) (*Result, error) { return RunTypeAnalysisCI(sf, cfg) }},
 		{"alg6-type", func(cfg Config) (*Result, error) { return RunTypeAnalysis(sf, nil, cfg) }},
 		{"alg7-threads", func(cfg Config) (*Result, error) { return RunThreadEscape(sf, nil, cfg) }},
+		{"alg8-heapcs", func(cfg Config) (*Result, error) { return RunHeapCloned(sf, nil, cfg) }},
 		{"q-leak", func(cfg Config) (*Result, error) {
 			cfg.ExtraSrc = MemoryLeakQuerySrc(leakName)
 			return RunContextSensitive(lf, nil, cfg)

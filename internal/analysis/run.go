@@ -9,6 +9,7 @@ import (
 	"bddbddb/internal/datalog"
 	"bddbddb/internal/extract"
 	"bddbddb/internal/obs"
+	"bddbddb/internal/order"
 	"bddbddb/internal/resilience"
 )
 
@@ -31,6 +32,13 @@ type Config struct {
 	// ContextLimit caps the context domain size; contexts beyond it are
 	// merged into one, as the paper does beyond 2^63. 0 means 2^62.
 	ContextLimit uint64
+	// HeapContextLimit caps Algorithm 8's per-site heap cloning: an
+	// allocation site whose containing method has more (capped) contexts
+	// than the limit gets the single context-insensitive heap clone
+	// (hctx 0) instead — the paper's noHeapContext escape hatch for
+	// sites that would explode the cloned heap. 0 means unlimited:
+	// every non-global site is cloned.
+	HeapContextLimit uint64
 	// ExtraSrc appends query fragments (Section 5) to the program.
 	ExtraSrc string
 	// NoIncrementalization disables semi-naive evaluation (ablation).
@@ -125,18 +133,15 @@ func (c Config) order(def []string) []string {
 	return def
 }
 
-// ciOrder, csOrder and ctOrder are the default variable orders,
-// found the way Section 2.4.2 prescribes — empirically (internal/order
-// automates the search; see BenchmarkAblationVarOrder). The decisive
-// property mirrors the ordering bddbddb shipped for this analysis: the
-// variable instances (V0xV1) sit directly above the interleaved context
-// instances, with the heap domains at the very bottom. Putting the
-// context domain on top instead looks natural but is catastrophically
-// slower (>1000x on the larger benchmarks).
+// The default variable orders come from internal/order's shipped table
+// (found empirically per Section 2.4.2; see order.Default). heapOrder
+// groups "C+HC" into one interleaved block — Algorithm 8's hcH diagonal
+// needs the arithmetic alignment.
 var (
-	ciOrder = []string{"N", "F", "I", "M", "Z", "V", "T", "H"}
-	csOrder = []string{"N", "F", "I", "M", "Z", "V", "C", "T", "H"}
-	ctOrder = []string{"N", "F", "I", "M", "Z", "V", "CT", "T", "H"}
+	ciOrder   = order.Default(order.ModeCI)
+	csOrder   = order.Default(order.ModeCS)
+	ctOrder   = order.Default(order.ModeCT)
+	heapOrder = order.Default(order.ModeHeapCS)
 )
 
 // Result bundles a finished analysis.
@@ -464,6 +469,115 @@ func RunContextSensitiveOnTheFly(f *extract.Facts, cfg Config) (_ *Result, err e
 	if err != nil {
 		// No Algorithm 3 result exists here; degrade runs one afresh.
 		return degrade(f, nil, cfg, err)
+	}
+	return r, nil
+}
+
+// noHeapContexts computes Algorithm 8's escape-hatch set: true for
+// every allocation site that must keep the single context-insensitive
+// heap clone — global objects, sites in unreachable methods, and sites
+// whose method has more (capped) contexts than cfg.HeapContextLimit.
+func noHeapContexts(f *extract.Facts, n *callgraph.Numbering, contextDomainSize uint64, limit uint64) []bool {
+	capM := contextDomainSize - 1
+	out := make([]bool, len(f.AllocMethod))
+	for h, meth := range f.AllocMethod {
+		if meth < 0 {
+			out[h] = true
+			continue
+		}
+		k := callgraph.CappedCount(n.MethodContexts(meth), capM)
+		if k == 0 || (limit > 0 && k > limit) {
+			out[h] = true
+		}
+	}
+	return out
+}
+
+// runHeapCloned runs Algorithm 8 over the cloned call graph: Algorithm
+// 4 numbering materialized into IEC plus the hcH heap-context diagonal,
+// then the heap-cloned rules.
+func runHeapCloned(f *extract.Facts, g *callgraph.Graph, cfg Config) (*Result, error) {
+	obs.Begin(cfg.Tracer, "analysis.numbering")
+	n, err := callgraph.NumberControlled(g, cfg.Tracer, cfg.ctl)
+	obs.End(cfg.Tracer)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := datalog.Parse(Algorithm8Src + cfg.ExtraSrc)
+	if err != nil {
+		return nil, err
+	}
+	opts := baseOptions(f, cfg, heapOrder)
+	cfg.checkpointOpts(&opts)
+	cSize := n.ContextDomainSize(cfg.contextLimit())
+	opts.DomainSizes["C"] = cSize
+	// HC is sized like C: clone hc mirrors context c, with value 0
+	// reserved for the context-insensitive clone.
+	opts.DomainSizes["HC"] = cSize
+	s, err := compileTraced(prog, opts, cfg.Tracer)
+	if err != nil {
+		return nil, err
+	}
+	noHeap := noHeapContexts(f, n, cSize, cfg.HeapContextLimit)
+	obs.Begin(cfg.Tracer, "analysis.materialize")
+	err = func() error {
+		iecDecl := s.Relation("IEC").Attrs()
+		iec, err := n.MaterializeIEC(s.Universe(), "IEC", iecDecl[0], iecDecl[1], iecDecl[2], iecDecl[3])
+		if err != nil {
+			return err
+		}
+		s.ReplaceRelation("IEC", iec)
+		hcDecl := s.Relation("hcH").Attrs()
+		allocMethod := make([]int, len(f.AllocMethod))
+		copy(allocMethod, f.AllocMethod)
+		hch, err := n.MaterializeHeapContexts(s.Universe(), "hcH", hcDecl[0], hcDecl[1], hcDecl[2], allocMethod, noHeap)
+		if err != nil {
+			return err
+		}
+		s.ReplaceRelation("hcH", hch)
+		if s.HasRelation("domC") {
+			attr := s.Relation("domC").Attrs()[0]
+			s.ReplaceRelation("domC", s.Universe().FullDomain("domC", attr))
+		}
+		return nil
+	}()
+	obs.End(cfg.Tracer)
+	if err != nil {
+		return nil, err
+	}
+	obs.Begin(cfg.Tracer, "analysis.fill")
+	fillCommon(s, f)
+	nhc := s.Relation("noHeapContext")
+	for h, no := range noHeap {
+		if no {
+			nhc.AddTuple(uint64(h))
+		}
+	}
+	obs.End(cfg.Tracer)
+	if err := s.Solve(); err != nil {
+		return nil, err
+	}
+	return &Result{Solver: s, Facts: f, Graph: g, Numbering: n}, nil
+}
+
+// RunHeapCloned runs Algorithm 8 — context-sensitive points-to with
+// heap cloning. When g is nil the call graph is discovered first with
+// Algorithm 3. Budget exhaustion and cancellation degrade gracefully to
+// the context-insensitive result, exactly like RunContextSensitive.
+func RunHeapCloned(f *extract.Facts, g *callgraph.Graph, cfg Config) (_ *Result, err error) {
+	cfg = cfg.withControl()
+	defer resilience.Recover(&err)
+	var ci *Result // Algorithm 3 result, reused on degradation
+	if g == nil {
+		ci, err = discoverResult(f, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: call graph discovery: %w", err)
+		}
+		g = ci.Graph
+	}
+	r, err := runHeapCloned(f, g, cfg)
+	if err != nil {
+		return degrade(f, ci, cfg, err)
 	}
 	return r, nil
 }

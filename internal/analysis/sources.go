@@ -9,6 +9,8 @@
 //     points-to over the cloned call graph.
 //   - Algorithm 6: context-sensitive type analysis.
 //   - Algorithm 7: thread-sensitive points-to and escape analysis.
+//   - Algorithm 8: context-sensitive heap cloning (the follow-on
+//     pacsh.datalog analysis), with per-context heap clones.
 //   - The Section 5 queries: memory-leak debugging, JCE vulnerability,
 //     type refinement, and context-sensitive mod-ref.
 //
@@ -186,6 +188,56 @@ IECd(c, i, cm, m2)      :- IEC(c, i, cm, m2), mI(_, i, n), actual(i, 0, v), vPC(
 
 assignC(c1, v1, c2, v2) :- IECd(c2, i, c1, m), formal(m, z, v1), actual(i, z, v2).
 assignC(c1, v1, c2, v2) :- IECd(c1, i, c2, m), Iret(i, v1), Mret(m, v2).
+`
+
+// heapContextDomain declares the heap-context domain of Algorithm 8.
+// The runner sizes it identically to C and the default variable order
+// interleaves the two ("C+HC") so the O(k) add-constant primitive can
+// build the context↔heap-context diagonal — the paper's follow-on
+// pacsh.datalog interleaves its VC/HC blocks the same way. Value 0 is
+// reserved for "no heap context" (contexts proper start at 1): global
+// objects and sites excluded by Config.HeapContextLimit allocate a
+// single context-insensitive heap clone.
+const heapContextDomain = `
+.domain HC 2
+`
+
+// Algorithm8Src is context-sensitive points-to WITH heap cloning — the
+// follow-on analysis of Whaley's pacsh.datalog, here as Algorithm 8.
+// Where Algorithm 5 keeps one heap object per allocation site, cvP
+// gives each site one clone per context of its containing method: the
+// input diagonal hcH(c, hc, h) pairs calling context c with heap
+// context hc = c for cloned sites (hc = 0 for noHeapContext sites), and
+// the heap-indexed hPH keeps the field contents of different clones
+// separate — stores and loads match on (heap context, heap) rather than
+// heap alone, which is exactly where the added precision comes from.
+// vPC and hP project the clones away so every Algorithm 5 consumer
+// (queries, metrics, serving templates) reads Algorithm 8 results
+// unchanged; heapCloned names the sites that actually got clones.
+const Algorithm8Src = commonDomains + contextDomain + heapContextDomain + commonInputs + typeInputs + invokeInputs + `
+.relation IEC (caller : C, invoke : I, callee : C, tgt : M) input
+.relation hcH (context : C, hctx : HC, heap : H) input
+.relation noHeapContext (heap : H) input
+.relation vPfilter (variable : V, heap : H)
+.relation assignC (destc : C, dest : V, srcc : C, src : V)
+.relation cvP (context : C, variable : V, hctx : HC, heap : H) output
+.relation hPH (basec : HC, base : H, field : F, targetc : HC, target : H) output
+.relation vPC (context : C, variable : V, heap : H) output
+.relation hP (base : H, field : F, target : H) output
+.relation heapCloned (heap : H) output
+
+vPfilter(v, h)            :- vT(v, tv), hT(h, th), aT(tv, th).
+cvP(c, v, hc, h)          :- vP0(v, h), hcH(c, hc, h).
+cvP(c1, v1, hc, h)        :- assignC(c1, v1, c2, v2), cvP(c2, v2, hc, h), vPfilter(v1, h).
+hPH(hc1, h1, f, hc2, h2)  :- store(v1, f, v2), cvP(c, v1, hc1, h1), cvP(c, v2, hc2, h2).
+cvP(c, v2, hc2, h2)       :- load(v1, f, v2), cvP(c, v1, hc1, h1), hPH(hc1, h1, f, hc2, h2), vPfilter(v2, h2).
+assignC(c1, v1, c2, v2)   :- IEC(c2, i, c1, m), formal(m, z, v1), actual(i, z, v2).
+assignC(c1, v1, c2, v2)   :- IEC(c1, i, c2, m), Iret(i, v1), Mret(m, v2).
+
+# Projections: the Algorithm 5 view of the heap-cloned results.
+vPC(c, v, h)              :- cvP(c, v, _, h).
+hP(h1, f, h2)             :- hPH(_, h1, f, _, h2).
+heapCloned(h)             :- hT(h, _), !noHeapContext(h).
 `
 
 // Algorithm6Src is the context-sensitive type analysis (the paper's

@@ -41,6 +41,7 @@ func updEntries(f *extract.Facts) []updEntry {
 		{"alg6ci", RunTypeAnalysisCI},
 		{"alg6", func(f *extract.Facts, cfg Config) (*Result, error) { return RunTypeAnalysis(f, nil, cfg) }},
 		{"alg7", func(f *extract.Facts, cfg Config) (*Result, error) { return RunThreadEscape(f, nil, cfg) }},
+		{"alg8", func(f *extract.Facts, cfg Config) (*Result, error) { return RunHeapCloned(f, nil, cfg) }},
 		{"q-leak", alg5With(MemoryLeakQuerySrc(f.Heaps[0]))},
 		{"q-security", alg5With(SecurityQuerySrc(f.Types[0], f.Methods[0]))},
 		{"q-modref", alg5With(ModRefQuerySrc)},

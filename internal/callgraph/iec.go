@@ -157,6 +157,78 @@ func (n *Numbering) MaterializeHC(u *rel.Universe, name string, context, heap re
 	return u.NewRelationFromBDD(name, root, context, heap)
 }
 
+// MaterializeHeapContexts builds Algorithm 8's hcH(context, hctx,
+// heap) diagonal: allocation site h executing in context c of its
+// containing method allocates heap clone hctx = c — one AddConst per
+// method, O(k) in BDD nodes, which requires context and hctx to share
+// an interleaved order block ("C+HC"). Heap-context value 0 is the
+// "no heap context" clone: sites flagged in noHeapContext (and global
+// objects, which live in every context) allocate hctx = 0, keeping
+// them context-insensitive exactly like Algorithm 5.
+func (n *Numbering) MaterializeHeapContexts(u *rel.Universe, name string, context, hctx, heap rel.Attr, allocMethod []int, noHeapContext []bool) (*rel.Relation, error) {
+	m := u.M
+	capM := mergeValue(context.Phys)
+	root := m.Ref(bdd.False)
+
+	// Group allocation sites by (method, cloned?) so each group's
+	// (context, hctx) part is built once.
+	type grp struct {
+		meth   int
+		cloned bool
+	}
+	byGroup := make(map[grp][]uint64)
+	for h, meth := range allocMethod {
+		cloned := meth >= 0 && !(h < len(noHeapContext) && noHeapContext[h])
+		g := grp{meth, cloned}
+		byGroup[g] = append(byGroup[g], uint64(h))
+	}
+	for g, heaps := range byGroup {
+		var pairs bdd.Node
+		if g.meth < 0 {
+			// Global objects: every context, the context-insensitive clone.
+			full := context.Phys.DomainConstraint()
+			zero := hctx.Phys.Eq(0)
+			pairs = m.And(full, zero)
+			m.Deref(full)
+			m.Deref(zero)
+		} else {
+			k := CappedCount(n.MethodContexts(g.meth), capM)
+			if k == 0 {
+				continue // unreachable methods have no contexts
+			}
+			if g.cloned {
+				var err error
+				pairs, err = m.AddConst(context.Phys, hctx.Phys, 0, 1, k)
+				if err != nil {
+					m.Deref(root)
+					return nil, err
+				}
+			} else {
+				rng := context.Phys.Range(1, k)
+				zero := hctx.Phys.Eq(0)
+				pairs = m.And(rng, zero)
+				m.Deref(rng)
+				m.Deref(zero)
+			}
+		}
+		hs := m.Ref(bdd.False)
+		for _, h := range heaps {
+			eq := heap.Phys.Eq(h)
+			next := m.Or(hs, eq)
+			m.Deref(hs)
+			m.Deref(eq)
+			hs = next
+		}
+		tri := m.And(pairs, hs)
+		next := m.Or(root, tri)
+		for _, nd := range []bdd.Node{pairs, hs, tri, root} {
+			m.Deref(nd)
+		}
+		root = next
+	}
+	return u.NewRelationFromBDD(name, root, context, hctx, heap), nil
+}
+
 // MaterializeMethodContexts builds mC(context, method): method m runs
 // under context c. Useful for queries and the thread analysis.
 func (n *Numbering) MaterializeMethodContexts(u *rel.Universe, name string, context, method rel.Attr) *rel.Relation {

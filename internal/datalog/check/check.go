@@ -2,6 +2,7 @@ package check
 
 import (
 	"fmt"
+	"strings"
 
 	"bddbddb/internal/datalog/ast"
 )
@@ -102,19 +103,22 @@ func (c *checker) declarations() {
 }
 
 // varOrder checks DL003: every name in .bddvarorder is a declared
-// domain and appears once.
+// domain and appears once. An entry may interleave several domains
+// into one block with "+" (C+HC); each constituent is checked.
 func (c *checker) varOrder() {
 	seen := make(map[string]bool)
-	for _, name := range c.prog.Order {
-		if c.domains[name] == nil {
-			c.errorf(CodeVarOrder, c.prog.OrderLine, c.prog.OrderCol,
-				".bddvarorder names unknown domain %s", name)
+	for _, entry := range c.prog.Order {
+		for _, name := range strings.Split(entry, "+") {
+			if c.domains[name] == nil {
+				c.errorf(CodeVarOrder, c.prog.OrderLine, c.prog.OrderCol,
+					".bddvarorder names unknown domain %s", name)
+			}
+			if seen[name] {
+				c.errorf(CodeVarOrder, c.prog.OrderLine, c.prog.OrderCol,
+					".bddvarorder lists domain %s twice", name)
+			}
+			seen[name] = true
 		}
-		if seen[name] {
-			c.errorf(CodeVarOrder, c.prog.OrderLine, c.prog.OrderCol,
-				".bddvarorder lists domain %s twice", name)
-		}
-		seen[name] = true
 	}
 }
 

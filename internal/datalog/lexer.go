@@ -86,8 +86,12 @@ func isIdentStart(r byte) bool {
 	return r == '_' || unicode.IsLetter(rune(r)) || unicode.IsDigit(rune(r))
 }
 
+// '+' joins interleaved domain groups in .bddvarorder (C+HC); it is
+// accepted in identifier bodies so the order still lexes as one token.
+// No other construct uses '+', and a stray one inside a name surfaces
+// as an unknown-name diagnostic rather than a syntax error.
 func isIdentBody(r byte) bool {
-	return r == '_' || r == '$' || unicode.IsLetter(rune(r)) || unicode.IsDigit(rune(r)) || r == '.'
+	return r == '_' || r == '$' || r == '+' || unicode.IsLetter(rune(r)) || unicode.IsDigit(rune(r)) || r == '.'
 }
 
 // next returns the next token. Identifiers may contain dots (method

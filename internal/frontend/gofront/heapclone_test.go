@@ -1,0 +1,62 @@
+package gofront
+
+import (
+	"testing"
+
+	"bddbddb/internal/analysis"
+)
+
+// TestHeapCloneFactoryFixture runs Algorithm 8 on a real lowered Go
+// package: the factory fixture allocates both boxes at one site inside
+// mkBox, so call-path cloning alone cannot separate them. Heap cloning
+// must give the site more than one heap context and strictly shrink
+// what take() returns.
+func TestHeapCloneFactoryFixture(t *testing.T) {
+	f := fixtureFacts(t, "factory")
+	cs, err := analysis.RunContextSensitive(f, nil, analysis.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hcs, err := analysis.RunHeapCloned(f, nil, analysis.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hcs.Degraded {
+		t.Fatalf("heap-cloned run degraded: %v", hcs.DegradedCause)
+	}
+
+	var maxHC uint64
+	hcs.Relation("cvP").Iterate(func(vals []uint64) bool {
+		if vals[2] > maxHC {
+			maxHC = vals[2]
+		}
+		return true
+	})
+	if maxHC < 2 {
+		t.Fatalf("max heap context = %d, want >= 2 (the mkBox site must be cloned per call path)", maxHC)
+	}
+
+	csPairs, hcsPairs := cs.PointsToPairs(), hcs.PointsToPairs()
+	for k := range hcsPairs {
+		if !csPairs[k] {
+			t.Fatalf("unsound refinement: heap-cs has vP(%s, %s) absent from cs", f.Vars[k[0]], f.Heaps[k[1]])
+		}
+	}
+	// Copy propagation folds `got` into its assign-chain representative.
+	got := f.LocalRep("factory.main", "got")
+	if got < 0 {
+		t.Fatal("variable factory.main/got has no alias-class representative")
+	}
+	count := func(pairs map[[2]uint64]bool) int {
+		n := 0
+		for k := range pairs {
+			if k[0] == uint64(got) {
+				n++
+			}
+		}
+		return n
+	}
+	if cn, hn := count(csPairs), count(hcsPairs); cn < 2 || hn != 1 {
+		t.Fatalf("got points to %d sites under cs and %d under heap-cs, want >=2 and exactly 1", cn, hn)
+	}
+}

@@ -1,0 +1,3 @@
+module factory
+
+go 1.22

@@ -1,0 +1,37 @@
+// The factory pattern: one constructor function called twice. A
+// call-path-cloned analysis distinguishes the two mkBox invocations
+// but still conflates the two Box objects (both come from the same
+// allocation site); Algorithm 8's heap cloning keeps them apart, so
+// take() on b1 returns only i1.
+package main
+
+type Item struct {
+	id int
+}
+
+type Box struct {
+	contents *Item
+}
+
+func (b *Box) put(v *Item) {
+	b.contents = v
+}
+
+func (b *Box) take() *Item {
+	return b.contents
+}
+
+func mkBox() *Box {
+	return &Box{}
+}
+
+func main() {
+	b1 := mkBox()
+	b2 := mkBox()
+	i1 := &Item{}
+	i2 := &Item{}
+	b1.put(i1)
+	b2.put(i2)
+	got := b1.take()
+	_ = got
+}

@@ -1,4 +1,4 @@
-package order
+package order_test
 
 import (
 	"errors"
@@ -7,6 +7,7 @@ import (
 
 	"bddbddb/internal/analysis"
 	"bddbddb/internal/extract"
+	"bddbddb/internal/order"
 	"bddbddb/internal/synth"
 )
 
@@ -15,7 +16,7 @@ import (
 // at least as good as it started, and normally better.
 func TestSearchImprovesSyntheticCost(t *testing.T) {
 	target := map[string]int{"A": 0, "B": 1, "C": 2, "D": 3, "E": 4}
-	cost := func(ord []string) Cost {
+	cost := func(ord []string) order.Cost {
 		inv := 0
 		for i := range ord {
 			for j := i + 1; j < len(ord); j++ {
@@ -24,10 +25,10 @@ func TestSearchImprovesSyntheticCost(t *testing.T) {
 				}
 			}
 		}
-		return Cost{Nodes: inv, Time: time.Duration(inv)}
+		return order.Cost{Nodes: inv, Time: time.Duration(inv)}
 	}
 	initial := []string{"E", "D", "C", "B", "A"} // fully inverted: cost 10
-	res, err := Search(initial, cost, Options{MaxTrials: 60, Seed: 3})
+	res, err := order.Search(initial, cost, order.Options{MaxTrials: 60, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,13 +41,13 @@ func TestSearchImprovesSyntheticCost(t *testing.T) {
 }
 
 func TestSearchKeepsInitialWhenOptimal(t *testing.T) {
-	cost := func(ord []string) Cost {
+	cost := func(ord []string) order.Cost {
 		if ord[0] == "A" {
-			return Cost{Nodes: 1}
+			return order.Cost{Nodes: 1}
 		}
-		return Cost{Nodes: 2}
+		return order.Cost{Nodes: 2}
 	}
-	res, err := Search([]string{"A", "B"}, cost, Options{MaxTrials: 10, Seed: 1})
+	res, err := order.Search([]string{"A", "B"}, cost, order.Options{MaxTrials: 10, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,9 +58,9 @@ func TestSearchKeepsInitialWhenOptimal(t *testing.T) {
 
 func TestSearchAllFailing(t *testing.T) {
 	boom := errors.New("boom")
-	res, err := Search([]string{"A", "B"}, func([]string) Cost {
-		return Cost{Err: boom}
-	}, Options{MaxTrials: 4})
+	res, err := order.Search([]string{"A", "B"}, func([]string) order.Cost {
+		return order.Cost{Err: boom}
+	}, order.Options{MaxTrials: 4})
 	if err == nil {
 		t.Fatal("expected error when all trials fail")
 	}
@@ -69,7 +70,7 @@ func TestSearchAllFailing(t *testing.T) {
 }
 
 func TestSearchEmptyInitial(t *testing.T) {
-	if _, err := Search(nil, func([]string) Cost { return Cost{} }, Options{}); err == nil {
+	if _, err := order.Search(nil, func([]string) order.Cost { return order.Cost{} }, order.Options{}); err == nil {
 		t.Fatal("expected error on empty order")
 	}
 }
@@ -87,11 +88,11 @@ func TestSearchOnRealAnalysis(t *testing.T) {
 		t.Fatal(err)
 	}
 	var refSize string
-	run := func(ord []string) Cost {
+	run := func(ord []string) order.Cost {
 		start := time.Now()
 		r, err := analysis.RunOnTheFly(f, analysis.Config{Order: ord})
 		if err != nil {
-			return Cost{Err: err}
+			return order.Cost{Err: err}
 		}
 		size := r.Solver.Relation("vP").Size().String()
 		if refSize == "" {
@@ -99,9 +100,9 @@ func TestSearchOnRealAnalysis(t *testing.T) {
 		} else if refSize != size {
 			t.Fatalf("order %v changed the result: %s vs %s", ord, size, refSize)
 		}
-		return Cost{Time: time.Since(start), Nodes: r.Stats().PeakLiveNodes}
+		return order.Cost{Time: time.Since(start), Nodes: r.Stats().PeakLiveNodes}
 	}
-	res, err := Search([]string{"I", "Z", "N", "M", "T", "F", "V", "H"}, run, Options{MaxTrials: 6, Seed: 2})
+	res, err := order.Search([]string{"I", "Z", "N", "M", "T", "F", "V", "H"}, run, order.Options{MaxTrials: 6, Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,64 @@
+package precision
+
+import (
+	"bddbddb/internal/extract"
+	"bddbddb/internal/program"
+)
+
+// FactorySrc is the canonical heap-cloning demonstration workload (the
+// factory pattern): one factory method called twice. Call-path cloning
+// distinguishes the two mkBox invocations but still conflates the two
+// Box objects — both calls allocate the same heap object, so the two
+// boxes' contents fields share storage and take() reads both Items.
+// Heap cloning keeps them apart; Compare on this workload must show
+// heap-cs strictly more precise than cs.
+const FactorySrc = `
+entry Main.main
+
+class Item {
+}
+
+class Box {
+    field contents
+    method put(v: Item) {
+        this.contents = v
+    }
+    method take() returns r: Item {
+        r = this.contents
+        return r
+    }
+}
+
+class Factory {
+    static method mkBox() returns r: Box {
+        r = new Box
+        return r
+    }
+}
+
+class Main {
+    static method main(args) {
+        var b1: Box
+        var b2: Box
+        var i1: Item
+        var i2: Item
+        var got: Item
+        b1 = Factory::mkBox()
+        b2 = Factory::mkBox()
+        i1 = new Item
+        i2 = new Item
+        b1.put(i1)
+        b2.put(i2)
+        got = b1.take()
+    }
+}
+`
+
+// FactoryFacts extracts the factory workload.
+func FactoryFacts() (*extract.Facts, error) {
+	prog, err := program.Parse(FactorySrc)
+	if err != nil {
+		return nil, err
+	}
+	return extract.Extract(prog, extract.Options{})
+}

@@ -1,0 +1,121 @@
+package precision
+
+import (
+	"strings"
+	"testing"
+
+	"bddbddb/internal/analysis"
+	"bddbddb/internal/extract"
+	"bddbddb/internal/synth"
+)
+
+func modeByName(t *testing.T, rep *Report, mode string) ModeMetrics {
+	t.Helper()
+	for _, m := range rep.Modes {
+		if m.Mode == mode {
+			return m
+		}
+	}
+	t.Fatalf("mode %s missing from report", mode)
+	return ModeMetrics{}
+}
+
+func TestCompareFactory(t *testing.T) {
+	f, err := FactoryFacts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Compare("factory", f, analysis.Config{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci := modeByName(t, rep, ModeCI)
+	cs := modeByName(t, rep, ModeCS)
+	hcs := modeByName(t, rep, ModeHeapCS)
+	// The monotone refinement ladder, strict on the heap-cloning step:
+	// this workload exists to prove Algorithm 8 earns its cost.
+	if cs.Pairs > ci.Pairs {
+		t.Fatalf("cs pairs %d > ci pairs %d", cs.Pairs, ci.Pairs)
+	}
+	if hcs.Pairs >= cs.Pairs {
+		t.Fatalf("heap-cs pairs %d not strictly below cs pairs %d", hcs.Pairs, cs.Pairs)
+	}
+	if hcs.AvgPointsTo >= cs.AvgPointsTo {
+		t.Fatalf("heap-cs avg %.3f not strictly below cs avg %.3f", hcs.AvgPointsTo, cs.AvgPointsTo)
+	}
+	if hcs.AliasPairs >= cs.AliasPairs {
+		t.Fatalf("heap-cs alias pairs %d not strictly below cs %d", hcs.AliasPairs, cs.AliasPairs)
+	}
+	if rep.HeapContexts < 2 {
+		t.Fatalf("heap contexts = %d, want >= 2", rep.HeapContexts)
+	}
+	if rep.ClonedSites == 0 {
+		t.Fatal("no cloned sites recorded")
+	}
+	if len(rep.Deltas) != 2 || rep.Deltas[1].PairsRemoved <= 0 {
+		t.Fatalf("deltas = %+v", rep.Deltas)
+	}
+	if len(rep.TopShrunk) == 0 {
+		t.Fatal("no shrunk variables listed")
+	}
+	vd := rep.TopShrunk[0]
+	if vd.CS <= vd.HeapCS || len(vd.Removed) == 0 {
+		t.Fatalf("top shrunk entry = %+v", vd)
+	}
+}
+
+// TestCompareDeterministic pins the CI determinism gate's contract: two
+// full comparisons of the same workload render the identical text view.
+func TestCompareDeterministic(t *testing.T) {
+	prog := synth.Generate(synth.Quick)
+	f, err := extract.Extract(prog, extract.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	render := func() string {
+		rep, err := Compare("quick", f, analysis.Config{}, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		rep.WriteText(&sb)
+		return sb.String()
+	}
+	first := render()
+	if second := render(); second != first {
+		t.Fatalf("nondeterministic report:\n--- first\n%s--- second\n%s", first, second)
+	}
+	if !strings.Contains(first, "heap-cs") {
+		t.Fatalf("report missing heap-cs mode:\n%s", first)
+	}
+}
+
+func TestCompareLabelsAndHooks(t *testing.T) {
+	f, err := FactoryFacts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nilCalls := 0
+	rep, err := Compare("factory", f, analysis.Config{}, Options{
+		HeapLabel: func(h int) string { return "site:" + f.Heaps[h] },
+		NilReport: func(pairs map[[2]uint64]bool) int { nilCalls++; return len(pairs) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nilCalls != len(rep.Modes) {
+		t.Fatalf("NilReport called %d times for %d modes", nilCalls, len(rep.Modes))
+	}
+	for _, m := range rep.Modes {
+		if m.NilReports != m.Pairs {
+			t.Fatalf("mode %s NilReports = %d, want %d", m.Mode, m.NilReports, m.Pairs)
+		}
+	}
+	for _, vd := range rep.TopShrunk {
+		for _, lbl := range vd.Removed {
+			if !strings.HasPrefix(lbl, "site:") {
+				t.Fatalf("heap label %q did not use the HeapLabel hook", lbl)
+			}
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package rel
+
+import (
+	"reflect"
+	"testing"
+)
+
+// Order groups ("C+HC") exist so the O(k) arithmetic primitives can
+// relate values across two logical domains: AddConst/Equals require the
+// operand domains bitwise interleaved, which only happens inside one
+// block. These tests pin the group layout and the cross-domain diagonal
+// that Algorithm 8's heap-context materialization depends on.
+
+func groupUniverse(t *testing.T, extra map[string]int) *Universe {
+	t.Helper()
+	u := NewUniverse()
+	u.Declare("V", 20)
+	u.Declare("C", 16)
+	u.Declare("HC", 16)
+	u.EnsureInstances("C", 2)
+	u.EnsureInstances("HC", 2)
+	if err := u.Finalize(FinalizeOptions{
+		Order:          []string{"V", "C+HC"},
+		ExtraInstances: extra,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+func TestOrderGroupCrossDomainDiagonal(t *testing.T) {
+	u := groupUniverse(t, nil)
+	if got := u.BlockOrder(); !reflect.DeepEqual(got, []string{"V", "C+HC"}) {
+		t.Fatalf("BlockOrder = %v", got)
+	}
+	if u.PrimaryInstances("C") != 2 || u.PrimaryInstances("HC") != 2 {
+		t.Fatalf("PrimaryInstances C=%d HC=%d", u.PrimaryInstances("C"), u.PrimaryInstances("HC"))
+	}
+	// Every (C instance, HC instance) pair shares the block, so all four
+	// combinations must accept the arithmetic primitives.
+	for ci := 0; ci < 2; ci++ {
+		for hi := 0; hi < 2; hi++ {
+			n, err := u.M.AddConst(u.Phys("C", ci), u.Phys("HC", hi), 0, 1, 5)
+			if err != nil {
+				t.Fatalf("AddConst C%d->HC%d: %v", ci, hi, err)
+			}
+			u.M.Deref(n)
+		}
+	}
+	diag, err := u.M.AddConst(u.Phys("C", 0), u.Phys("HC", 0), 0, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := u.NewRelationFromBDD("hcDiag", diag, u.A("c", "C", 0), u.A("hc", "HC", 0))
+	want := tupleSet{}
+	for c := uint64(1); c <= 5; c++ {
+		want.add(c, c)
+	}
+	requireTuples(t, r, want)
+}
+
+func TestOrderGroupExtraInstancesTrail(t *testing.T) {
+	// ExtraInstances of a grouped constituent must trail the main blocks
+	// (so snapshot hydration reproduces main-block levels) and therefore
+	// are NOT interleaved with the partner domain.
+	u := groupUniverse(t, map[string]int{"HC": 1})
+	if u.Domain("HC").Instances() != 3 {
+		t.Fatalf("HC instances = %d, want 3", u.Domain("HC").Instances())
+	}
+	if u.PrimaryInstances("HC") != 2 {
+		t.Fatalf("PrimaryInstances(HC) = %d, want 2", u.PrimaryInstances("HC"))
+	}
+	// The trailing instance sits in its own block: the aligned-bits
+	// precondition fails, which is the documented trade-off.
+	if _, err := u.M.AddConst(u.Phys("C", 0), u.Phys("HC", 2), 0, 1, 5); err == nil {
+		t.Fatal("AddConst to a trailing extra instance unexpectedly aligned")
+	}
+}
+
+func TestOrderGroupValidation(t *testing.T) {
+	u := NewUniverse()
+	u.Declare("C", 16)
+	if err := u.Finalize(FinalizeOptions{Order: []string{"C+HC"}}); err == nil {
+		t.Fatal("unknown grouped domain accepted")
+	}
+	u2 := NewUniverse()
+	u2.Declare("C", 16)
+	u2.Declare("HC", 16)
+	if err := u2.Finalize(FinalizeOptions{Order: []string{"C+HC", "HC"}}); err == nil {
+		t.Fatal("domain listed in group and alone accepted")
+	}
+}

@@ -13,6 +13,7 @@ package rel
 import (
 	"fmt"
 	"strconv"
+	"strings"
 
 	"bddbddb/internal/bdd"
 )
@@ -151,7 +152,12 @@ func (u *Universe) EnsureInstances(name string, n int) {
 type FinalizeOptions struct {
 	// Order lists logical domain names from the top of the BDD variable
 	// order downward; instances of one logical domain are interleaved
-	// within a single block (V0xV1x...). Omitted domains follow in
+	// within a single block (V0xV1x...). An entry may group several
+	// logical domains with "+" (e.g. "C+HC"): all their instances share
+	// one bitwise-interleaved block, which is what the O(k) arithmetic
+	// primitives (bdd.AddConst, bdd.Equals) require to relate values
+	// *across* the grouped domains — the paper's VC2xVC1xVC0 spec for
+	// heap contexts next to calling contexts. Omitted domains follow in
 	// declaration order. Nil means declaration order throughout.
 	Order []string
 	// NodeSize and CacheSize size the BDD manager (rounded to powers of
@@ -185,15 +191,17 @@ func (u *Universe) Finalize(opts FinalizeOptions) error {
 
 	var blockOrder []string
 	seen := make(map[string]bool)
-	for _, n := range opts.Order {
-		if _, ok := u.logical[n]; !ok {
-			return fmt.Errorf("rel: order names unknown domain %q", n)
+	for _, entry := range opts.Order {
+		for _, n := range splitGroup(entry) {
+			if _, ok := u.logical[n]; !ok {
+				return fmt.Errorf("rel: order names unknown domain %q", n)
+			}
+			if seen[n] {
+				return fmt.Errorf("rel: order names domain %q twice", n)
+			}
+			seen[n] = true
 		}
-		if seen[n] {
-			return fmt.Errorf("rel: order names domain %q twice", n)
-		}
-		seen[n] = true
-		blockOrder = append(blockOrder, n)
+		blockOrder = append(blockOrder, entry)
 	}
 	for _, n := range u.order {
 		if !seen[n] {
@@ -203,18 +211,33 @@ func (u *Universe) Finalize(opts FinalizeOptions) error {
 
 	spec := ""
 	u.primary = make(map[string]int, len(blockOrder))
-	for _, name := range blockOrder {
-		d := u.logical[name]
-		n := u.requests[name]
-		u.primary[name] = n
-		block := ""
-		for i := 0; i < n; i++ {
-			phys := u.M.DeclareDomain(physName(name, i), d.Size)
-			d.insts = append(d.insts, phys)
-			if i > 0 {
-				block += "x"
+	for _, entry := range blockOrder {
+		names := splitGroup(entry)
+		maxInst := 0
+		for _, name := range names {
+			u.primary[name] = u.requests[name]
+			if u.requests[name] > maxInst {
+				maxInst = u.requests[name]
 			}
-			block += physName(name, i)
+		}
+		// Instances of every domain in the group join one interleaved
+		// block, instance-major (C0xHC0xC1x...): FinalizeOrder then
+		// round-robins the *bits* of all listed domains, so any two
+		// equal-width domains in the block end up bitwise aligned.
+		block := ""
+		for i := 0; i < maxInst; i++ {
+			for _, name := range names {
+				if i >= u.requests[name] {
+					continue
+				}
+				d := u.logical[name]
+				phys := u.M.DeclareDomain(physName(name, i), d.Size)
+				d.insts = append(d.insts, phys)
+				if block != "" {
+					block += "x"
+				}
+				block += physName(name, i)
+			}
 		}
 		if spec != "" {
 			spec += "_"
@@ -223,17 +246,19 @@ func (u *Universe) Finalize(opts FinalizeOptions) error {
 	}
 	// Extra instances trail the main blocks so they never perturb the
 	// levels the main blocks were assigned.
-	for _, name := range blockOrder {
-		extra := opts.ExtraInstances[name]
-		if extra <= 0 {
-			continue
-		}
-		d := u.logical[name]
-		for i := 0; i < extra; i++ {
-			idx := len(d.insts)
-			phys := u.M.DeclareDomain(physName(name, idx), d.Size)
-			d.insts = append(d.insts, phys)
-			spec += "_" + physName(name, idx)
+	for _, entry := range blockOrder {
+		for _, name := range splitGroup(entry) {
+			extra := opts.ExtraInstances[name]
+			if extra <= 0 {
+				continue
+			}
+			d := u.logical[name]
+			for i := 0; i < extra; i++ {
+				idx := len(d.insts)
+				phys := u.M.DeclareDomain(physName(name, idx), d.Size)
+				d.insts = append(d.insts, phys)
+				spec += "_" + physName(name, idx)
+			}
 		}
 	}
 	for name := range opts.ExtraInstances {
@@ -249,10 +274,19 @@ func (u *Universe) Finalize(opts FinalizeOptions) error {
 	return nil
 }
 
-// BlockOrder returns the finalized block order of logical domain names
-// (every declared domain appears exactly once). It is only valid after
-// Finalize; a snapshot records it so replicas can reproduce the exact
-// variable levels.
+// splitGroup splits a "+"-joined order entry into its constituent
+// logical domain names ("C+HC" -> C, HC; plain names pass through).
+func splitGroup(entry string) []string {
+	if !strings.Contains(entry, "+") {
+		return []string{entry}
+	}
+	return strings.Split(entry, "+")
+}
+
+// BlockOrder returns the finalized block order (every declared domain
+// appears in exactly one entry; grouped domains keep their "C+HC"
+// entry verbatim). It is only valid after Finalize; a snapshot records
+// it so replicas can reproduce the exact variable levels.
 func (u *Universe) BlockOrder() []string {
 	out := make([]string, len(u.blockOrder))
 	copy(out, u.blockOrder)

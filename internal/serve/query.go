@@ -43,22 +43,27 @@ func exprName(name string) bool {
 
 // shape describes which points-to relations the snapshot holds, which
 // decides the canned templates' bodies (context-sensitive runs
-// materialize vPC(context, variable, heap); context-insensitive runs
+// materialize vPC(context, variable, heap); heap-cloned runs add
+// cvP(context, variable, hctx, heap); context-insensitive runs
 // vP(variable, heap)).
 type shape struct {
-	hasVP, hasVPC, hasStore bool
+	hasVP, hasVPC, hasCVP, hasStore bool
 }
 
 func shapeOf(has func(string) bool) shape {
-	return shape{hasVP: has("vP"), hasVPC: has("vPC"), hasStore: has("store")}
+	return shape{hasVP: has("vP"), hasVPC: has("vPC"), hasCVP: has("cvP"), hasStore: has("store")}
 }
 
 // pointstoQuery: which heap objects may the named variable point to —
-// the paper's whoPointsTo in reverse.
+// the paper's whoPointsTo in reverse. Heap-cloned snapshots report the
+// heap context alongside each object, so the answer distinguishes the
+// clones of one allocation site.
 func (sh shape) pointstoQuery(varName string) (string, error) {
 	switch {
 	case sh.hasVP:
 		return fmt.Sprintf(".relation pointsto (heap : H) output\npointsto(h) :- vP(%q, h).\n", varName), nil
+	case sh.hasCVP:
+		return fmt.Sprintf(".relation pointsto (hctx : HC, heap : H) output\npointsto(hc, h) :- cvP(_, %q, hc, h).\n", varName), nil
 	case sh.hasVPC:
 		return fmt.Sprintf(".relation pointsto (heap : H) output\npointsto(h) :- vPC(_, %q, h).\n", varName), nil
 	}
@@ -66,11 +71,15 @@ func (sh shape) pointstoQuery(varName string) (string, error) {
 }
 
 // aliasesQuery: which variables may alias the named one (share a
-// points-to target in some context).
+// points-to target in some context). Heap-cloned snapshots match on
+// the (hctx, heap) pair, so two variables reaching different clones of
+// the same allocation site no longer count as aliases.
 func (sh shape) aliasesQuery(varName string) (string, error) {
 	switch {
 	case sh.hasVP:
 		return fmt.Sprintf(".relation aliases (alias : V) output\naliases(v) :- vP(%q, h), vP(v, h).\n", varName), nil
+	case sh.hasCVP:
+		return fmt.Sprintf(".relation aliases (alias : V) output\naliases(v) :- cvP(_, %q, hc, h), cvP(_, v, hc, h).\n", varName), nil
 	case sh.hasVPC:
 		return fmt.Sprintf(".relation aliases (alias : V) output\naliases(v) :- vPC(_, %q, h), vPC(_, v, h).\n", varName), nil
 	}

@@ -67,6 +67,11 @@ type Config struct {
 	// sampler). SampleCap bounds its ring buffer (0 = 600 samples).
 	SampleInterval time.Duration
 	SampleCap      int
+	// Precision, when set, is served verbatim as JSON at /precision —
+	// the daemon computes a precision.Report at startup when asked to.
+	// Nil means the endpoint answers 404 with a hint. Held as any so
+	// the serve layer stays decoupled from the comparison engine.
+	Precision any
 	// Updater, when set, enables the live-update lifecycle (POST
 	// /update and SIGHUP delta reload): it owns the solver the serve
 	// snapshots are cut from. Nil disables updates (501).
@@ -226,6 +231,7 @@ func newFromSnapshot(snap *Snapshot, cfg Config) (*Server, error) {
 	mux.HandleFunc("/pointsto", s.handlePointsTo)
 	mux.HandleFunc("/aliases", s.handleAliases)
 	mux.HandleFunc("/whodunnit", s.handleWhodunnit)
+	mux.HandleFunc("/precision", s.handlePrecision)
 	mux.HandleFunc("/query", s.handleQuery)
 	mux.HandleFunc("/update", s.handleUpdate)
 	mux.HandleFunc("/schema", s.handleSchema)
@@ -560,6 +566,19 @@ func (s *Server) handleWhodunnit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.runQuery(w, r, NormalizeQuery(src))
+}
+
+// handlePrecision serves the startup-computed mode-comparison report.
+func (s *Server) handlePrecision(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Precision == nil {
+		writeJSON(w, http.StatusNotFound, errorJSON{
+			Error:     "no precision report: start the daemon with -precision",
+			Class:     "rejected",
+			RequestID: requestID(w),
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.cfg.Precision)
 }
 
 // handleQuery evaluates an ad-hoc Datalog query: POST with either a
